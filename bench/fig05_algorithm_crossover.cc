@@ -1,0 +1,68 @@
+// Copyright 2026 The DOD Authors.
+//
+// Figure 5 — Performance of the detection algorithms w.r.t. data density.
+//
+// Paper setup (Sec. IV-B): n = 10,000 points held constant while the domain
+// area varies; r=5, k=4. Reported shape: Cell-Based wins when the data is
+// very sparse or very dense (cell prunings fire), Nested-Loop wins in the
+// intermediate range (index overhead without pruning benefit).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "data/generators.h"
+#include "detection/cost_model.h"
+#include "detection/detector.h"
+
+int main() {
+  const size_t n = dod::bench::ScaledN(20000);
+  const dod::DetectionParams params{/*radius=*/5.0, /*min_neighbors=*/4};
+
+  dod::bench::PrintHeader(
+      "Figure 5 — Nested-Loop vs Cell-Based across densities",
+      "Constant cardinality, domain area varied. Paper: Cell-Based wins at\n"
+      "both density extremes, Nested-Loop wins in the middle.");
+
+  const std::unique_ptr<dod::Detector> nested_loop =
+      dod::MakeDetector(dod::AlgorithmKind::kNestedLoop);
+  const std::unique_ptr<dod::Detector> cell_based =
+      dod::MakeDetector(dod::AlgorithmKind::kCellBased);
+
+  // The sweep uses *uniform* data, exactly the regime where Lemma 4.2's
+  // sparse case holds — so the reference prediction is the exact
+  // Corollary 4.3 (CellBasedCost vs NestedLoopCost). The guarded planner
+  // pick (which forgoes the sparse credit for robustness on clumped real
+  // data; DESIGN.md §5) is shown alongside.
+  std::printf("%-10s %14s %14s %10s | %12s %12s\n", "density",
+              "Nested-Loop(s)", "Cell-Based(s)", "winner", "Cor4.3", "planner");
+  const double densities[] = {0.005, 0.01, 0.02, 0.04, 0.06, 0.08,
+                              0.12,  0.16, 0.32, 0.64, 1.28, 2.56};
+  int agreements = 0, cases = 0;
+  for (double density : densities) {
+    const dod::Dataset data =
+        dod::GenerateUniform(n, dod::DomainForDensity(n, density), 51);
+    dod::StopWatch nl_watch;
+    nested_loop->DetectOutliers(data, data.size(), params);
+    const double nl_time = nl_watch.ElapsedSeconds();
+    dod::StopWatch cb_watch;
+    cell_based->DetectOutliers(data, data.size(), params);
+    const double cb_time = cb_watch.ElapsedSeconds();
+
+    const dod::PartitionStats stats{n, n / density, 2};
+    const bool exact_cb =
+        CellBasedCost(stats, params) < NestedLoopCost(stats, params);
+    const dod::AlgorithmKind planner = SelectAlgorithm(stats, params);
+    const char* winner = nl_time < cb_time ? "NL" : "CB";
+    const char* exact_pick = exact_cb ? "CB" : "NL";
+    agreements += (winner == std::string(exact_pick));
+    ++cases;
+    std::printf("%-10.3f %14.4f %14.4f %10s | %12s %12s\n", density, nl_time,
+                cb_time, winner, exact_pick,
+                planner == dod::AlgorithmKind::kNestedLoop ? "NL" : "CB");
+  }
+  std::printf("\nCorollary 4.3 agreement with measured winner: %d/%d\n",
+              agreements, cases);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Copyright 2026 The DOD Authors.
+//
+// Geospatial anomaly hunting — the workload that motivates the paper's
+// OpenStreetMap evaluation: find isolated buildings (mapping errors, remote
+// structures) in regional building extracts whose density profiles differ
+// enormously.
+//
+// The example runs the same detection over four OSM-like regions and shows
+// how the multi-tactic planner adapts: dense New York partitions get
+// Cell-Based, sparse Ohio partitions get Nested-Loop, and the outlier rate
+// tracks how rural a region is.
+//
+//   build/examples/geo_anomalies [points_per_region]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pipeline.h"
+#include "data/geo_like.h"
+
+int main(int argc, char** argv) {
+  size_t n = 30000;
+  if (argc > 1) n = static_cast<size_t>(std::strtoull(argv[1], nullptr, 10));
+
+  dod::DetectionParams params;
+  params.radius = 5.0;
+  params.min_neighbors = 4;
+
+  const dod::GeoRegion regions[] = {
+      dod::GeoRegion::kOhio, dod::GeoRegion::kMassachusetts,
+      dod::GeoRegion::kCalifornia, dod::GeoRegion::kNewYork};
+
+  std::printf("%-4s %10s %12s %10s %18s %12s\n", "reg", "points",
+              "density", "outliers", "plan (NL/CB)", "time (s)");
+  for (dod::GeoRegion region : regions) {
+    const dod::Dataset data = dod::GenerateGeoRegion(region, n, /*seed=*/7);
+    const dod::Rect bounds = data.Bounds();
+    const double density = static_cast<double>(data.size()) / bounds.Area();
+
+    dod::DodPipeline pipeline(dod::DodConfig::Dmt(params));
+    const dod::DodResult result = pipeline.Run(data);
+
+    size_t nl = 0, cb = 0;
+    for (dod::AlgorithmKind kind : result.plan.algorithm_plan) {
+      (kind == dod::AlgorithmKind::kNestedLoop ? nl : cb)++;
+    }
+    std::printf("%-4s %10zu %12.4f %10zu %10zu/%-6zu %12.4f\n",
+                std::string(dod::GeoRegionName(region)).c_str(), data.size(),
+                density, result.outliers.size(), nl, cb,
+                result.breakdown.total());
+  }
+
+  std::printf(
+      "\nNote how the algorithm plan flips toward Cell-Based as regions get\n"
+      "denser — the Corollary 4.3 selection at work on real-looking data.\n");
+  return 0;
+}

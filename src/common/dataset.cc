@@ -1,0 +1,26 @@
+// Copyright 2026 The DOD Authors.
+
+#include "common/dataset.h"
+
+namespace dod {
+
+void Dataset::AppendAll(const Dataset& other) {
+  DOD_CHECK(other.dims() == dims_);
+  coords_.insert(coords_.end(), other.coords_.begin(), other.coords_.end());
+}
+
+Rect Dataset::Bounds() const {
+  DOD_CHECK(!empty());
+  BoundsAccumulator acc(dims_);
+  for (size_t i = 0; i < size(); ++i) acc.Add((*this)[static_cast<PointId>(i)]);
+  return acc.bounds();
+}
+
+Dataset Dataset::Subset(const std::vector<PointId>& ids) const {
+  Dataset out(dims_);
+  out.Reserve(ids.size());
+  for (PointId id : ids) out.Append((*this)[id]);
+  return out;
+}
+
+}  // namespace dod

@@ -1,0 +1,72 @@
+// Copyright 2026 The DOD Authors.
+//
+// Flat, cache-friendly point storage. A Dataset owns `size() * dims()`
+// doubles laid out row-major; points are referred to by PointId. This is the
+// unit that flows through generators, the MapReduce engine, partitioners and
+// detectors.
+
+#ifndef DOD_COMMON_DATASET_H_
+#define DOD_COMMON_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bounds.h"
+#include "common/point.h"
+
+namespace dod {
+
+class Dataset {
+ public:
+  // An empty dataset of `dims`-dimensional points.
+  explicit Dataset(int dims) : dims_(dims) {
+    DOD_CHECK(dims >= 1 && dims <= kMaxDimensions);
+  }
+
+  int dims() const { return dims_; }
+  size_t size() const { return coords_.size() / dims_; }
+  bool empty() const { return coords_.empty(); }
+
+  void Reserve(size_t n) { coords_.reserve(n * dims_); }
+
+  // Appends a point; returns its id.
+  PointId Append(const double* p) {
+    coords_.insert(coords_.end(), p, p + dims_);
+    return static_cast<PointId>(size() - 1);
+  }
+  PointId Append(const Point& p) {
+    DOD_CHECK(p.dims() == dims_);
+    return Append(p.data());
+  }
+
+  // Appends all points of `other` (same dimensionality).
+  void AppendAll(const Dataset& other);
+
+  // Coordinate array of point `id`; valid until the next mutation.
+  const double* operator[](PointId id) const {
+    return coords_.data() + static_cast<size_t>(id) * dims_;
+  }
+
+  // Copy of point `id` as a value type.
+  Point GetPoint(PointId id) const { return Point((*this)[id], dims_); }
+
+  // Bounding box of all points. Must not be called on an empty dataset.
+  Rect Bounds() const;
+
+  // New dataset containing the points whose ids are listed in `ids`.
+  Dataset Subset(const std::vector<PointId>& ids) const;
+
+  // Raw storage access (used by I/O and the MapReduce serializer).
+  const std::vector<double>& raw() const { return coords_; }
+  std::vector<double>& mutable_raw() { return coords_; }
+
+  void Clear() { coords_.clear(); }
+
+ private:
+  int dims_;
+  std::vector<double> coords_;
+};
+
+}  // namespace dod
+
+#endif  // DOD_COMMON_DATASET_H_

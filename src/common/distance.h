@@ -1,0 +1,54 @@
+// Copyright 2026 The DOD Authors.
+//
+// Distance kernels. The outlier definitions in the paper are metric-agnostic
+// ("dist(p_i, p_j)"); the evaluation uses Euclidean distance on geospatial
+// coordinates, which is the library default. Threshold tests compare squared
+// distances to avoid the sqrt on the hot path.
+
+#ifndef DOD_COMMON_DISTANCE_H_
+#define DOD_COMMON_DISTANCE_H_
+
+#include <cmath>
+
+namespace dod {
+
+// Squared L2 distance between two `dims`-dimensional coordinate arrays.
+inline double SquaredEuclidean(const double* a, const double* b, int dims) {
+  double sum = 0.0;
+  for (int i = 0; i < dims; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+inline double Euclidean(const double* a, const double* b, int dims) {
+  return std::sqrt(SquaredEuclidean(a, b, dims));
+}
+
+// True iff dist(a, b) <= radius (Def. 2.1 neighbor test).
+inline bool WithinDistance(const double* a, const double* b, int dims,
+                           double radius) {
+  return SquaredEuclidean(a, b, dims) <= radius * radius;
+}
+
+// L1 (Manhattan) distance; provided for completeness and tests.
+inline double Manhattan(const double* a, const double* b, int dims) {
+  double sum = 0.0;
+  for (int i = 0; i < dims; ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+// L-infinity (Chebyshev) distance; used by grid adjacency reasoning.
+inline double Chebyshev(const double* a, const double* b, int dims) {
+  double best = 0.0;
+  for (int i = 0; i < dims; ++i) {
+    const double d = std::fabs(a[i] - b[i]);
+    if (d > best) best = d;
+  }
+  return best;
+}
+
+}  // namespace dod
+
+#endif  // DOD_COMMON_DISTANCE_H_

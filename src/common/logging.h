@@ -1,0 +1,48 @@
+// Copyright 2026 The DOD Authors.
+//
+// Minimal leveled logger. Intended for diagnostic output of the pipeline and
+// bench harnesses; hot paths must not log.
+
+#ifndef DOD_COMMON_LOGGING_H_
+#define DOD_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dod {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Stream-style log line emitter; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dod
+
+#define DOD_LOG(level)                                                  \
+  ::dod::internal::LogMessage(::dod::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // DOD_COMMON_LOGGING_H_

@@ -1,0 +1,21 @@
+// Copyright 2026 The DOD Authors.
+
+#include "common/point.h"
+
+#include <cstdio>
+
+namespace dod {
+
+std::string Point::ToString() const {
+  std::string out = "(";
+  char buf[32];
+  for (int i = 0; i < dims_; ++i) {
+    std::snprintf(buf, sizeof(buf), "%.6g", coords_[i]);
+    if (i > 0) out += ", ";
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dod

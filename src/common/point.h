@@ -1,0 +1,71 @@
+// Copyright 2026 The DOD Authors.
+//
+// Small fixed-capacity point value type used throughout the library. Bulk
+// point storage lives in `dod::Dataset` (flat, cache-friendly); `Point` is
+// for individual values such as cell corners and generator output.
+
+#ifndef DOD_COMMON_POINT_H_
+#define DOD_COMMON_POINT_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "common/status.h"
+
+namespace dod {
+
+// Maximum dimensionality supported by the library. The paper's evaluation is
+// on 2-d geospatial data; the algorithms generalize to moderate dimensions.
+inline constexpr int kMaxDimensions = 8;
+
+// Index of a point within a Dataset.
+using PointId = uint32_t;
+
+class Point {
+ public:
+  Point() : dims_(0), coords_{} {}
+
+  explicit Point(int dims) : dims_(dims), coords_{} {
+    DOD_CHECK(dims >= 1 && dims <= kMaxDimensions);
+  }
+
+  Point(std::initializer_list<double> values) : dims_(0), coords_{} {
+    DOD_CHECK(values.size() >= 1 &&
+              values.size() <= static_cast<size_t>(kMaxDimensions));
+    for (double v : values) coords_[dims_++] = v;
+  }
+
+  // Constructs from a contiguous coordinate array.
+  Point(const double* values, int dims) : dims_(dims), coords_{} {
+    DOD_CHECK(dims >= 1 && dims <= kMaxDimensions);
+    for (int i = 0; i < dims; ++i) coords_[i] = values[i];
+  }
+
+  int dims() const { return dims_; }
+
+  double operator[](int i) const { return coords_[i]; }
+  double& operator[](int i) { return coords_[i]; }
+
+  const double* data() const { return coords_; }
+  double* data() { return coords_; }
+
+  bool operator==(const Point& other) const {
+    if (dims_ != other.dims_) return false;
+    for (int i = 0; i < dims_; ++i) {
+      if (coords_[i] != other.coords_[i]) return false;
+    }
+    return true;
+  }
+
+  // "(x, y, ...)" with 6 significant digits; for logs and test diagnostics.
+  std::string ToString() const;
+
+ private:
+  int dims_;
+  double coords_[kMaxDimensions];
+};
+
+}  // namespace dod
+
+#endif  // DOD_COMMON_POINT_H_

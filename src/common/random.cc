@@ -1,0 +1,53 @@
+// Copyright 2026 The DOD Authors.
+
+#include "common/random.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace dod {
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  DOD_CHECK(bound > 0);
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = (0ULL - bound) % bound;
+    while (low < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = NextUniform(-1.0, 1.0);
+    v = NextUniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  has_cached_gaussian_ = true;
+  return u * factor;
+}
+
+std::vector<uint32_t> RandomPermutation(size_t n, Rng& rng) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  Shuffle(perm, rng);
+  return perm;
+}
+
+}  // namespace dod

@@ -1,0 +1,136 @@
+// Copyright 2026 The DOD Authors.
+//
+// Error-handling vocabulary for the DOD library.
+//
+// The project does not use C++ exceptions. Fallible operations return
+// `dod::Status` (or `dod::Result<T>` when they also produce a value), and
+// unrecoverable internal invariant violations abort through `DOD_CHECK`.
+
+#ifndef DOD_COMMON_STATUS_H_
+#define DOD_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dod {
+
+// Machine-readable classification of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kIoError,
+};
+
+// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// Value-type status: either OK, or a code plus a diagnostic message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value or an error. `value()` must only be called when `ok()`.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or a non-OK status keeps call sites
+  // terse: `return value;` / `return Status::InvalidArgument(...)`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::Ok()), value_(std::move(value)) {}
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+}  // namespace dod
+
+// Aborts with a diagnostic when `cond` is false. Used for internal
+// invariants that indicate a programming error, never for user input.
+#define DOD_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::dod::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                \
+  } while (0)
+
+#define DOD_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::dod::internal::CheckFailed(__FILE__, __LINE__, #cond, msg);  \
+    }                                                                \
+  } while (0)
+
+// Propagates a non-OK status to the caller.
+#define DOD_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::dod::Status dod_status_ = (expr);        \
+    if (!dod_status_.ok()) return dod_status_; \
+  } while (0)
+
+#endif  // DOD_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+// Copyright 2026 The DOD Authors.
+//
+// Wall-clock stopwatch used for per-task cost measurement in the MapReduce
+// engine and by the bench harnesses.
+
+#ifndef DOD_COMMON_TIMER_H_
+#define DOD_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace dod {
+
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dod
+
+#endif  // DOD_COMMON_TIMER_H_

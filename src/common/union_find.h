@@ -1,0 +1,66 @@
+// Copyright 2026 The DOD Authors.
+//
+// Disjoint-set forest with path compression and union by size. Used by the
+// distributed DBSCAN extension to merge cluster labels across partitions.
+
+#ifndef DOD_COMMON_UNION_FIND_H_
+#define DOD_COMMON_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dod {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  size_t size() const { return parent_.size(); }
+
+  size_t Find(size_t x) {
+    DOD_CHECK(x < parent_.size());
+    size_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      const size_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  // Returns the root of the merged set.
+  size_t Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) return ra;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return ra;
+  }
+
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  // Number of disjoint sets.
+  size_t CountSets() {
+    size_t count = 0;
+    for (size_t i = 0; i < parent_.size(); ++i) {
+      if (Find(i) == i) ++count;
+    }
+    return count;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+};
+
+}  // namespace dod
+
+#endif  // DOD_COMMON_UNION_FIND_H_

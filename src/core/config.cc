@@ -1,0 +1,45 @@
+// Copyright 2026 The DOD Authors.
+
+#include "core/config.h"
+
+namespace dod {
+
+const char* StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kDomain:
+      return "Domain";
+    case StrategyKind::kUniSpace:
+      return "uniSpace";
+    case StrategyKind::kDDriven:
+      return "DDriven";
+    case StrategyKind::kCDriven:
+      return "CDriven";
+    case StrategyKind::kDmt:
+      return "DMT";
+  }
+  return "Unknown";
+}
+
+DodConfig DodConfig::Dmt(DetectionParams params) {
+  DodConfig config;
+  config.params = params;
+  config.strategy = StrategyKind::kDmt;
+  return config;
+}
+
+DodConfig DodConfig::Baseline(DetectionParams params, StrategyKind strategy,
+                              AlgorithmKind algorithm) {
+  DodConfig config;
+  config.params = params;
+  config.strategy = strategy;
+  config.fixed_algorithm = algorithm;
+  return config;
+}
+
+std::string DodConfig::Label() const {
+  if (strategy == StrategyKind::kDmt) return "DMT";
+  return std::string(StrategyKindName(strategy)) + " + " +
+         AlgorithmKindName(fixed_algorithm);
+}
+
+}  // namespace dod

@@ -1,0 +1,75 @@
+// Copyright 2026 The DOD Authors.
+//
+// Top-level configuration of the DOD pipeline: outlier parameters, the
+// partitioning strategy and detector choice, cluster shape, and planner
+// knobs. DodConfig::Dmt() / Baseline() build the configurations evaluated
+// in the paper.
+
+#ifndef DOD_CORE_CONFIG_H_
+#define DOD_CORE_CONFIG_H_
+
+#include <string>
+
+#include "alloc/bin_packing.h"
+#include "detection/cost_model.h"
+#include "dshc/dshc.h"
+#include "mapreduce/cluster.h"
+#include "partition/sampler.h"
+
+namespace dod {
+
+// Which map-side partitioning strategy drives the plan (Sec. VI-A).
+enum class StrategyKind {
+  kDomain,    // no supporting area; needs a verification job
+  kUniSpace,  // equi-width cells + supporting areas
+  kDDriven,   // cardinality-balanced cells
+  kCDriven,   // cost-balanced cells (under the fixed detector's cost model)
+  kDmt,       // density-aware multi-tactic (DSHC + per-partition algorithm)
+};
+
+const char* StrategyKindName(StrategyKind kind);
+
+struct DodConfig {
+  DetectionParams params;
+
+  StrategyKind strategy = StrategyKind::kDmt;
+  // Detector applied to every partition by the non-DMT strategies. DMT
+  // selects per partition via Corollary 4.3 and ignores this field.
+  AlgorithmKind fixed_algorithm = AlgorithmKind::kCellBased;
+
+  // Requested number of partitions m (plans may produce a different count,
+  // e.g. DMT emits one partition per DSHC cluster). 0 (the default) derives
+  // m from the estimated cardinality: ~4000 points per partition, clamped
+  // to [16, 512] — large enough for the detector classes to differ, small
+  // enough to balance across reducers.
+  size_t target_partitions = 0;
+  // Number of reduce tasks R.
+  int num_reduce_tasks = 32;
+  // Number of input blocks / map tasks.
+  size_t num_blocks = 32;
+
+  SamplerOptions sampler;
+  DshcOptions dshc;
+  // LPT by default: Karmarkar–Karp balances the *estimates* more tightly,
+  // but with imperfect cost estimates LPT's greedy slack realizes better
+  // makespans (see bench/abl_allocation).
+  PackingPolicy packing = PackingPolicy::kLpt;
+  ClusterSpec cluster;
+
+  uint64_t seed = 42;
+
+  // The full multi-tactic configuration (DMT partitioning + per-partition
+  // algorithm + cost-based allocation).
+  static DodConfig Dmt(DetectionParams params);
+
+  // A baseline: fixed `strategy` + one detector for all partitions.
+  static DodConfig Baseline(DetectionParams params, StrategyKind strategy,
+                            AlgorithmKind algorithm);
+
+  // Human-readable configuration label, e.g. "CDriven + Nested-Loop".
+  std::string Label() const;
+};
+
+}  // namespace dod
+
+#endif  // DOD_CORE_CONFIG_H_

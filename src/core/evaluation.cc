@@ -1,0 +1,57 @@
+// Copyright 2026 The DOD Authors.
+
+#include "core/evaluation.h"
+
+#include <algorithm>
+
+namespace dod {
+
+double DetectionQuality::precision() const {
+  const size_t reported = true_positives + false_positives;
+  if (reported == 0) return false_negatives == 0 ? 1.0 : 0.0;
+  return static_cast<double>(true_positives) / reported;
+}
+
+double DetectionQuality::recall() const {
+  const size_t expected = true_positives + false_negatives;
+  if (expected == 0) return false_positives == 0 ? 1.0 : 0.0;
+  return static_cast<double>(true_positives) / expected;
+}
+
+double DetectionQuality::f1() const {
+  const double p = precision();
+  const double r = recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+DetectionQuality CompareOutlierSets(const std::vector<PointId>& reported,
+                                    const std::vector<PointId>& expected) {
+  std::vector<PointId> a = reported;
+  std::vector<PointId> b = expected;
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+
+  DetectionQuality quality;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++quality.true_positives;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++quality.false_positives;
+      ++i;
+    } else {
+      ++quality.false_negatives;
+      ++j;
+    }
+  }
+  quality.false_positives += a.size() - i;
+  quality.false_negatives += b.size() - j;
+  return quality;
+}
+
+}  // namespace dod

@@ -1,0 +1,37 @@
+// Copyright 2026 The DOD Authors.
+//
+// Detection-quality evaluation helpers: compare a reported outlier set
+// against ground truth (another detector's output or injected anomalies).
+// Used by examples and tests; the DOD pipeline itself is exact, so these
+// mostly serve application-level questions ("did we catch the injected
+// attacks?") and parameter studies.
+
+#ifndef DOD_CORE_EVALUATION_H_
+#define DOD_CORE_EVALUATION_H_
+
+#include <vector>
+
+#include "common/point.h"
+
+namespace dod {
+
+struct DetectionQuality {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+
+  // 1.0 when nothing was reported and nothing was expected.
+  double precision() const;
+  double recall() const;
+  double f1() const;
+
+  bool exact() const { return false_positives == 0 && false_negatives == 0; }
+};
+
+// Both inputs are sets of point ids; they need not be sorted.
+DetectionQuality CompareOutlierSets(const std::vector<PointId>& reported,
+                                    const std::vector<PointId>& expected);
+
+}  // namespace dod
+
+#endif  // DOD_CORE_EVALUATION_H_

@@ -1,0 +1,367 @@
+// Copyright 2026 The DOD Authors.
+
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "common/distance.h"
+#include "common/timer.h"
+#include "detection/brute_force.h"
+
+namespace dod {
+namespace {
+
+// Shuffle record of the detection job: one point reference plus the core /
+// support tag of Fig. 3 ("0-p" / "1-p").
+struct TaggedPoint {
+  PointId id = 0;
+  bool support = false;
+};
+
+// Wire size of one shuffled record: coordinates + tag + cell id.
+size_t DetectRecordBytes(int dims) {
+  return sizeof(double) * static_cast<size_t>(dims) + 1 + sizeof(uint32_t);
+}
+
+// Map side of the detection job (Fig. 3's map function): route each point
+// of the split's block to its core cell and its supporting cells.
+class DetectMapper : public Mapper<uint32_t, TaggedPoint> {
+ public:
+  DetectMapper(const BlockStore& store, const PartitionPlan& plan,
+               const PartitionRouter& router, bool emit_support)
+      : store_(store),
+        plan_(plan),
+        router_(router),
+        emit_support_(emit_support) {}
+
+  void Map(size_t split_index, Emitter<uint32_t, TaggedPoint>& out) override {
+    const Dataset& data = store_.dataset();
+    for (PointId id : store_.block(split_index)) {
+      const double* p = data[id];
+      out.Emit(router_.RouteCore(p), TaggedPoint{id, false});
+      if (emit_support_) {
+        support_cells_.clear();
+        router_.RouteSupport(p, &support_cells_);
+        for (uint32_t cell : support_cells_) {
+          out.Emit(cell, TaggedPoint{id, true});
+        }
+      }
+    }
+  }
+
+ private:
+  const BlockStore& store_;
+  [[maybe_unused]] const PartitionPlan& plan_;
+  const PartitionRouter& router_;
+  bool emit_support_;
+  std::vector<uint32_t> support_cells_;
+};
+
+// Reduce side when supporting areas are on: verdicts are final.
+class DetectReducer : public Reducer<uint32_t, TaggedPoint, PointId> {
+ public:
+  DetectReducer(const Dataset& data, const MultiTacticPlan& plan,
+                const DetectionParams& params)
+      : data_(data), plan_(plan), params_(params) {}
+
+  void Reduce(const uint32_t& cell, std::vector<TaggedPoint>& values,
+              std::vector<PointId>& out, Counters& counters) override {
+    // Assemble the partition: core points first, then support points.
+    Dataset partition(data_.dims());
+    partition.Reserve(values.size());
+    std::vector<PointId> ids;
+    ids.reserve(values.size());
+    for (const TaggedPoint& v : values) {
+      if (!v.support) {
+        partition.Append(data_[v.id]);
+        ids.push_back(v.id);
+      }
+    }
+    const size_t num_core = ids.size();
+    for (const TaggedPoint& v : values) {
+      if (v.support) partition.Append(data_[v.id]);
+    }
+    if (num_core == 0) return;
+
+    const AlgorithmKind algorithm = plan_.algorithm_plan[cell];
+    const Detector& detector = DetectorFor(algorithm);
+    DetectionParams params = params_;
+    params.seed = params_.seed ^ (0x9E3779B97F4A7C15ULL * (cell + 1));
+    const std::vector<uint32_t> local =
+        detector.DetectOutliers(partition, num_core, params, &counters);
+    for (uint32_t index : local) out.push_back(ids[index]);
+    counters.Increment(std::string("cells.") + AlgorithmKindName(algorithm));
+  }
+
+ private:
+  const Detector& DetectorFor(AlgorithmKind kind) {
+    auto& slot = detectors_[static_cast<size_t>(kind)];
+    if (slot == nullptr) slot = MakeDetector(kind);
+    return *slot;
+  }
+
+  const Dataset& data_;
+  const MultiTacticPlan& plan_;
+  const DetectionParams& params_;
+  std::unique_ptr<Detector> detectors_[3];
+};
+
+// A locally-detected outlier of the Domain baseline: a candidate until the
+// verification job has seen the points of neighboring cells.
+struct Candidate {
+  PointId id = 0;
+  // Neighbors found inside the candidate's own cell (< k by construction).
+  int32_t partial = 0;
+};
+
+// Reduce side without supporting areas (Domain baseline job 1): detect
+// locally; inlier verdicts are final, outliers become candidates carrying
+// their partial neighbor counts.
+class DomainDetectReducer : public Reducer<uint32_t, TaggedPoint, Candidate> {
+ public:
+  DomainDetectReducer(const Dataset& data, const MultiTacticPlan& plan,
+                      const DetectionParams& params)
+      : data_(data), plan_(plan), params_(params) {}
+
+  void Reduce(const uint32_t& cell, std::vector<TaggedPoint>& values,
+              std::vector<Candidate>& out, Counters& counters) override {
+    Dataset partition(data_.dims());
+    partition.Reserve(values.size());
+    std::vector<PointId> ids;
+    ids.reserve(values.size());
+    for (const TaggedPoint& v : values) {
+      partition.Append(data_[v.id]);
+      ids.push_back(v.id);
+    }
+    const AlgorithmKind algorithm = plan_.algorithm_plan[cell];
+    const Detector& detector = DetectorFor(algorithm);
+    DetectionParams params = params_;
+    params.seed = params_.seed ^ (0x9E3779B97F4A7C15ULL * (cell + 1));
+    const std::vector<uint32_t> local = detector.DetectOutliers(
+        partition, partition.size(), params, &counters);
+
+    // Exact partial neighbor count for each candidate (bounded by k).
+    const int dims = data_.dims();
+    for (uint32_t index : local) {
+      const double* p = partition[index];
+      int32_t partial = 0;
+      for (uint32_t j = 0; j < partition.size(); ++j) {
+        if (j == index) continue;
+        if (WithinDistance(p, partition[j], dims, params_.radius)) {
+          ++partial;
+        }
+      }
+      out.push_back(Candidate{ids[index], partial});
+    }
+    counters.Increment("domain.candidates", local.size());
+  }
+
+ private:
+  const Detector& DetectorFor(AlgorithmKind kind) {
+    auto& slot = detectors_[static_cast<size_t>(kind)];
+    if (slot == nullptr) slot = MakeDetector(kind);
+    return *slot;
+  }
+
+  const Dataset& data_;
+  const MultiTacticPlan& plan_;
+  const DetectionParams& params_;
+  std::unique_ptr<Detector> detectors_[3];
+};
+
+// Shuffle record of the verification job.
+struct VerifyRecord {
+  PointId id = 0;
+  int32_t partial = 0;
+  bool is_candidate = false;
+};
+
+// Map side of the verification job: every point is shipped to the
+// neighboring cells whose r-extension contains it — exactly the supporting
+// points the first job skipped. The mappers of this second job run with no
+// knowledge of where job 1 found candidates (shared-nothing: there is no
+// cross-job coordination channel), so the border replication is
+// unconditional; this re-reading and re-distribution is what makes the
+// Domain baseline a multi-job solution with "prohibitive costs" (Sec. I).
+// The first split additionally re-emits the candidates (a small side
+// input) to their home cells.
+class VerifyMapper : public Mapper<uint32_t, VerifyRecord> {
+ public:
+  VerifyMapper(const BlockStore& store, const PartitionRouter& router,
+               const std::vector<Candidate>& candidates)
+      : store_(store), router_(router), candidates_(candidates) {}
+
+  void Map(size_t split_index, Emitter<uint32_t, VerifyRecord>& out) override {
+    const Dataset& data = store_.dataset();
+    if (split_index == 0) {
+      for (const Candidate& candidate : candidates_) {
+        out.Emit(router_.RouteCore(data[candidate.id]),
+                 VerifyRecord{candidate.id, candidate.partial, true});
+      }
+    }
+    for (PointId id : store_.block(split_index)) {
+      const double* p = data[id];
+      support_cells_.clear();
+      router_.RouteSupport(p, &support_cells_);
+      for (uint32_t cell : support_cells_) {
+        out.Emit(cell, VerifyRecord{id, 0, false});
+      }
+    }
+  }
+
+ private:
+  const BlockStore& store_;
+  const PartitionRouter& router_;
+  const std::vector<Candidate>& candidates_;
+  std::vector<uint32_t> support_cells_;
+};
+
+// Reduce side of the verification job: count the candidates' remaining
+// neighbors among the shipped border points.
+class VerifyReducer : public Reducer<uint32_t, VerifyRecord, PointId> {
+ public:
+  VerifyReducer(const Dataset& data, const DetectionParams& params)
+      : data_(data), params_(params) {}
+
+  void Reduce(const uint32_t& /*cell*/, std::vector<VerifyRecord>& values,
+              std::vector<PointId>& out, Counters& counters) override {
+    const int dims = data_.dims();
+    for (const VerifyRecord& candidate : values) {
+      if (!candidate.is_candidate) continue;
+      const double* p = data_[candidate.id];
+      int neighbors = candidate.partial;
+      for (const VerifyRecord& other : values) {
+        if (other.is_candidate) continue;
+        if (WithinDistance(p, data_[other.id], dims, params_.radius)) {
+          if (++neighbors >= params_.min_neighbors) break;
+        }
+      }
+      if (neighbors < params_.min_neighbors) {
+        out.push_back(candidate.id);
+      } else {
+        counters.Increment("domain.rescued_candidates");
+      }
+    }
+  }
+
+ private:
+  const Dataset& data_;
+  const DetectionParams& params_;
+};
+
+}  // namespace
+
+DodResult DodPipeline::Run(const Dataset& data) const {
+  DOD_CHECK(!data.empty());
+  const DodConfig& config = config_;
+  StopWatch wall;
+  DodResult result;
+
+  // ---- Preprocessing job -------------------------------------------------
+  // Distribution estimation (sampling map tasks) + plan generation (single
+  // reducer). Domain / uniSpace need no statistics — only the domain
+  // bounds, which come from dataset metadata — so their preprocessing time
+  // is zero, matching Fig. 10(a).
+  const Rect domain = data.Bounds();
+  BlockStore store(data, config.num_blocks, config.seed ^ 0xB10C);
+
+  const bool needs_sketch = config.strategy == StrategyKind::kDDriven ||
+                            config.strategy == StrategyKind::kCDriven ||
+                            config.strategy == StrategyKind::kDmt;
+  const double sampling_rate =
+      EffectiveSamplingRate(config.sampler, data.size());
+  DistributionSketch sketch{
+      MiniBucketGrid(domain,
+                     EffectiveBucketsPerDim(config.sampler, data.size())),
+      sampling_rate, 0};
+  double preprocess_seconds = 0.0;
+  if (needs_sketch) {
+    // The sampling map tasks scan the full input once; charge the HDFS
+    // read like any other map stage.
+    const double read_bytes_per_second =
+        config.cluster.disk_read_mbps_per_slot * 1e6;
+    std::vector<double> sample_task_seconds;
+    Rng sample_rng(config.sampler.seed ^ config.seed);
+    for (size_t b = 0; b < store.num_blocks(); ++b) {
+      StopWatch task;
+      sketch.sample_size += SampleBlockInto(data, store.block(b),
+                                            sampling_rate, sample_rng,
+                                            &sketch.grid);
+      sample_task_seconds.push_back(
+          task.ElapsedSeconds() +
+          store.block(b).size() * store.BytesPerRecord() /
+              read_bytes_per_second);
+    }
+    preprocess_seconds +=
+        Makespan(sample_task_seconds, config.cluster.map_slots());
+  }
+
+  StopWatch plan_watch;
+  result.plan = BuildMultiTacticPlan(sketch, config);
+  preprocess_seconds += plan_watch.ElapsedSeconds();
+  result.breakdown.preprocess_seconds = preprocess_seconds;
+
+  const PartitionPlan& partition_plan = result.plan.partition_plan;
+  PartitionRouter router(partition_plan);
+  const std::vector<int>& allocation = result.plan.allocation;
+  const std::function<int(const uint32_t&)> partition_fn =
+      [&allocation](const uint32_t& cell) { return allocation[cell]; };
+
+  JobSpec spec;
+  spec.num_reduce_tasks = config.num_reduce_tasks;
+  spec.cluster = config.cluster;
+  spec.split_input_bytes.reserve(store.num_blocks());
+  for (size_t b = 0; b < store.num_blocks(); ++b) {
+    spec.split_input_bytes.push_back(store.block(b).size() *
+                                     store.BytesPerRecord());
+  }
+  const size_t record_bytes = DetectRecordBytes(data.dims());
+
+  // ---- Detection job ------------------------------------------------------
+  if (result.plan.uses_supporting_area) {
+    DetectMapper mapper(store, partition_plan, router, /*emit_support=*/true);
+    DetectReducer reducer(data, result.plan, config.params);
+    JobOutput<PointId> job =
+        RunMapReduce<uint32_t, TaggedPoint, PointId>(
+            store.num_blocks(), mapper, reducer, partition_fn, spec,
+            record_bytes);
+    result.outliers = std::move(job.output);
+    result.detect_stats = std::move(job.stats);
+    result.breakdown.detect = result.detect_stats.stage_times;
+  } else {
+    // Domain baseline: job 1 detects locally, job 2 verifies candidates.
+    DetectMapper mapper(store, partition_plan, router, /*emit_support=*/false);
+    DomainDetectReducer reducer(data, result.plan, config.params);
+    JobOutput<Candidate> job =
+        RunMapReduce<uint32_t, TaggedPoint, Candidate>(
+            store.num_blocks(), mapper, reducer, partition_fn, spec,
+            record_bytes);
+    result.detect_stats = std::move(job.stats);
+    result.breakdown.detect = result.detect_stats.stage_times;
+
+    VerifyMapper verify_mapper(store, router, job.output);
+    VerifyReducer verify_reducer(data, config.params);
+    JobOutput<PointId> verify =
+        RunMapReduce<uint32_t, VerifyRecord, PointId>(
+            store.num_blocks(), verify_mapper, verify_reducer, partition_fn,
+            spec, record_bytes);
+    result.outliers = std::move(verify.output);
+    result.verify_stats = std::move(verify.stats);
+    result.breakdown.verify = result.verify_stats.stage_times;
+  }
+
+  std::sort(result.outliers.begin(), result.outliers.end());
+  result.wall_seconds = wall.ElapsedSeconds();
+  return result;
+}
+
+std::vector<PointId> DetectOutliersCentralized(const Dataset& data,
+                                               AlgorithmKind algorithm,
+                                               const DetectionParams& params) {
+  const std::unique_ptr<Detector> detector = MakeDetector(algorithm);
+  std::vector<uint32_t> local =
+      detector->DetectOutliers(data, data.size(), params, nullptr);
+  return std::vector<PointId>(local.begin(), local.end());
+}
+
+}  // namespace dod

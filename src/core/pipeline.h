@@ -1,0 +1,81 @@
+// Copyright 2026 The DOD Authors.
+//
+// The end-to-end DOD pipeline (Fig. 6):
+//
+//   Job 1 (preprocessing, on a sample): distribution estimation via mini
+//   buckets, then plan generation — partition plan, algorithm plan,
+//   allocation plan.
+//
+//   Job 2 (detection, on the full data): mappers route every point to its
+//   core cell and to every cell whose supporting area contains it (Fig. 3);
+//   the partitioner applies the allocation plan; each reduce task runs the
+//   assigned centralized detector per cell and reports outliers among core
+//   points.
+//
+//   Job 3 (verification, Domain baseline only): without supporting areas,
+//   locally-detected outliers near cell borders are only candidates; a
+//   second pass ships border points to the candidate cells and finalizes
+//   the verdicts.
+//
+// Returns exact distance-threshold outliers plus the per-stage time
+// breakdown the paper's Fig. 10 reports.
+
+#ifndef DOD_CORE_PIPELINE_H_
+#define DOD_CORE_PIPELINE_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/plan.h"
+#include "io/block_store.h"
+#include "mapreduce/job.h"
+
+namespace dod {
+
+struct StageBreakdown {
+  // Sampling (parallel map) + plan generation (single reducer).
+  double preprocess_seconds = 0.0;
+  // Main detection job stages.
+  StageTimes detect;
+  // Verification job stages; all zero except for the Domain baseline.
+  StageTimes verify;
+
+  // Simulated end-to-end execution time.
+  double total() const {
+    return preprocess_seconds + detect.total() + verify.total();
+  }
+};
+
+struct DodResult {
+  // Global ids (into the input dataset) of all outliers, ascending.
+  std::vector<PointId> outliers;
+  StageBreakdown breakdown;
+  JobStats detect_stats;
+  JobStats verify_stats;
+  MultiTacticPlan plan;
+  // Real single-machine wall time of the whole run.
+  double wall_seconds = 0.0;
+};
+
+class DodPipeline {
+ public:
+  explicit DodPipeline(DodConfig config) : config_(std::move(config)) {}
+
+  const DodConfig& config() const { return config_; }
+
+  // Runs the full pipeline on `data`.
+  DodResult Run(const Dataset& data) const;
+
+ private:
+  DodConfig config_;
+};
+
+// Convenience for examples/tests: run one centralized detector over the
+// whole dataset (no distribution).
+std::vector<PointId> DetectOutliersCentralized(const Dataset& data,
+                                               AlgorithmKind algorithm,
+                                               const DetectionParams& params);
+
+}  // namespace dod
+
+#endif  // DOD_CORE_PIPELINE_H_

@@ -1,0 +1,47 @@
+// Copyright 2026 The DOD Authors.
+//
+// The multi-tactic plan (Sec. III-C / Fig. 6): the joint output of the
+// preprocessing job —
+//   step 1: partition plan (map side),
+//   step 2: algorithm plan (reduce side, Def. 3.4),
+//   step 3: allocation plan (partitioner: which partitions go to which
+//           reduce task).
+// For baseline strategies the same structure carries their fixed algorithm
+// and simpler allocations, so the detection job is strategy-agnostic.
+
+#ifndef DOD_CORE_PLAN_H_
+#define DOD_CORE_PLAN_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "partition/minibucket.h"
+#include "partition/partition_plan.h"
+
+namespace dod {
+
+struct MultiTacticPlan {
+  PartitionPlan partition_plan;
+  // Detector per cell (parallel to partition_plan.cells()).
+  std::vector<AlgorithmKind> algorithm_plan;
+  // Reduce task per cell, in [0, num_reduce_tasks).
+  std::vector<int> allocation;
+  // Planner's estimated workload per cell under its assigned algorithm.
+  std::vector<double> estimated_cost;
+  // Whether the detection job replicates support points (false only for
+  // the Domain baseline, which pays a verification job instead).
+  bool uses_supporting_area = true;
+
+  // Estimated per-reduce-task loads under `allocation`.
+  std::vector<double> ReducerLoads(int num_reduce_tasks) const;
+};
+
+// Builds the plan for `config` from the sampled distribution sketch. This
+// is the (centralized, single-reducer) plan-generation stage of the
+// preprocessing job.
+MultiTacticPlan BuildMultiTacticPlan(const DistributionSketch& sketch,
+                                     const DodConfig& config);
+
+}  // namespace dod
+
+#endif  // DOD_CORE_PLAN_H_

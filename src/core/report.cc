@@ -1,0 +1,76 @@
+// Copyright 2026 The DOD Authors.
+
+#include "core/report.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dod {
+namespace {
+
+void Appendf(std::string& out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string& out, const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::string FormatRunSummary(const DodConfig& config, const DodResult& result,
+                             size_t input_points) {
+  std::string out;
+  Appendf(out, "%s: %zu outliers / %zu pts, %.4fs (%zu partitions)",
+          config.Label().c_str(), result.outliers.size(), input_points,
+          result.breakdown.total(), result.plan.partition_plan.num_cells());
+  return out;
+}
+
+std::string FormatRunReport(const DodConfig& config, const DodResult& result,
+                            size_t input_points) {
+  std::string out;
+  Appendf(out, "configuration : %s (r=%g, k=%d)\n", config.Label().c_str(),
+          config.params.radius, config.params.min_neighbors);
+  Appendf(out, "input         : %zu points\n", input_points);
+  Appendf(out, "outliers      : %zu (%.3f%%)\n", result.outliers.size(),
+          input_points > 0
+              ? 100.0 * result.outliers.size() / input_points
+              : 0.0);
+
+  size_t nested_loop = 0, cell_based = 0;
+  for (AlgorithmKind kind : result.plan.algorithm_plan) {
+    (kind == AlgorithmKind::kNestedLoop ? nested_loop : cell_based)++;
+  }
+  Appendf(out, "plan          : %zu partitions (%zu Nested-Loop, %zu "
+               "Cell-Based), support %s\n",
+          result.plan.partition_plan.num_cells(), nested_loop, cell_based,
+          result.plan.uses_supporting_area ? "on" : "off (verify job)");
+
+  Appendf(out, "stage times   : preprocess %.4fs | map %.4fs | shuffle "
+               "%.4fs | reduce %.4fs",
+          result.breakdown.preprocess_seconds,
+          result.breakdown.detect.map_seconds,
+          result.breakdown.detect.shuffle_seconds,
+          result.breakdown.detect.reduce_seconds);
+  if (result.breakdown.verify.total() > 0.0) {
+    Appendf(out, " | verify %.4fs", result.breakdown.verify.total());
+  }
+  Appendf(out, "\nend-to-end    : %.4fs simulated (%.4fs wall)\n",
+          result.breakdown.total(), result.wall_seconds);
+
+  Appendf(out, "data movement : %llu records shuffled (%.2f MB)\n",
+          static_cast<unsigned long long>(
+              result.detect_stats.records_shuffled +
+              result.verify_stats.records_shuffled),
+          (result.detect_stats.bytes_shuffled +
+           result.verify_stats.bytes_shuffled) /
+              1e6);
+  return out;
+}
+
+}  // namespace dod

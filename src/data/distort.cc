@@ -1,0 +1,36 @@
+// Copyright 2026 The DOD Authors.
+
+#include "data/distort.h"
+
+#include "common/random.h"
+
+namespace dod {
+
+Dataset DistortReplicate(const Dataset& base, const DistortOptions& options) {
+  DOD_CHECK(options.copies >= 0);
+  DOD_CHECK(!base.empty());
+  Rng rng(options.seed);
+  const int dims = base.dims();
+  const Rect bounds = base.Bounds();
+  double amplitude[kMaxDimensions];
+  for (int d = 0; d < dims; ++d) {
+    amplitude[d] = options.max_alteration_frac * bounds.Extent(d);
+  }
+
+  Dataset out(dims);
+  out.Reserve(base.size() * (1 + static_cast<size_t>(options.copies)));
+  out.AppendAll(base);
+  Point p(dims);
+  for (int c = 0; c < options.copies; ++c) {
+    for (size_t i = 0; i < base.size(); ++i) {
+      const double* src = base[static_cast<PointId>(i)];
+      for (int d = 0; d < dims; ++d) {
+        p[d] = src[d] + rng.NextUniform(-amplitude[d], amplitude[d]);
+      }
+      out.Append(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace dod

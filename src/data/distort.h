@@ -1,0 +1,31 @@
+// Copyright 2026 The DOD Authors.
+//
+// The paper's 2 TB synthetic dataset tool (Sec. VI-A): "creates a
+// distortion of the original dataset D by replicating each point p in D
+// three times to generate p', p'', p''', each with a random degree of
+// alteration on each dimension". The output holds the original points plus
+// the altered replicas (4× the input size).
+
+#ifndef DOD_DATA_DISTORT_H_
+#define DOD_DATA_DISTORT_H_
+
+#include <cstdint>
+
+#include "common/dataset.h"
+
+namespace dod {
+
+struct DistortOptions {
+  // Replicas generated per input point (paper: 3).
+  int copies = 3;
+  // Maximum per-dimension alteration as a fraction of that dimension's
+  // extent; each replica coordinate is shifted by Uniform(-a, +a).
+  double max_alteration_frac = 0.01;
+  uint64_t seed = 42;
+};
+
+Dataset DistortReplicate(const Dataset& base, const DistortOptions& options);
+
+}  // namespace dod
+
+#endif  // DOD_DATA_DISTORT_H_

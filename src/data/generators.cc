@@ -1,0 +1,85 @@
+// Copyright 2026 The DOD Authors.
+
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dod {
+
+Dataset GenerateUniform(size_t n, const Rect& domain, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(domain.dims());
+  data.Reserve(n);
+  Point p(domain.dims());
+  for (size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < domain.dims(); ++d) {
+      p[d] = rng.NextUniform(domain.lo(d), domain.hi(d));
+    }
+    data.Append(p);
+  }
+  return data;
+}
+
+Dataset GenerateSettlements(size_t n, const Rect& domain,
+                            const SettlementProfile& profile, uint64_t seed) {
+  DOD_CHECK(profile.num_cities >= 1);
+  Rng rng(seed);
+  const int dims = domain.dims();
+
+  // City centers, kept away from the boundary by one sigma.
+  std::vector<Point> centers;
+  double sigma[kMaxDimensions];
+  for (int d = 0; d < dims; ++d) sigma[d] = profile.sigma_frac * domain.Extent(d);
+  for (int c = 0; c < profile.num_cities; ++c) {
+    Point center(dims);
+    for (int d = 0; d < dims; ++d) {
+      const double margin = std::min(sigma[d], 0.25 * domain.Extent(d));
+      center[d] = rng.NextUniform(domain.lo(d) + margin, domain.hi(d) - margin);
+    }
+    centers.push_back(center);
+  }
+
+  // Zipf-like weights over cities: w_c ∝ 1 / (c+1)^s.
+  std::vector<double> cum_weight(centers.size());
+  double total = 0.0;
+  for (size_t c = 0; c < centers.size(); ++c) {
+    total += 1.0 / std::pow(static_cast<double>(c + 1), profile.city_zipf);
+    cum_weight[c] = total;
+  }
+
+  Dataset data(dims);
+  data.Reserve(n);
+  Point p(dims);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(profile.city_fraction)) {
+      // Pick a city by weight, then draw a clamped Gaussian around it.
+      const double u = rng.NextDouble() * total;
+      const size_t c = static_cast<size_t>(
+          std::lower_bound(cum_weight.begin(), cum_weight.end(), u) -
+          cum_weight.begin());
+      const Point& center = centers[std::min(c, centers.size() - 1)];
+      for (int d = 0; d < dims; ++d) {
+        const double x = center[d] + sigma[d] * rng.NextGaussian();
+        p[d] = std::clamp(x, domain.lo(d), domain.hi(d));
+      }
+    } else {
+      for (int d = 0; d < dims; ++d) {
+        p[d] = rng.NextUniform(domain.lo(d), domain.hi(d));
+      }
+    }
+    data.Append(p);
+  }
+  return data;
+}
+
+Rect DomainForDensity(size_t n, double density) {
+  DOD_CHECK(density > 0.0);
+  const double extent = std::sqrt(static_cast<double>(n) / density);
+  return Rect::Cube(2, 0.0, extent);
+}
+
+}  // namespace dod

@@ -1,0 +1,196 @@
+// Copyright 2026 The DOD Authors.
+
+#include "data/geo_like.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "data/generators.h"
+
+namespace dod {
+namespace {
+
+struct RegionConfig {
+  double mean_density;
+  SettlementProfile profile;
+};
+
+RegionConfig ConfigFor(GeoRegion region) {
+  SettlementProfile profile;
+  switch (region) {
+    case GeoRegion::kOhio:
+      // Sparse rural state: few mid-size cities, lots of scattered points.
+      profile.num_cities = 5;
+      profile.city_fraction = 0.55;
+      profile.sigma_frac = 0.06;
+      return RegionConfig{0.012, profile};
+    case GeoRegion::kMassachusetts:
+      // Intermediate: Boston-dominated but with real rural spread.
+      profile.num_cities = 6;
+      profile.city_fraction = 0.7;
+      profile.sigma_frac = 0.05;
+      return RegionConfig{0.06, profile};
+    case GeoRegion::kCalifornia:
+      // Dense: a handful of very large metro areas.
+      profile.num_cities = 8;
+      profile.city_fraction = 0.85;
+      profile.sigma_frac = 0.04;
+      return RegionConfig{0.35, profile};
+    case GeoRegion::kNewYork:
+      // Densest: one dominant metro plus satellites.
+      profile.num_cities = 6;
+      profile.city_fraction = 0.9;
+      profile.sigma_frac = 0.035;
+      profile.city_zipf = 1.4;
+      return RegionConfig{0.6, profile};
+  }
+  return RegionConfig{0.06, profile};
+}
+
+}  // namespace
+
+std::string_view GeoRegionName(GeoRegion region) {
+  switch (region) {
+    case GeoRegion::kOhio:
+      return "OH";
+    case GeoRegion::kMassachusetts:
+      return "MA";
+    case GeoRegion::kCalifornia:
+      return "CA";
+    case GeoRegion::kNewYork:
+      return "NY";
+  }
+  return "??";
+}
+
+Dataset GenerateGeoRegion(GeoRegion region, size_t n, uint64_t seed) {
+  const RegionConfig config = ConfigFor(region);
+  const Rect domain = DomainForDensity(n, config.mean_density);
+  return GenerateSettlements(n, domain, config.profile, seed);
+}
+
+std::string_view MapLevelName(MapLevel level) {
+  switch (level) {
+    case MapLevel::kMassachusetts:
+      return "MA";
+    case MapLevel::kNewEngland:
+      return "NE";
+    case MapLevel::kUnitedStates:
+      return "US";
+    case MapLevel::kPlanet:
+      return "Planet";
+  }
+  return "??";
+}
+
+size_t MapLevelMultiplier(MapLevel level) {
+  switch (level) {
+    case MapLevel::kMassachusetts:
+      return 1;
+    case MapLevel::kNewEngland:
+      return 3;
+    case MapLevel::kUnitedStates:
+      return 16;
+    case MapLevel::kPlanet:
+      return 64;
+  }
+  return 1;
+}
+
+Dataset GenerateHierarchical(MapLevel level, size_t base_n, uint64_t seed) {
+  if (level == MapLevel::kMassachusetts) {
+    return GenerateGeoRegion(GeoRegion::kMassachusetts, base_n, seed);
+  }
+
+  int sub_regions = 0;
+  switch (level) {
+    case MapLevel::kNewEngland:
+      sub_regions = 4;
+      break;
+    case MapLevel::kUnitedStates:
+      sub_regions = 12;
+      break;
+    case MapLevel::kPlanet:
+      sub_regions = 32;
+      break;
+    case MapLevel::kMassachusetts:
+      sub_regions = 1;
+      break;
+  }
+  const size_t total_n = base_n * MapLevelMultiplier(level);
+
+  Rng rng(seed);
+  // Zipf point counts across sub-regions → strong size skew at scale.
+  std::vector<double> weights(static_cast<size_t>(sub_regions));
+  double total_weight = 0.0;
+  for (int s = 0; s < sub_regions; ++s) {
+    weights[static_cast<size_t>(s)] =
+        1.0 / std::pow(static_cast<double>(s + 1), 0.8);
+    total_weight += weights[static_cast<size_t>(s)];
+  }
+
+  // Sub-regions live on a sparse tile mosaic: tiles leave empty space
+  // between regions (oceans / unpopulated land), which is where the skew
+  // that defeats uniform partitioning comes from.
+  const int tiles_per_side =
+      static_cast<int>(std::ceil(std::sqrt(static_cast<double>(sub_regions))));
+  std::vector<uint32_t> tile_order =
+      RandomPermutation(static_cast<size_t>(tiles_per_side * tiles_per_side),
+                        rng);
+
+  // Size each sub-region's domain from a log-uniform density draw covering
+  // the sparse-to-dense spectrum, then place it inside its tile.
+  Dataset data(2);
+  data.Reserve(total_n);
+  size_t emitted = 0;
+  double tile_extent = 0.0;
+  // First pass: compute the largest sub-region extent to size the tiles.
+  struct SubRegion {
+    size_t n;
+    double density;
+    SettlementProfile profile;
+    uint64_t seed;
+  };
+  std::vector<SubRegion> subs;
+  double max_extent = 0.0;
+  for (int s = 0; s < sub_regions; ++s) {
+    SubRegion sub;
+    const double frac = weights[static_cast<size_t>(s)] / total_weight;
+    sub.n = s + 1 == sub_regions
+                ? total_n - emitted
+                : static_cast<size_t>(frac * total_n);
+    emitted += sub.n;
+    // Density log-uniform in [0.008, 0.8].
+    sub.density = 0.008 * std::pow(100.0, rng.NextDouble());
+    sub.profile.num_cities = 3 + static_cast<int>(rng.NextBounded(8));
+    sub.profile.city_fraction = rng.NextUniform(0.55, 0.9);
+    sub.profile.sigma_frac = rng.NextUniform(0.03, 0.07);
+    sub.seed = rng.NextUint64();
+    if (sub.n > 0) {
+      max_extent = std::max(
+          max_extent, std::sqrt(static_cast<double>(sub.n) / sub.density));
+    }
+    subs.push_back(sub);
+  }
+  // Tiles 1.5× the largest region leave gaps between neighbors.
+  tile_extent = 1.5 * max_extent;
+
+  for (int s = 0; s < sub_regions; ++s) {
+    const SubRegion& sub = subs[static_cast<size_t>(s)];
+    if (sub.n == 0) continue;
+    const uint32_t tile = tile_order[static_cast<size_t>(s)];
+    const int tx = static_cast<int>(tile) % tiles_per_side;
+    const int ty = static_cast<int>(tile) / tiles_per_side;
+    const double extent =
+        std::sqrt(static_cast<double>(sub.n) / sub.density);
+    const double ox = tx * tile_extent + rng.NextUniform(0.0, tile_extent - extent);
+    const double oy = ty * tile_extent + rng.NextUniform(0.0, tile_extent - extent);
+    const Rect domain(Point{ox, oy}, Point{ox + extent, oy + extent});
+    Dataset region = GenerateSettlements(sub.n, domain, sub.profile, sub.seed);
+    data.AppendAll(region);
+  }
+  return data;
+}
+
+}  // namespace dod

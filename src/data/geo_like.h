@@ -1,0 +1,62 @@
+// Copyright 2026 The DOD Authors.
+//
+// Geo-like workloads standing in for the paper's OpenStreetMap extracts
+// (Sec. VI-A):
+//
+//  * Four equal-cardinality regional segments — Ohio, Massachusetts,
+//    California, New York — that differ strongly in density: "New York and
+//    California are very dense, Ohio is relatively sparse, and
+//    Massachusetts is in the middle".
+//  * A hierarchical family Massachusetts → New England → United States →
+//    Planet whose cardinality grows by ~two orders of magnitude and whose
+//    skew grows with it (more sub-regions of wildly differing density).
+//
+// Densities are calibrated (see generators.h) so that with r = 5, k = 4 the
+// regions land in the same Lemma 4.2 regimes as the paper observes: Ohio in
+// the sparse/Nested-Loop crossover, CA/NY deep in the dense Cell-Based
+// regime, MA in between.
+
+#ifndef DOD_DATA_GEO_LIKE_H_
+#define DOD_DATA_GEO_LIKE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/dataset.h"
+
+namespace dod {
+
+enum class GeoRegion {
+  kOhio,          // sparse
+  kMassachusetts, // intermediate
+  kCalifornia,    // dense
+  kNewYork,       // densest
+};
+
+std::string_view GeoRegionName(GeoRegion region);
+
+// One regional segment with `n` points (the paper uses equal sizes across
+// the four regions).
+Dataset GenerateGeoRegion(GeoRegion region, size_t n, uint64_t seed);
+
+enum class MapLevel {
+  kMassachusetts,
+  kNewEngland,
+  kUnitedStates,
+  kPlanet,
+};
+
+std::string_view MapLevelName(MapLevel level);
+
+// Cardinality multiplier of `level` relative to the Massachusetts base
+// (paper: 30 M → 4 B, ~133×; we use 1/3/16/64 at bench scale).
+size_t MapLevelMultiplier(MapLevel level);
+
+// Hierarchical dataset: `base_n * MapLevelMultiplier(level)` points spread
+// over an increasingly large and skewed mosaic of settlement sub-regions
+// separated by empty space.
+Dataset GenerateHierarchical(MapLevel level, size_t base_n, uint64_t seed);
+
+}  // namespace dod
+
+#endif  // DOD_DATA_GEO_LIKE_H_

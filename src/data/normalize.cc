@@ -1,0 +1,63 @@
+// Copyright 2026 The DOD Authors.
+
+#include "data/normalize.h"
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace dod {
+
+Dataset NormalizationTransform::Apply(const Dataset& data) const {
+  DOD_CHECK(static_cast<size_t>(data.dims()) == offset.size());
+  Dataset out(data.dims());
+  out.Reserve(data.size());
+  Point p(data.dims());
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double* src = data[static_cast<PointId>(i)];
+    for (int d = 0; d < data.dims(); ++d) {
+      p[d] = (src[d] - offset[d]) * scale[d];
+    }
+    out.Append(p);
+  }
+  return out;
+}
+
+Point NormalizationTransform::Invert(const Point& p) const {
+  DOD_CHECK(static_cast<size_t>(p.dims()) == offset.size());
+  Point out(p.dims());
+  for (int d = 0; d < p.dims(); ++d) {
+    out[d] = scale[d] != 0.0 ? p[d] / scale[d] + offset[d] : offset[d];
+  }
+  return out;
+}
+
+NormalizationTransform FitMinMax(const Dataset& data, double range) {
+  DOD_CHECK(!data.empty());
+  DOD_CHECK(range > 0.0);
+  const Rect bounds = data.Bounds();
+  NormalizationTransform transform;
+  for (int d = 0; d < data.dims(); ++d) {
+    transform.offset.push_back(bounds.lo(d));
+    const double extent = bounds.Extent(d);
+    transform.scale.push_back(extent > 0.0 ? range / extent : 0.0);
+  }
+  return transform;
+}
+
+NormalizationTransform FitZScore(const Dataset& data) {
+  DOD_CHECK(!data.empty());
+  NormalizationTransform transform;
+  for (int d = 0; d < data.dims(); ++d) {
+    RunningStats stats;
+    for (size_t i = 0; i < data.size(); ++i) {
+      stats.Add(data[static_cast<PointId>(i)][d]);
+    }
+    transform.offset.push_back(stats.mean());
+    const double stddev = stats.stddev();
+    transform.scale.push_back(stddev > 0.0 ? 1.0 / stddev : 0.0);
+  }
+  return transform;
+}
+
+}  // namespace dod

@@ -1,0 +1,40 @@
+// Copyright 2026 The DOD Authors.
+//
+// Feature normalization. Distance-based outlier semantics are sensitive to
+// per-dimension scale: a single radius r is meaningless when one feature
+// spans [0, 1] and another [0, 10^6]. These helpers rescale datasets before
+// detection, the standard preprocessing for feature-space workloads (e.g.
+// the intrusion-detection example).
+
+#ifndef DOD_DATA_NORMALIZE_H_
+#define DOD_DATA_NORMALIZE_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+
+namespace dod {
+
+// Per-dimension affine transform x → (x - offset) * scale.
+struct NormalizationTransform {
+  std::vector<double> offset;
+  std::vector<double> scale;
+
+  // Applies the transform to a dataset (same dimensionality).
+  Dataset Apply(const Dataset& data) const;
+
+  // Maps a point back to the original space.
+  Point Invert(const Point& p) const;
+};
+
+// Min-max normalization onto [0, range] per dimension. Degenerate
+// dimensions (zero extent) map to 0.
+NormalizationTransform FitMinMax(const Dataset& data, double range = 1.0);
+
+// Z-score standardization: zero mean, unit standard deviation per
+// dimension. Degenerate dimensions (zero variance) map to 0.
+NormalizationTransform FitZScore(const Dataset& data);
+
+}  // namespace dod
+
+#endif  // DOD_DATA_NORMALIZE_H_

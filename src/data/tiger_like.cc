@@ -1,0 +1,75 @@
+// Copyright 2026 The DOD Authors.
+
+#include "data/tiger_like.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "data/generators.h"
+
+namespace dod {
+
+Dataset GenerateRoadNetwork(size_t n, const Rect& domain,
+                            const RoadNetworkProfile& profile, uint64_t seed) {
+  DOD_CHECK(domain.dims() == 2);
+  DOD_CHECK(profile.num_roads >= 1);
+  Rng rng(seed);
+
+  struct Road {
+    double x0, y0, dx, dy;  // start + full-length direction vector
+  };
+  const double extent = std::max(domain.Extent(0), domain.Extent(1));
+  std::vector<Road> roads;
+  std::vector<double> cum_weight;
+  double total_weight = 0.0;
+  for (int r = 0; r < profile.num_roads; ++r) {
+    Road road;
+    road.x0 = rng.NextUniform(domain.lo(0), domain.hi(0));
+    road.y0 = rng.NextUniform(domain.lo(1), domain.hi(1));
+    const double angle = rng.NextUniform(0.0, 2.0 * M_PI);
+    const double length =
+        extent * rng.NextUniform(profile.min_length_frac,
+                                 profile.max_length_frac);
+    road.dx = std::cos(angle) * length;
+    road.dy = std::sin(angle) * length;
+    roads.push_back(road);
+    total_weight += 1.0 / std::pow(static_cast<double>(r + 1),
+                                   profile.road_zipf);
+    cum_weight.push_back(total_weight);
+  }
+
+  const double jitter = profile.jitter_frac * extent;
+  Dataset data(2);
+  data.Reserve(n);
+  Point p(2);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(profile.road_fraction)) {
+      const double u = rng.NextDouble() * total_weight;
+      const size_t r = static_cast<size_t>(
+          std::lower_bound(cum_weight.begin(), cum_weight.end(), u) -
+          cum_weight.begin());
+      const Road& road = roads[std::min(r, roads.size() - 1)];
+      const double t = rng.NextDouble();
+      p[0] = std::clamp(road.x0 + t * road.dx + jitter * rng.NextGaussian(),
+                        domain.lo(0), domain.hi(0));
+      p[1] = std::clamp(road.y0 + t * road.dy + jitter * rng.NextGaussian(),
+                        domain.lo(1), domain.hi(1));
+    } else {
+      p[0] = rng.NextUniform(domain.lo(0), domain.hi(0));
+      p[1] = rng.NextUniform(domain.lo(1), domain.hi(1));
+    }
+    data.Append(p);
+  }
+  return data;
+}
+
+Dataset GenerateTigerLike(size_t n, uint64_t seed) {
+  // Sparse overall (ρ ≈ 0.02) with very dense corridors.
+  const Rect domain = DomainForDensity(n, 0.02);
+  RoadNetworkProfile profile;
+  return GenerateRoadNetwork(n, domain, profile, seed);
+}
+
+}  // namespace dod

@@ -1,0 +1,42 @@
+// Copyright 2026 The DOD Authors.
+//
+// TIGER-like workload: the Census Bureau's TIGER extracts are dominated by
+// line features (roads, railroads, rivers). We model them as dense polyline
+// corridors — points jittered around randomly placed road segments — over a
+// sparse rural background. The result mixes extremely dense 1-d-like
+// corridors with near-empty countryside, the distribution on which the
+// paper reports DMT's largest win (up to 20×, Fig. 10b).
+
+#ifndef DOD_DATA_TIGER_LIKE_H_
+#define DOD_DATA_TIGER_LIKE_H_
+
+#include <cstdint>
+
+#include "common/dataset.h"
+
+namespace dod {
+
+struct RoadNetworkProfile {
+  int num_roads = 40;
+  // Fraction of points on roads; the rest is uniform rural noise.
+  double road_fraction = 0.92;
+  // Gaussian jitter around the road center-line, as a fraction of the
+  // domain extent.
+  double jitter_frac = 0.002;
+  // Road length range as fractions of the domain extent.
+  double min_length_frac = 0.1;
+  double max_length_frac = 0.6;
+  // Zipf skew of traffic across roads (highways vs lanes).
+  double road_zipf = 1.0;
+};
+
+Dataset GenerateRoadNetwork(size_t n, const Rect& domain,
+                            const RoadNetworkProfile& profile, uint64_t seed);
+
+// The default TIGER-like bench dataset: `n` points with corridor structure
+// at an overall sparse mean density.
+Dataset GenerateTigerLike(size_t n, uint64_t seed);
+
+}  // namespace dod
+
+#endif  // DOD_DATA_TIGER_LIKE_H_

@@ -1,0 +1,35 @@
+// Copyright 2026 The DOD Authors.
+
+#include "detection/brute_force.h"
+
+#include "common/distance.h"
+
+namespace dod {
+
+std::vector<uint32_t> BruteForceDetector::DetectOutliers(
+    const Dataset& points, size_t num_core, const DetectionParams& params,
+    Counters* counters) const {
+  DOD_CHECK(num_core <= points.size());
+  std::vector<uint32_t> outliers;
+  const int dims = points.dims();
+  const size_t n = points.size();
+  uint64_t distance_evals = 0;
+  for (uint32_t i = 0; i < num_core; ++i) {
+    const double* p = points[i];
+    int neighbors = 0;
+    for (uint32_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      ++distance_evals;
+      if (WithinDistance(p, points[j], dims, params.radius)) {
+        if (++neighbors >= params.min_neighbors) break;
+      }
+    }
+    if (neighbors < params.min_neighbors) outliers.push_back(i);
+  }
+  if (counters != nullptr) {
+    counters->Increment("brute_force.distance_evals", distance_evals);
+  }
+  return outliers;
+}
+
+}  // namespace dod

@@ -1,0 +1,27 @@
+// Copyright 2026 The DOD Authors.
+//
+// Exact reference detector: counts neighbors by a full deterministic scan
+// (with early exit at k). Serves as the oracle in tests and as a baseline.
+
+#ifndef DOD_DETECTION_BRUTE_FORCE_H_
+#define DOD_DETECTION_BRUTE_FORCE_H_
+
+#include "detection/detector.h"
+
+namespace dod {
+
+class BruteForceDetector : public Detector {
+ public:
+  using Detector::DetectOutliers;
+
+  std::string_view name() const override { return "BruteForce"; }
+  AlgorithmKind kind() const override { return AlgorithmKind::kBruteForce; }
+
+  std::vector<uint32_t> DetectOutliers(const Dataset& points, size_t num_core,
+                                       const DetectionParams& params,
+                                       Counters* counters) const override;
+};
+
+}  // namespace dod
+
+#endif  // DOD_DETECTION_BRUTE_FORCE_H_

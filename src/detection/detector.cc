@@ -1,0 +1,35 @@
+// Copyright 2026 The DOD Authors.
+
+#include "detection/detector.h"
+
+#include "detection/brute_force.h"
+#include "detection/cell_based.h"
+#include "detection/nested_loop.h"
+
+namespace dod {
+
+const char* AlgorithmKindName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kNestedLoop:
+      return "Nested-Loop";
+    case AlgorithmKind::kCellBased:
+      return "Cell-Based";
+    case AlgorithmKind::kBruteForce:
+      return "BruteForce";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<Detector> MakeDetector(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kNestedLoop:
+      return std::make_unique<NestedLoopDetector>();
+    case AlgorithmKind::kCellBased:
+      return std::make_unique<CellBasedDetector>();
+    case AlgorithmKind::kBruteForce:
+      return std::make_unique<BruteForceDetector>();
+  }
+  return nullptr;
+}
+
+}  // namespace dod

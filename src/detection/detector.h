@@ -1,0 +1,74 @@
+// Copyright 2026 The DOD Authors.
+//
+// Centralized distance-threshold outlier detectors (Def. 2.2): point p is an
+// outlier iff |N_r(p)| < k, with N_r(p) the points within distance r of p
+// (self excluded).
+//
+// Detectors operate on one partition at a time. A partition's dataset stores
+// its core points first, followed by the replicated support points
+// (Sec. III); only core points receive an outlier verdict, while every point
+// — core or support — counts as a potential neighbor.
+
+#ifndef DOD_DETECTION_DETECTOR_H_
+#define DOD_DETECTION_DETECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/dataset.h"
+#include "mapreduce/counters.h"
+
+namespace dod {
+
+// The two parameters of the distance-threshold outlier definition.
+struct DetectionParams {
+  // Distance threshold r (Def. 2.1).
+  double radius = 1.0;
+  // Neighbor-count threshold k (Def. 2.2).
+  int min_neighbors = 1;
+  // Seed for detectors with randomized probe order (Nested-Loop).
+  uint64_t seed = 42;
+};
+
+// Which centralized detection algorithm to run on a partition — the unit of
+// choice in the paper's algorithm plan (Def. 3.4).
+enum class AlgorithmKind {
+  kNestedLoop,
+  kCellBased,
+  // Exact reference oracle; not part of the paper's candidate set A, used by
+  // tests and as a conservative fallback.
+  kBruteForce,
+};
+
+const char* AlgorithmKindName(AlgorithmKind kind);
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual AlgorithmKind kind() const = 0;
+
+  // Returns the local indices (into `points`, all < num_core) of the core
+  // points that are outliers, in increasing order. `counters`, when
+  // non-null, accrues per-algorithm work counters (distance computations,
+  // pruned cells, ...).
+  virtual std::vector<uint32_t> DetectOutliers(const Dataset& points,
+                                               size_t num_core,
+                                               const DetectionParams& params,
+                                               Counters* counters) const = 0;
+
+  std::vector<uint32_t> DetectOutliers(const Dataset& points, size_t num_core,
+                                       const DetectionParams& params) const {
+    return DetectOutliers(points, num_core, params, nullptr);
+  }
+};
+
+// Factory over the algorithm candidate set.
+std::unique_ptr<Detector> MakeDetector(AlgorithmKind kind);
+
+}  // namespace dod
+
+#endif  // DOD_DETECTION_DETECTOR_H_

@@ -1,0 +1,47 @@
+// Copyright 2026 The DOD Authors.
+
+#include "detection/grid.h"
+
+#include <cmath>
+
+namespace dod {
+
+SparseGrid::SparseGrid(Point origin, double side)
+    : origin_(origin), side_(side) {
+  DOD_CHECK(side > 0.0);
+  DOD_CHECK(origin.dims() >= 1);
+}
+
+CellCoord SparseGrid::CoordOf(const double* p) const {
+  CellCoord coord;
+  coord.dims = dims();
+  for (int i = 0; i < dims(); ++i) {
+    coord.c[i] = static_cast<int32_t>(std::floor((p[i] - origin_[i]) / side_));
+  }
+  return coord;
+}
+
+void SparseGrid::Insert(const double* p, uint32_t id) {
+  const CellCoord coord = CoordOf(p);
+  auto [it, inserted] =
+      index_.try_emplace(coord, static_cast<uint32_t>(cells_.size()));
+  if (inserted) {
+    cells_.push_back(Cell{coord, {}});
+  }
+  cells_[it->second].points.push_back(id);
+}
+
+const SparseGrid::Cell* SparseGrid::Find(const CellCoord& coord) const {
+  auto it = index_.find(coord);
+  if (it == index_.end()) return nullptr;
+  return &cells_[it->second];
+}
+
+size_t SparseGrid::CountBlock(const CellCoord& coord, int ring_radius) const {
+  size_t total = 0;
+  ForEachCellInBlock(coord, 0, ring_radius,
+                     [&](const Cell& cell) { total += cell.points.size(); });
+  return total;
+}
+
+}  // namespace dod

@@ -1,0 +1,115 @@
+// Copyright 2026 The DOD Authors.
+//
+// Sparse uniform grid over d-dimensional space. Cells are addressed by
+// integer coordinates relative to an anchor; only non-empty cells are
+// materialized. Used by the Cell-Based detector (Knorr & Ng) and by the DMT
+// mini-bucket statistics.
+
+#ifndef DOD_DETECTION_GRID_H_
+#define DOD_DETECTION_GRID_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/point.h"
+#include "common/status.h"
+
+namespace dod {
+
+// Integer cell address. Only the first `dims` entries are meaningful.
+struct CellCoord {
+  int32_t c[kMaxDimensions] = {0};
+  int dims = 0;
+
+  bool operator==(const CellCoord& other) const {
+    if (dims != other.dims) return false;
+    for (int i = 0; i < dims; ++i) {
+      if (c[i] != other.c[i]) return false;
+    }
+    return true;
+  }
+};
+
+struct CellCoordHash {
+  size_t operator()(const CellCoord& coord) const {
+    // FNV-1a over the used coordinates.
+    uint64_t h = 1469598103934665603ULL;
+    for (int i = 0; i < coord.dims; ++i) {
+      h ^= static_cast<uint32_t>(coord.c[i]);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+class SparseGrid {
+ public:
+  struct Cell {
+    CellCoord coord;
+    std::vector<uint32_t> points;
+  };
+
+  // Grid of side `side` anchored at `origin` (coordinates of cell (0,..,0)'s
+  // lower corner).
+  SparseGrid(Point origin, double side);
+
+  int dims() const { return origin_.dims(); }
+  double side() const { return side_; }
+
+  CellCoord CoordOf(const double* p) const;
+
+  // Inserts point `id` with coordinates `p`.
+  void Insert(const double* p, uint32_t id);
+
+  // All non-empty cells, in insertion order of their first point.
+  const std::vector<Cell>& cells() const { return cells_; }
+
+  // Pointer to the cell at `coord`, or nullptr when empty. Stable until the
+  // next Insert.
+  const Cell* Find(const CellCoord& coord) const;
+
+  // Number of points within Chebyshev cell-distance `ring_radius` of `coord`
+  // (the (2·ring_radius+1)^d block centered on `coord`). Counts only
+  // materialized cells, including `coord` itself.
+  size_t CountBlock(const CellCoord& coord, int ring_radius) const;
+
+  // Invokes `fn(cell)` for every non-empty cell in the block of Chebyshev
+  // radius `ring_radius` around `coord` whose Chebyshev distance is in
+  // [min_ring, ring_radius]. Pass min_ring=0 to include the center cell.
+  template <typename Fn>
+  void ForEachCellInBlock(const CellCoord& coord, int min_ring,
+                          int ring_radius, Fn&& fn) const {
+    CellCoord probe;
+    probe.dims = coord.dims;
+    VisitBlock(coord, min_ring, ring_radius, 0, 0, probe, fn);
+  }
+
+ private:
+  template <typename Fn>
+  void VisitBlock(const CellCoord& center, int min_ring, int max_ring,
+                  int dim, int cheby_so_far, CellCoord& probe,
+                  Fn&& fn) const {
+    if (dim == center.dims) {
+      if (cheby_so_far < min_ring) return;
+      const Cell* cell = Find(probe);
+      if (cell != nullptr) fn(*cell);
+      return;
+    }
+    for (int off = -max_ring; off <= max_ring; ++off) {
+      probe.c[dim] = center.c[dim] + off;
+      const int cheby = std::max(cheby_so_far, off < 0 ? -off : off);
+      VisitBlock(center, min_ring, max_ring, dim + 1, cheby, probe, fn);
+    }
+  }
+
+  Point origin_;
+  double side_;
+  std::vector<Cell> cells_;
+  std::unordered_map<CellCoord, uint32_t, CellCoordHash> index_;
+};
+
+}  // namespace dod
+
+#endif  // DOD_DETECTION_GRID_H_

@@ -1,0 +1,65 @@
+// Copyright 2026 The DOD Authors.
+
+#include "detection/nested_loop.h"
+
+#include "common/distance.h"
+#include "common/random.h"
+
+namespace dod {
+
+std::vector<uint32_t> NestedLoopDetector::DetectOutliers(
+    const Dataset& points, size_t num_core, const DetectionParams& params,
+    Counters* counters) const {
+  DOD_CHECK(num_core <= points.size());
+  const int dims = points.dims();
+  const size_t n = points.size();
+  std::vector<uint32_t> outliers;
+  if (n == 0) return outliers;
+
+  // "Evaluate ... in random order" is realized the way a scan over
+  // randomly-stored data does it: the points are materialized once in a
+  // random permutation and each probe sequence is a linear scan of that
+  // buffer from a per-point random offset. One O(n) copy up front buys
+  // sequential (cache-friendly) probing, and the shared permutation matches
+  // the Lemma 4.1 cost model's independence assumption.
+  Rng rng(params.seed);
+  const std::vector<uint32_t> order = RandomPermutation(n, rng);
+  std::vector<double> probe_coords(n * static_cast<size_t>(dims));
+  for (size_t j = 0; j < n; ++j) {
+    const double* src = points[order[j]];
+    double* dst = probe_coords.data() + j * static_cast<size_t>(dims);
+    for (int d = 0; d < dims; ++d) dst[d] = src[d];
+  }
+
+  const double radius = params.radius;
+  const int k = params.min_neighbors;
+  uint64_t distance_evals = 0;
+  for (uint32_t i = 0; i < num_core; ++i) {
+    const double* p = points[i];
+    const size_t start = rng.NextBounded(n);
+    int neighbors = 0;
+    bool inlier = false;
+    // Two sequential sweeps: [start, n) then [0, start).
+    for (int sweep = 0; sweep < 2 && !inlier; ++sweep) {
+      const size_t begin = sweep == 0 ? start : 0;
+      const size_t end = sweep == 0 ? n : start;
+      for (size_t j = begin; j < end; ++j) {
+        if (order[j] == i) continue;
+        ++distance_evals;
+        if (WithinDistance(p, probe_coords.data() + j * dims, dims, radius)) {
+          if (++neighbors >= k) {
+            inlier = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!inlier) outliers.push_back(i);
+  }
+  if (counters != nullptr) {
+    counters->Increment("nested_loop.distance_evals", distance_evals);
+  }
+  return outliers;
+}
+
+}  // namespace dod

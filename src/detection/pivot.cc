@@ -1,0 +1,92 @@
+// Copyright 2026 The DOD Authors.
+
+#include "detection/pivot.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/distance.h"
+#include "common/random.h"
+
+namespace dod {
+
+std::vector<uint32_t> PivotDetector::DetectOutliers(
+    const Dataset& points, size_t num_core, const DetectionParams& params,
+    Counters* counters) const {
+  DOD_CHECK(num_core <= points.size());
+  std::vector<uint32_t> outliers;
+  const size_t n = points.size();
+  if (n == 0) return outliers;
+  const int dims = points.dims();
+  const int pivots = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(num_pivots_), n));
+
+  // Pivot selection: a random point first, then farthest-point refinement
+  // (maximizes spread, the standard pivot heuristic).
+  Rng rng(params.seed);
+  std::vector<uint32_t> pivot_ids;
+  pivot_ids.push_back(static_cast<uint32_t>(rng.NextBounded(n)));
+  std::vector<double> nearest(n, 1e300);
+  for (int p = 1; p < pivots; ++p) {
+    const double* prev = points[pivot_ids.back()];
+    uint32_t farthest = 0;
+    double best = -1.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      nearest[i] =
+          std::min(nearest[i], SquaredEuclidean(points[i], prev, dims));
+      if (nearest[i] > best) {
+        best = nearest[i];
+        farthest = i;
+      }
+    }
+    pivot_ids.push_back(farthest);
+  }
+
+  // Distance table: point → pivots, flat row-major.
+  std::vector<double> pivot_dist(n * static_cast<size_t>(pivots));
+  for (uint32_t i = 0; i < n; ++i) {
+    for (int p = 0; p < pivots; ++p) {
+      pivot_dist[i * pivots + static_cast<size_t>(p)] =
+          Euclidean(points[i], points[pivot_ids[static_cast<size_t>(p)]],
+                    dims);
+    }
+  }
+
+  const double radius = params.radius;
+  const int k = params.min_neighbors;
+  uint64_t distance_evals = 0, pruned = 0;
+  for (uint32_t i = 0; i < num_core; ++i) {
+    const double* p = points[i];
+    const double* pd = &pivot_dist[i * pivots];
+    int neighbors = 0;
+    bool inlier = false;
+    for (uint32_t j = 0; j < n && !inlier; ++j) {
+      if (j == i) continue;
+      // Triangle-inequality lower bound via each pivot.
+      const double* qd = &pivot_dist[j * pivots];
+      bool skip = false;
+      for (int t = 0; t < pivots; ++t) {
+        if (std::fabs(pd[t] - qd[t]) > radius) {
+          skip = true;
+          break;
+        }
+      }
+      if (skip) {
+        ++pruned;
+        continue;
+      }
+      ++distance_evals;
+      if (WithinDistance(p, points[j], dims, radius)) {
+        if (++neighbors >= k) inlier = true;
+      }
+    }
+    if (!inlier) outliers.push_back(i);
+  }
+  if (counters != nullptr) {
+    counters->Increment("pivot.distance_evals", distance_evals);
+    counters->Increment("pivot.pruned_pairs", pruned);
+  }
+  return outliers;
+}
+
+}  // namespace dod

@@ -1,0 +1,48 @@
+// Copyright 2026 The DOD Authors.
+
+#include "dshc/aggregate_feature.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dod {
+
+std::string AggregateFeature::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "AF{n=%.1f, density=%.4g, box=",
+                num_points, density());
+  return std::string(buf) + bounds.ToString() + "}";
+}
+
+bool FormsRectangle(const Rect& a, const Rect& b, double eps) {
+  if (a.dims() != b.dims()) return false;
+  int touching_dim = -1;
+  for (int d = 0; d < a.dims(); ++d) {
+    const bool same_lo = std::fabs(a.lo(d) - b.lo(d)) <= eps;
+    const bool same_hi = std::fabs(a.hi(d) - b.hi(d)) <= eps;
+    if (same_lo && same_hi) continue;  // aligned in this dimension
+    // At most one non-aligned dimension, and there the boxes must touch.
+    if (touching_dim >= 0) return false;
+    const bool touches = std::fabs(a.hi(d) - b.lo(d)) <= eps ||
+                         std::fabs(b.hi(d) - a.lo(d)) <= eps;
+    if (!touches) return false;
+    touching_dim = d;
+  }
+  // Identical boxes (touching_dim == -1) are not a valid merge geometry for
+  // disjoint clusters; require exactly one touching dimension.
+  return touching_dim >= 0;
+}
+
+bool MergingCriteria::CanMerge(const AggregateFeature& a,
+                               const AggregateFeature& b) const {
+  if (std::fabs(a.density() - b.density()) >= t_diff) return false;
+  if (!FormsRectangle(a.bounds, b.bounds, eps)) return false;
+  if (a.num_points + b.num_points >= t_max_points) return false;
+  if (cost_fn != nullptr &&
+      cost_fn(AggregateFeature::Merge(a, b)) >= t_max_cost) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dod

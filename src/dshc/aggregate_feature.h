@@ -1,0 +1,64 @@
+// Copyright 2026 The DOD Authors.
+//
+// Aggregate Features (Def. 5.1) and the DSHC merging criteria (Defs. 5.2 /
+// 5.3 / 5.4). An AF summarizes a cluster of mini buckets by its point
+// count, bounding box, and density — sufficient information to decide
+// whether an incoming mini bucket (or a neighboring cluster) may be merged.
+
+#ifndef DOD_DSHC_AGGREGATE_FEATURE_H_
+#define DOD_DSHC_AGGREGATE_FEATURE_H_
+
+#include <functional>
+#include <string>
+
+#include "common/bounds.h"
+
+namespace dod {
+
+// Def. 5.1: AF = (numPoints, minB, maxB, Density), with Density the count
+// divided by the bounding-box volume.
+struct AggregateFeature {
+  double num_points = 0.0;
+  Rect bounds;
+
+  double density() const {
+    const double area = bounds.Area();
+    return area > 0.0 ? num_points / area : 0.0;
+  }
+
+  // Def. 5.4: counts add, boxes union (density is derived).
+  static AggregateFeature Merge(const AggregateFeature& a,
+                                const AggregateFeature& b) {
+    return AggregateFeature{a.num_points + b.num_points,
+                            a.bounds.UnionWith(b.bounds)};
+  }
+
+  std::string ToString() const;
+};
+
+// Def. 5.3: two boxes form a rectangle iff their boundaries coincide in
+// exactly d-1 dimensions and they touch (share a face) in the remaining one.
+bool FormsRectangle(const Rect& a, const Rect& b, double eps = 1e-9);
+
+// Def. 5.2: clusters Ci, Cj may merge iff (1) their densities differ by
+// less than Tdiff, (2) their union is rectangular, and (3) the combined
+// cardinality stays below Tmax#. An optional fourth, cost-aware constraint
+// caps the merged cluster's *estimated detection cost*: clusters whose best
+// algorithm is linear (dense or very sparse, Cell-Based) may grow large,
+// while quadratic middle-density (Nested-Loop) clusters are kept small —
+// this is how partition generation "considers the performance properties of
+// the detection algorithms" (Sec. I, challenge 3).
+struct MergingCriteria {
+  double t_diff = 0.0;
+  double t_max_points = 0.0;
+  double eps = 1e-9;
+  // Estimated detection cost of a cluster; null disables the cost cap.
+  std::function<double(const AggregateFeature&)> cost_fn;
+  double t_max_cost = 0.0;
+
+  bool CanMerge(const AggregateFeature& a, const AggregateFeature& b) const;
+};
+
+}  // namespace dod
+
+#endif  // DOD_DSHC_AGGREGATE_FEATURE_H_

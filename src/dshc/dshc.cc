@@ -1,0 +1,128 @@
+// Copyright 2026 The DOD Authors.
+
+#include "dshc/dshc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace dod {
+
+DshcThresholds ResolveThresholds(const DistributionSketch& sketch,
+                                 const DshcOptions& options) {
+  DshcThresholds out;
+
+  if (options.t_diff > 0.0) {
+    out.t_diff = options.t_diff;
+  } else {
+    // Auto rule. Tdiff must (a) absorb the *sampling noise* of bucket
+    // counts — a bucket holding c sampled points has density uncertainty
+    // ~sqrt(c)·scale/area, so two same-density buckets differ by a few of
+    // those — while (b) staying below the spread between genuinely
+    // different density bands. We take the max of the observed density
+    // stddev and a 4-sigma Poisson noise floor at the mean bucket count.
+    RunningStats densities;
+    RunningStats counts;
+    double mean_area = 0.0;
+    const double scale = sketch.Scale();
+    for (const MiniBucketGrid::Bucket& bucket : sketch.grid.buckets()) {
+      const double area = sketch.grid.BucketRect(bucket.coord).Area();
+      if (area <= 0.0) continue;
+      densities.Add(bucket.weight * scale / area);
+      counts.Add(bucket.weight);
+      mean_area += area;
+    }
+    double noise_floor = 1e-12;
+    if (counts.count() > 0) {
+      mean_area /= static_cast<double>(counts.count());
+      noise_floor =
+          4.0 * std::sqrt(std::max(1.0, counts.mean())) * scale / mean_area;
+    }
+    out.t_diff = std::max(densities.stddev(), noise_floor);
+  }
+
+  if (options.t_max_points > 0.0) {
+    out.t_max_points = options.t_max_points;
+  } else {
+    const double total = sketch.EstimatedCardinality();
+    const double per_partition =
+        total / std::max<size_t>(1, options.target_partitions);
+    out.t_max_points =
+        std::max(1.0, options.max_cardinality_factor * per_partition);
+  }
+
+  if (options.cost_aware_cap) {
+    // Baseline total workload: every mini bucket costed on its own under
+    // its Corollary 4.3 algorithm. The cap is a multiple of the mean
+    // per-partition share of that total.
+    const double scale = sketch.Scale();
+    double total_cost = 0.0;
+    for (const MiniBucketGrid::Bucket& bucket : sketch.grid.buckets()) {
+      PartitionStats stats;
+      stats.dims = sketch.grid.dims();
+      stats.area = sketch.grid.BucketRect(bucket.coord).Area();
+      stats.cardinality = static_cast<size_t>(bucket.weight * scale + 0.5);
+      total_cost += PlanningCost(SelectAlgorithm(stats, options.detection),
+                                 stats, options.detection);
+    }
+    out.t_max_cost =
+        std::max(1.0, options.max_cost_factor * total_cost /
+                          std::max<size_t>(1, options.target_partitions));
+  }
+  return out;
+}
+
+std::function<double(const AggregateFeature&)> ClusterCostFn(
+    int dims, const DetectionParams& params) {
+  return [dims, params](const AggregateFeature& af) {
+    PartitionStats stats;
+    stats.dims = dims;
+    stats.area = af.bounds.Area();
+    stats.cardinality = static_cast<size_t>(af.num_points + 0.5);
+    return PlanningCost(SelectAlgorithm(stats, params), stats, params);
+  };
+}
+
+std::vector<AggregateFeature> ClusterMiniBuckets(
+    const DistributionSketch& sketch, const DshcOptions& options) {
+  const MiniBucketGrid& grid = sketch.grid;
+  const int dims = grid.dims();
+  const int per_dim = grid.buckets_per_dim();
+  double total_buckets = std::pow(static_cast<double>(per_dim), dims);
+  DOD_CHECK_MSG(total_buckets <= (1 << 22),
+                "mini-bucket grid too fine for exhaustive DSHC scan");
+
+  const DshcThresholds thresholds = ResolveThresholds(sketch, options);
+  AfTreeOptions tree_options;
+  tree_options.t_diff = thresholds.t_diff;
+  tree_options.t_max_points = thresholds.t_max_points;
+  if (options.cost_aware_cap) {
+    tree_options.cost_fn = ClusterCostFn(dims, options.detection);
+    tree_options.t_max_cost = thresholds.t_max_cost;
+  }
+  tree_options.max_fanout = options.max_fanout;
+  AfTree tree(dims, tree_options);
+
+  // Single scan over every bucket (empty ones included, so the clusters
+  // tile the domain) in row-major order: spatially coherent insertion that
+  // lets strips grow and recursively merge into larger rectangles.
+  const double scale = sketch.Scale();
+  CellCoord coord;
+  coord.dims = dims;
+  for (int d = 0; d < dims; ++d) coord.c[d] = 0;
+  while (true) {
+    tree.InsertBucket(grid.BucketRect(coord),
+                      grid.WeightAt(coord) * scale);
+    int d = dims - 1;
+    while (d >= 0) {
+      if (++coord.c[d] < per_dim) break;
+      coord.c[d] = 0;
+      --d;
+    }
+    if (d < 0) break;
+  }
+  return tree.Clusters();
+}
+
+}  // namespace dod

@@ -1,0 +1,65 @@
+// Copyright 2026 The DOD Authors.
+//
+// Density-based clustering (DBSCAN) on the DOD framework — the adaptation
+// the paper calls out in Sec. III-B: "This can be easily adapted to support
+// other mining tasks that can take advantage of the supporting area
+// partitioning strategy, such as density-based clustering [16]".
+//
+// The supporting-area property gives each partition every point within eps
+// of its core points, so each partition clusters locally in isolation; a
+// final lightweight merge unions local cluster labels that share a
+// (globally) core point, exactly as in MR-DBSCAN.
+
+#ifndef DOD_EXTENSIONS_DBSCAN_H_
+#define DOD_EXTENSIONS_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+
+namespace dod {
+
+struct DbscanParams {
+  // Neighborhood radius (the ε of DBSCAN).
+  double eps = 1.0;
+  // Minimum neighborhood size (including the point itself) for a point to
+  // be a core point.
+  int min_pts = 5;
+};
+
+// Label of points that belong to no cluster.
+inline constexpr int32_t kDbscanNoise = -1;
+
+// Reference centralized DBSCAN. Returns one label per point: kDbscanNoise
+// or a cluster id in [0, num_clusters). Cluster ids are assigned in
+// first-discovery order over ascending point ids, so results are
+// deterministic. Border points equidistant to several clusters join the
+// cluster discovered first (standard DBSCAN order dependence).
+std::vector<int32_t> DbscanLabels(const Dataset& data,
+                                  const DbscanParams& params);
+
+struct DistributedDbscanOptions {
+  // Partition granularity of the equi-width plan.
+  size_t target_partitions = 64;
+};
+
+struct DistributedDbscanResult {
+  std::vector<int32_t> labels;
+  int32_t num_clusters = 0;
+  // Cross-partition label merges performed (diagnostic).
+  size_t merges = 0;
+};
+
+// DBSCAN over the single-pass DOD framework: equi-width cells + eps
+// supporting areas, local DBSCAN per partition, then label unification.
+// Guarantees: core points receive exactly the clusters of the centralized
+// algorithm (up to label permutation); border points join one of their
+// adjacent clusters; noise is identical.
+DistributedDbscanResult DistributedDbscan(
+    const Dataset& data, const DbscanParams& params,
+    const DistributedDbscanOptions& options = {});
+
+}  // namespace dod
+
+#endif  // DOD_EXTENSIONS_DBSCAN_H_

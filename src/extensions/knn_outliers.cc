@@ -1,0 +1,139 @@
+// Copyright 2026 The DOD Authors.
+
+#include "extensions/knn_outliers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/distance.h"
+#include "detection/grid.h"
+
+namespace dod {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+// Running upper bound on a point's k-distance: max-heap of the k smallest
+// distances seen so far.
+class KSmallest {
+ public:
+  explicit KSmallest(int k) : k_(static_cast<size_t>(k)) {}
+
+  void Add(double distance) {
+    if (heap_.size() < k_) {
+      heap_.push(distance);
+    } else if (distance < heap_.top()) {
+      heap_.pop();
+      heap_.push(distance);
+    }
+  }
+
+  bool full() const { return heap_.size() >= k_; }
+  // +inf until k distances have been seen.
+  double Bound() const { return full() ? heap_.top() : kInfinity; }
+
+ private:
+  size_t k_;
+  std::priority_queue<double> heap_;
+};
+
+}  // namespace
+
+double KDistance(const Dataset& data, PointId id, int k) {
+  DOD_CHECK(k >= 1);
+  KSmallest smallest(k);
+  const int dims = data.dims();
+  const double* p = data[id];
+  for (PointId j = 0; j < data.size(); ++j) {
+    if (j == id) continue;
+    smallest.Add(Euclidean(p, data[j], dims));
+  }
+  return smallest.Bound();
+}
+
+std::vector<KnnOutlier> TopNKnnOutliers(const Dataset& data,
+                                        const KnnOutlierParams& params) {
+  DOD_CHECK(params.k >= 1);
+  std::vector<KnnOutlier> result;
+  const size_t n = data.size();
+  if (n == 0 || params.top_n == 0) return result;
+  const int dims = data.dims();
+
+  // Grid sized for ~2 points per cell; degenerate domains fall back to the
+  // O(n²) scan.
+  const Rect bounds = data.Bounds();
+  double side = 0.0;
+  if (bounds.Area() > 0.0) {
+    side = std::pow(bounds.Area() * 2.0 / static_cast<double>(n),
+                    1.0 / dims);
+  }
+
+  std::vector<KnnOutlier> scores;
+  if (side <= 0.0) {
+    for (PointId i = 0; i < n; ++i) {
+      scores.push_back(KnnOutlier{i, KDistance(data, i, params.k)});
+    }
+  } else {
+    SparseGrid grid(bounds.min(), side);
+    for (uint32_t i = 0; i < n; ++i) grid.Insert(data[i], i);
+    const int max_ring = static_cast<int>(std::ceil(
+        Chebyshev(bounds.min().data(), bounds.max().data(), dims) / side)) +
+        1;
+
+    // Min-heap of the current top-n scores; its minimum is the pruning
+    // threshold θ: a point whose k-distance upper bound drops below θ can
+    // never enter the top n.
+    std::priority_queue<double, std::vector<double>, std::greater<double>>
+        top_heap;
+    for (uint32_t i = 0; i < n; ++i) {
+      const double* p = data[i];
+      const double theta = top_heap.size() >= params.top_n
+                               ? top_heap.top()
+                               : -kInfinity;
+      KSmallest smallest(params.k);
+      const CellCoord center = grid.CoordOf(p);
+      bool pruned = false;
+      double k_distance = kInfinity;
+      for (int ring = 0; ring <= max_ring; ++ring) {
+        grid.ForEachCellInBlock(center, ring, ring,
+                                [&](const SparseGrid::Cell& cell) {
+                                  for (uint32_t j : cell.points) {
+                                    if (j == i) continue;
+                                    smallest.Add(
+                                        Euclidean(p, data[j], dims));
+                                  }
+                                });
+        const double bound = smallest.Bound();
+        if (bound < theta) {
+          pruned = true;  // certainly below the current top-n
+          break;
+        }
+        // Points beyond ring t are at distance >= t*side; once the k-th
+        // smallest found is within that, it is exact.
+        if (smallest.full() && bound <= ring * side) {
+          k_distance = bound;
+          break;
+        }
+      }
+      if (pruned) continue;
+      if (k_distance == kInfinity) k_distance = smallest.Bound();
+      scores.push_back(KnnOutlier{i, k_distance});
+      top_heap.push(k_distance);
+      if (top_heap.size() > params.top_n) top_heap.pop();
+    }
+  }
+
+  std::sort(scores.begin(), scores.end(),
+            [](const KnnOutlier& a, const KnnOutlier& b) {
+              if (a.k_distance != b.k_distance) {
+                return a.k_distance > b.k_distance;
+              }
+              return a.id < b.id;
+            });
+  if (scores.size() > params.top_n) scores.resize(params.top_n);
+  return scores;
+}
+
+}  // namespace dod

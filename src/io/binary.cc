@@ -1,0 +1,68 @@
+// Copyright 2026 The DOD Authors.
+
+#include "io/binary.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace dod {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'O', 'D', 'B', 'I', 'N', '1', '\0'};
+
+}  // namespace
+
+Status WriteBinary(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t dims = static_cast<uint32_t>(dataset.dims());
+  const uint64_t count = dataset.size();
+  out.write(reinterpret_cast<const char*>(&dims), sizeof(dims));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(dataset.raw().data()),
+            static_cast<std::streamsize>(dataset.raw().size() *
+                                         sizeof(double)));
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Dataset> ReadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a DODBIN1 file: " + path);
+  }
+  uint32_t dims = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&dims), sizeof(dims));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || dims < 1 || dims > static_cast<uint32_t>(kMaxDimensions)) {
+    return Status::InvalidArgument("bad header in " + path);
+  }
+
+  Dataset dataset(static_cast<int>(dims));
+  dataset.mutable_raw().resize(static_cast<size_t>(count) * dims);
+  in.read(reinterpret_cast<char*>(dataset.mutable_raw().data()),
+          static_cast<std::streamsize>(dataset.mutable_raw().size() *
+                                       sizeof(double)));
+  if (!in || in.gcount() !=
+                 static_cast<std::streamsize>(dataset.mutable_raw().size() *
+                                              sizeof(double))) {
+    return Status::InvalidArgument("truncated payload in " + path);
+  }
+  // Trailing bytes indicate a corrupted or mismatched file.
+  char extra;
+  in.read(&extra, 1);
+  if (!in.eof()) {
+    return Status::InvalidArgument("trailing bytes in " + path);
+  }
+  return dataset;
+}
+
+}  // namespace dod

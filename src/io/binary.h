@@ -1,0 +1,33 @@
+// Copyright 2026 The DOD Authors.
+//
+// Binary dataset format — the fast path for large workloads (CSV parsing
+// dominates load time beyond ~10^6 points). Layout:
+//
+//   bytes 0..7   magic "DODBIN1\0"
+//   bytes 8..11  uint32 dims (little-endian)
+//   bytes 12..19 uint64 point count
+//   then         count × dims float64 coordinates, row-major
+//
+// The format is intentionally minimal: fixed layout, no compression, no
+// endianness translation (files are machine-local artifacts, like the
+// paper's HDFS blocks).
+
+#ifndef DOD_IO_BINARY_H_
+#define DOD_IO_BINARY_H_
+
+#include <string>
+
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace dod {
+
+Status WriteBinary(const Dataset& dataset, const std::string& path);
+
+// Validates the magic, dimensionality, and that the payload length matches
+// the declared count.
+Result<Dataset> ReadBinary(const std::string& path);
+
+}  // namespace dod
+
+#endif  // DOD_IO_BINARY_H_

@@ -1,0 +1,24 @@
+// Copyright 2026 The DOD Authors.
+
+#include "io/block_store.h"
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace dod {
+
+BlockStore::BlockStore(const Dataset& dataset, size_t num_blocks,
+                       uint64_t seed)
+    : dataset_(&dataset) {
+  DOD_CHECK(num_blocks >= 1);
+  Rng rng(seed);
+  std::vector<uint32_t> perm = RandomPermutation(dataset.size(), rng);
+  blocks_.resize(num_blocks);
+  const size_t per_block = (dataset.size() + num_blocks - 1) / num_blocks;
+  for (auto& b : blocks_) b.reserve(per_block);
+  for (size_t i = 0; i < perm.size(); ++i) {
+    blocks_[i % num_blocks].push_back(perm[i]);
+  }
+}
+
+}  // namespace dod

@@ -1,0 +1,35 @@
+// Copyright 2026 The DOD Authors.
+
+#include "mapreduce/cluster.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/status.h"
+
+namespace dod {
+
+std::vector<double> ScheduleLoads(const std::vector<double>& task_costs,
+                                  int slots) {
+  DOD_CHECK(slots >= 1);
+  std::vector<double> loads(static_cast<size_t>(slots), 0.0);
+  if (task_costs.empty()) return loads;
+  // Min-heap of (finish_time, slot).
+  using Slot = std::pair<double, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> heap;
+  for (int s = 0; s < slots; ++s) heap.emplace(0.0, s);
+  for (double cost : task_costs) {
+    auto [finish, slot] = heap.top();
+    heap.pop();
+    loads[static_cast<size_t>(slot)] = finish + cost;
+    heap.emplace(finish + cost, slot);
+  }
+  return loads;
+}
+
+double Makespan(const std::vector<double>& task_costs, int slots) {
+  const std::vector<double> loads = ScheduleLoads(task_costs, slots);
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+}  // namespace dod

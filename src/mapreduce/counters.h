@@ -1,0 +1,38 @@
+// Copyright 2026 The DOD Authors.
+//
+// Hadoop-style named job counters.
+
+#ifndef DOD_MAPREDUCE_COUNTERS_H_
+#define DOD_MAPREDUCE_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dod {
+
+class Counters {
+ public:
+  void Increment(const std::string& name, uint64_t delta = 1) {
+    values_[name] += delta;
+  }
+
+  // 0 when the counter was never incremented.
+  uint64_t Get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  void MergeFrom(const Counters& other) {
+    for (const auto& [name, value] : other.values_) values_[name] += value;
+  }
+
+  const std::map<std::string, uint64_t>& values() const { return values_; }
+
+ private:
+  std::map<std::string, uint64_t> values_;
+};
+
+}  // namespace dod
+
+#endif  // DOD_MAPREDUCE_COUNTERS_H_

@@ -1,0 +1,183 @@
+// Copyright 2026 The DOD Authors.
+//
+// A single-process MapReduce execution engine.
+//
+// The engine implements the data-flow contract of Fig. 2 in the paper:
+// mappers consume input splits and emit (key, value) records; records are
+// hash- or plan-partitioned to reduce tasks, sorted and grouped by key; each
+// reduce task processes its groups independently with no communication to
+// other reducers (shared-nothing, no synchronization).
+//
+// Every task is actually executed, and its duration measured. Stage times
+// are then derived by scheduling the measured task costs onto the cluster's
+// slots (see cluster.h). This yields the end-to-end execution time metric
+// the paper reports while running deterministically on one machine.
+
+#ifndef DOD_MAPREDUCE_JOB_H_
+#define DOD_MAPREDUCE_JOB_H_
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/job_stats.h"
+
+namespace dod {
+
+// Receives the records a mapper emits.
+template <typename K, typename V>
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(const K& key, const V& value) = 0;
+};
+
+// User map function: consumes input split `split_index` (the mapper knows
+// how to fetch its own input, e.g. from a BlockStore) and emits records.
+template <typename K, typename V>
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual void Map(size_t split_index, Emitter<K, V>& out) = 0;
+};
+
+// User reduce function: one call per key group. `values` may be consumed
+// destructively. Results go to `out`; `counters` aggregates job counters.
+template <typename K, typename V, typename Out>
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void Reduce(const K& key, std::vector<V>& values,
+                      std::vector<Out>& out, Counters& counters) = 0;
+};
+
+struct JobSpec {
+  // Number of reduce tasks (the partition function must return values in
+  // [0, num_reduce_tasks)).
+  int num_reduce_tasks = 1;
+  ClusterSpec cluster;
+  // Input bytes of each split; charged as HDFS scan time against the
+  // owning map task at cluster.disk_read_mbps_per_slot. Empty = no charge.
+  std::vector<uint64_t> split_input_bytes;
+};
+
+template <typename Out>
+struct JobOutput {
+  std::vector<Out> output;
+  JobStats stats;
+};
+
+namespace internal {
+
+// Buffers emitted records into per-reduce-task buckets.
+template <typename K, typename V>
+class ShuffleEmitter : public Emitter<K, V> {
+ public:
+  using Buckets = std::vector<std::vector<std::pair<K, V>>>;
+
+  ShuffleEmitter(Buckets& buckets, const std::function<int(const K&)>& part,
+                 size_t record_bytes, JobStats& stats)
+      : buckets_(buckets),
+        part_(part),
+        record_bytes_(record_bytes),
+        stats_(stats) {}
+
+  void Emit(const K& key, const V& value) override {
+    const int task = part_(key);
+    DOD_CHECK(task >= 0 && task < static_cast<int>(buckets_.size()));
+    buckets_[static_cast<size_t>(task)].emplace_back(key, value);
+    ++stats_.records_shuffled;
+    stats_.bytes_shuffled += record_bytes_;
+  }
+
+ private:
+  Buckets& buckets_;
+  const std::function<int(const K&)>& part_;
+  size_t record_bytes_;
+  JobStats& stats_;
+};
+
+}  // namespace internal
+
+// Runs a full MapReduce job: map over `num_splits` splits, shuffle, reduce.
+//
+// `partition` routes a key to its reduce task — the hook through which DOD
+// injects its allocation plan (Fig. 6, Step 3). `record_bytes` is the wire
+// size charged per shuffled record.
+template <typename K, typename V, typename Out>
+JobOutput<Out> RunMapReduce(size_t num_splits, Mapper<K, V>& mapper,
+                            Reducer<K, V, Out>& reducer,
+                            const std::function<int(const K&)>& partition,
+                            const JobSpec& spec,
+                            size_t record_bytes = sizeof(K) + sizeof(V)) {
+  DOD_CHECK(spec.num_reduce_tasks >= 1);
+  JobOutput<Out> result;
+  JobStats& stats = result.stats;
+  StopWatch wall;
+
+  // ---- Map phase -------------------------------------------------------
+  typename internal::ShuffleEmitter<K, V>::Buckets buckets(
+      static_cast<size_t>(spec.num_reduce_tasks));
+  internal::ShuffleEmitter<K, V> emitter(buckets, partition, record_bytes,
+                                         stats);
+  stats.map_task_seconds.reserve(num_splits);
+  const double read_bytes_per_second =
+      spec.cluster.disk_read_mbps_per_slot * 1e6;
+  for (size_t split = 0; split < num_splits; ++split) {
+    StopWatch task;
+    mapper.Map(split, emitter);
+    double cost = task.ElapsedSeconds();
+    if (split < spec.split_input_bytes.size()) {
+      cost += static_cast<double>(spec.split_input_bytes[split]) /
+              read_bytes_per_second;
+    }
+    stats.map_task_seconds.push_back(cost);
+  }
+  stats.records_mapped = stats.records_shuffled;
+
+  // ---- Reduce phase (sort + group + reduce, per task) -------------------
+  stats.reduce_task_seconds.reserve(buckets.size());
+  for (auto& bucket : buckets) {
+    StopWatch task;
+    // Hadoop sorts at the reducer; the sort is part of the task's cost.
+    std::stable_sort(bucket.begin(), bucket.end(),
+                     [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+                       return a.first < b.first;
+                     });
+    size_t i = 0;
+    std::vector<V> values;
+    while (i < bucket.size()) {
+      size_t j = i;
+      values.clear();
+      while (j < bucket.size() && !(bucket[i].first < bucket[j].first) &&
+             !(bucket[j].first < bucket[i].first)) {
+        values.push_back(std::move(bucket[j].second));
+        ++j;
+      }
+      reducer.Reduce(bucket[i].first, values, result.output, stats.counters);
+      ++stats.groups_reduced;
+      i = j;
+    }
+    stats.reduce_task_seconds.push_back(task.ElapsedSeconds());
+  }
+
+  // ---- Derive cluster-stage times ---------------------------------------
+  stats.stage_times.map_seconds =
+      Makespan(stats.map_task_seconds, spec.cluster.map_slots());
+  stats.stage_times.shuffle_seconds =
+      static_cast<double>(stats.bytes_shuffled) /
+      spec.cluster.ShuffleBytesPerSecond();
+  stats.stage_times.reduce_seconds =
+      Makespan(stats.reduce_task_seconds, spec.cluster.reduce_slots());
+  stats.wall_seconds = wall.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace dod
+
+#endif  // DOD_MAPREDUCE_JOB_H_

@@ -1,0 +1,22 @@
+// Copyright 2026 The DOD Authors.
+
+#include "mapreduce/job_stats.h"
+
+#include <cstdio>
+
+namespace dod {
+
+std::string JobStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "map=%.4fs shuffle=%.4fs reduce=%.4fs total=%.4fs "
+                "(records=%llu shuffled=%llu groups=%llu)",
+                stage_times.map_seconds, stage_times.shuffle_seconds,
+                stage_times.reduce_seconds, stage_times.total(),
+                static_cast<unsigned long long>(records_mapped),
+                static_cast<unsigned long long>(records_shuffled),
+                static_cast<unsigned long long>(groups_reduced));
+  return buf;
+}
+
+}  // namespace dod

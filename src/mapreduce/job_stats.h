@@ -1,0 +1,57 @@
+// Copyright 2026 The DOD Authors.
+//
+// Non-templated measurement results shared by all MapReduce jobs.
+
+#ifndef DOD_MAPREDUCE_JOB_STATS_H_
+#define DOD_MAPREDUCE_JOB_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapreduce/counters.h"
+
+namespace dod {
+
+// Per-stage simulated durations of one job, in seconds.
+struct StageTimes {
+  double map_seconds = 0.0;
+  double shuffle_seconds = 0.0;
+  double reduce_seconds = 0.0;
+
+  double total() const { return map_seconds + shuffle_seconds + reduce_seconds; }
+
+  StageTimes& operator+=(const StageTimes& other) {
+    map_seconds += other.map_seconds;
+    shuffle_seconds += other.shuffle_seconds;
+    reduce_seconds += other.reduce_seconds;
+    return *this;
+  }
+};
+
+struct JobStats {
+  // Measured per-task durations (seconds).
+  std::vector<double> map_task_seconds;
+  std::vector<double> reduce_task_seconds;
+
+  // Data-flow accounting.
+  uint64_t records_mapped = 0;
+  uint64_t records_shuffled = 0;
+  uint64_t bytes_shuffled = 0;
+  uint64_t groups_reduced = 0;
+
+  // Simulated stage durations on the configured cluster.
+  StageTimes stage_times;
+
+  // Real single-machine wall time spent executing the job.
+  double wall_seconds = 0.0;
+
+  Counters counters;
+
+  // One-line summary for logs/benches.
+  std::string ToString() const;
+};
+
+}  // namespace dod
+
+#endif  // DOD_MAPREDUCE_JOB_STATS_H_

@@ -1,0 +1,180 @@
+// Copyright 2026 The DOD Authors.
+
+#include "partition/bisect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/status.h"
+
+namespace dod {
+namespace {
+
+struct WeightedBucket {
+  CellCoord coord;
+  double cardinality;  // scaled to full-data units
+  double aux;          // additive auxiliary cost term
+};
+
+// A region is an integer bucket-index box [lo, hi) per dimension plus the
+// buckets that fall inside it.
+struct Region {
+  int lo[kMaxDimensions];
+  int hi[kMaxDimensions];
+  std::vector<uint32_t> bucket_ids;
+  double cardinality = 0.0;
+  double aux = 0.0;
+  double cost = 0.0;
+};
+
+struct CostlierFirst {
+  bool operator()(const Region& a, const Region& b) const {
+    return a.cost < b.cost;
+  }
+};
+
+// Longest splittable dimension (integer extent >= 2); -1 when none.
+int PickSplitDim(const Region& region, int dims) {
+  int best = -1, best_extent = 1;
+  for (int d = 0; d < dims; ++d) {
+    const int extent = region.hi[d] - region.lo[d];
+    if (extent > best_extent) {
+      best = d;
+      best_extent = extent;
+    }
+  }
+  return best;
+}
+
+// Real-space rect of an integer bucket box.
+Rect BoxRect(const MiniBucketGrid& grid, const int lo[], const int hi[]) {
+  const int dims = grid.dims();
+  Point rlo(dims), rhi(dims);
+  for (int d = 0; d < dims; ++d) {
+    rlo[d] = grid.BoundaryAt(d, lo[d]);
+    rhi[d] = grid.BoundaryAt(d, hi[d]);
+  }
+  return Rect(rlo, rhi);
+}
+
+}  // namespace
+
+std::vector<Rect> WeightedBisect(const MiniBucketGrid& grid, double scale,
+                                 size_t target_regions,
+                                 const BucketAuxFn& aux_fn,
+                                 const RegionCostFn& cost_fn) {
+  DOD_CHECK(target_regions >= 1);
+  const int dims = grid.dims();
+
+  std::vector<WeightedBucket> buckets;
+  buckets.reserve(grid.buckets().size());
+  for (const MiniBucketGrid::Bucket& b : grid.buckets()) {
+    const double cardinality = b.weight * scale;
+    buckets.push_back(WeightedBucket{
+        b.coord, cardinality, aux_fn(cardinality, grid.BucketRect(b.coord))});
+  }
+
+  Region root;
+  for (int d = 0; d < dims; ++d) {
+    root.lo[d] = 0;
+    root.hi[d] = grid.buckets_per_dim();
+  }
+  root.bucket_ids.resize(buckets.size());
+  for (uint32_t i = 0; i < buckets.size(); ++i) root.bucket_ids[i] = i;
+  for (const WeightedBucket& b : buckets) {
+    root.cardinality += b.cardinality;
+    root.aux += b.aux;
+  }
+  root.cost =
+      cost_fn(root.cardinality, root.aux, BoxRect(grid, root.lo, root.hi));
+
+  std::priority_queue<Region, std::vector<Region>, CostlierFirst> queue;
+  std::vector<Region> finished;
+  queue.push(std::move(root));
+
+  while (queue.size() + finished.size() < target_regions && !queue.empty()) {
+    Region region = queue.top();
+    queue.pop();
+    const int dim = PickSplitDim(region, dims);
+    if (dim < 0) {
+      finished.push_back(std::move(region));
+      continue;
+    }
+
+    // Cardinality profile along `dim` (per bucket-index slice), then the
+    // cut minimizing |cost(left) − cost(right)| with both sides' costs
+    // evaluated on their full sub-rects.
+    const int lo = region.lo[dim], hi = region.hi[dim];
+    std::vector<double> slice(static_cast<size_t>(hi - lo), 0.0);
+    std::vector<double> slice_aux(static_cast<size_t>(hi - lo), 0.0);
+    for (uint32_t id : region.bucket_ids) {
+      const size_t s = static_cast<size_t>(buckets[id].coord.c[dim] - lo);
+      slice[s] += buckets[id].cardinality;
+      slice_aux[s] += buckets[id].aux;
+    }
+    int best_cut = lo + (hi - lo) / 2;
+    double best_diff = std::numeric_limits<double>::infinity();
+    double left_cardinality = 0.0;
+    double left_aux = 0.0;
+    int probe_lo[kMaxDimensions], probe_hi[kMaxDimensions];
+    for (int d = 0; d < dims; ++d) {
+      probe_lo[d] = region.lo[d];
+      probe_hi[d] = region.hi[d];
+    }
+    for (int c = lo + 1; c < hi; ++c) {
+      left_cardinality += slice[static_cast<size_t>(c - 1 - lo)];
+      left_aux += slice_aux[static_cast<size_t>(c - 1 - lo)];
+      probe_hi[dim] = c;
+      const double left_cost = cost_fn(left_cardinality, left_aux,
+                                       BoxRect(grid, probe_lo, probe_hi));
+      probe_hi[dim] = region.hi[dim];
+      probe_lo[dim] = c;
+      const double right_cost =
+          cost_fn(region.cardinality - left_cardinality,
+                  region.aux - left_aux, BoxRect(grid, probe_lo, probe_hi));
+      probe_lo[dim] = region.lo[dim];
+      const double diff = std::fabs(left_cost - right_cost);
+      if (diff < best_diff) {
+        best_diff = diff;
+        best_cut = c;
+      }
+    }
+
+    Region left, right;
+    for (int d = 0; d < dims; ++d) {
+      left.lo[d] = region.lo[d];
+      left.hi[d] = region.hi[d];
+      right.lo[d] = region.lo[d];
+      right.hi[d] = region.hi[d];
+    }
+    left.hi[dim] = best_cut;
+    right.lo[dim] = best_cut;
+    for (uint32_t id : region.bucket_ids) {
+      Region& side = buckets[id].coord.c[dim] < best_cut ? left : right;
+      side.bucket_ids.push_back(id);
+      side.cardinality += buckets[id].cardinality;
+      side.aux += buckets[id].aux;
+    }
+    left.cost =
+        cost_fn(left.cardinality, left.aux, BoxRect(grid, left.lo, left.hi));
+    right.cost = cost_fn(right.cardinality, right.aux,
+                         BoxRect(grid, right.lo, right.hi));
+    queue.push(std::move(left));
+    queue.push(std::move(right));
+  }
+
+  while (!queue.empty()) {
+    finished.push_back(queue.top());
+    queue.pop();
+  }
+
+  std::vector<Rect> rects;
+  rects.reserve(finished.size());
+  for (const Region& region : finished) {
+    rects.push_back(BoxRect(grid, region.lo, region.hi));
+  }
+  return rects;
+}
+
+}  // namespace dod

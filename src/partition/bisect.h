@@ -1,0 +1,50 @@
+// Copyright 2026 The DOD Authors.
+//
+// Recursive weighted bisection of the domain along mini-bucket boundaries.
+// This is the engine behind the DDriven (cardinality-balanced) and CDriven
+// (cost-balanced) partitioners: the heaviest region is repeatedly split at
+// the bucket boundary that best halves its weight, until the target number
+// of rectangular partitions is reached. The result tiles the domain exactly.
+//
+// The weight of a region is *not* additive over buckets: the detection cost
+// of a partition depends on its total cardinality and covered area (see
+// Lemma 4.1/4.2 — e.g. a sparse point's Nested-Loop scan is bounded by the
+// whole partition's size, not its bucket's). Region weights are therefore
+// computed by a RegionCostFn over (cardinality, rect) pairs.
+
+#ifndef DOD_PARTITION_BISECT_H_
+#define DOD_PARTITION_BISECT_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/bounds.h"
+#include "partition/minibucket.h"
+
+namespace dod {
+
+// Additive per-bucket auxiliary term (e.g. the refined cost-model aux of
+// cost_model.h). Receives the bucket's full-data cardinality and rect.
+// Return 0 when unused.
+using BucketAuxFn =
+    std::function<double(double cardinality, const Rect& bucket_rect)>;
+
+// Cost of detecting outliers in a region holding `cardinality` points (in
+// full-data units) with summed bucket aux `aux` over `bounds`. Must be
+// monotone in cardinality for a fixed rect. DDriven uses cardinality
+// itself; CDriven plugs in the refined Sec. IV cost model.
+using RegionCostFn = std::function<double(double cardinality, double aux,
+                                          const Rect& bounds)>;
+
+// Splits the grid's domain into at most `target_regions` axis-aligned
+// rectangles balancing the RegionCostFn. Bucket weights are scaled by
+// `scale` to full-data cardinalities before costing. Fewer regions may be
+// returned when the bucket resolution is exhausted.
+std::vector<Rect> WeightedBisect(const MiniBucketGrid& grid, double scale,
+                                 size_t target_regions,
+                                 const BucketAuxFn& aux_fn,
+                                 const RegionCostFn& cost_fn);
+
+}  // namespace dod
+
+#endif  // DOD_PARTITION_BISECT_H_

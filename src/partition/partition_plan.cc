@@ -1,0 +1,177 @@
+// Copyright 2026 The DOD Authors.
+
+#include "partition/partition_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dod {
+
+PartitionPlan::PartitionPlan(Rect domain, double radius,
+                             std::vector<Rect> cell_bounds)
+    : domain_(std::move(domain)), radius_(radius) {
+  DOD_CHECK(radius_ > 0.0);
+  DOD_CHECK(!cell_bounds.empty());
+  cells_.reserve(cell_bounds.size());
+  for (size_t i = 0; i < cell_bounds.size(); ++i) {
+    DOD_CHECK(cell_bounds[i].dims() == domain_.dims());
+    cells_.push_back(GridCell{static_cast<uint32_t>(i), cell_bounds[i]});
+  }
+}
+
+bool PartitionPlan::ContainsCore(uint32_t id, const double* p) const {
+  const Rect& cell = cells_[id].bounds;
+  for (int d = 0; d < dims(); ++d) {
+    if (p[d] < cell.lo(d)) return false;
+    if (p[d] >= cell.hi(d)) {
+      // A face flush with the domain's upper boundary is closed so points
+      // on the boundary still have a core cell.
+      if (!(cell.hi(d) >= domain_.hi(d) && p[d] <= cell.hi(d))) return false;
+    }
+  }
+  return true;
+}
+
+Status PartitionPlan::Validate() const {
+  if (cells_.empty()) {
+    return Status::FailedPrecondition("plan has no cells");
+  }
+  // Pairwise interior disjointness.
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    for (size_t j = i + 1; j < cells_.size(); ++j) {
+      const Rect& a = cells_[i].bounds;
+      const Rect& b = cells_[j].bounds;
+      bool overlap = true;
+      for (int d = 0; d < dims(); ++d) {
+        // Interiors overlap only with strict inequalities on both sides.
+        if (a.hi(d) <= b.lo(d) + 1e-12 || b.hi(d) <= a.lo(d) + 1e-12) {
+          overlap = false;
+          break;
+        }
+      }
+      if (overlap) {
+        return Status::FailedPrecondition(
+            "cells " + std::to_string(i) + " and " + std::to_string(j) +
+            " overlap: " + a.ToString() + " vs " + b.ToString());
+      }
+    }
+  }
+  // Coverage: cells must lie inside the domain and their areas must add up
+  // to the domain area (sufficient together with disjointness).
+  double total_area = 0.0;
+  for (const GridCell& cell : cells_) {
+    if (!domain_.Covers(cell.bounds)) {
+      return Status::FailedPrecondition("cell " + std::to_string(cell.id) +
+                                        " outside domain: " +
+                                        cell.bounds.ToString());
+    }
+    total_area += cell.bounds.Area();
+  }
+  const double domain_area = domain_.Area();
+  if (domain_area > 0.0 &&
+      std::fabs(total_area - domain_area) > 1e-6 * domain_area) {
+    return Status::FailedPrecondition(
+        "cells cover " + std::to_string(total_area) + " of domain area " +
+        std::to_string(domain_area));
+  }
+  return Status::Ok();
+}
+
+std::string PartitionPlan::ToString() const {
+  std::string out = "PartitionPlan{domain=" + domain_.ToString() +
+                    ", r=" + std::to_string(radius_) +
+                    ", cells=" + std::to_string(cells_.size()) + "}";
+  return out;
+}
+
+namespace {
+
+// Picks the router resolution: roughly 2·m^(1/d) bins per dimension,
+// clamped so the dense bin table stays small.
+int RouterBinsPerDim(size_t num_cells, int dims) {
+  const double per_dim =
+      2.0 * std::pow(static_cast<double>(num_cells), 1.0 / dims);
+  int bins = std::max(1, static_cast<int>(per_dim));
+  // Cap total bins at ~2^20.
+  while (std::pow(static_cast<double>(bins), dims) > (1 << 20) && bins > 1) {
+    bins /= 2;
+  }
+  return std::max(1, bins);
+}
+
+}  // namespace
+
+PartitionRouter::PartitionRouter(const PartitionPlan& plan) : plan_(&plan) {
+  const int dims = plan.dims();
+  bins_per_dim_ = RouterBinsPerDim(plan.num_cells(), dims);
+  size_t total_bins = 1;
+  for (int d = 0; d < dims; ++d) total_bins *= bins_per_dim_;
+  bins_.resize(total_bins);
+
+  const Rect& domain = plan.domain();
+  // For each cell, register it with every bin its support bounds intersect.
+  for (const GridCell& cell : plan.cells()) {
+    const Rect support = plan.SupportBounds(cell.id);
+    // Integer bin range per dimension.
+    int lo[kMaxDimensions], hi[kMaxDimensions];
+    for (int d = 0; d < dims; ++d) {
+      const double extent = domain.Extent(d);
+      const double scale = extent > 0.0 ? bins_per_dim_ / extent : 0.0;
+      int l = static_cast<int>(
+          std::floor((support.lo(d) - domain.lo(d)) * scale));
+      int h = static_cast<int>(
+          std::floor((support.hi(d) - domain.lo(d)) * scale));
+      lo[d] = std::clamp(l, 0, bins_per_dim_ - 1);
+      hi[d] = std::clamp(h, 0, bins_per_dim_ - 1);
+    }
+    // Enumerate the bin box.
+    int idx[kMaxDimensions];
+    for (int d = 0; d < dims; ++d) idx[d] = lo[d];
+    while (true) {
+      size_t flat = 0;
+      for (int d = 0; d < dims; ++d) {
+        flat = flat * bins_per_dim_ + static_cast<size_t>(idx[d]);
+      }
+      bins_[flat].push_back(cell.id);
+      int d = dims - 1;
+      while (d >= 0) {
+        if (++idx[d] <= hi[d]) break;
+        idx[d] = lo[d];
+        --d;
+      }
+      if (d < 0) break;
+    }
+  }
+}
+
+size_t PartitionRouter::BinOf(const double* p) const {
+  const Rect& domain = plan_->domain();
+  size_t flat = 0;
+  for (int d = 0; d < plan_->dims(); ++d) {
+    const double extent = domain.Extent(d);
+    const double scale = extent > 0.0 ? bins_per_dim_ / extent : 0.0;
+    int b = static_cast<int>(std::floor((p[d] - domain.lo(d)) * scale));
+    b = std::clamp(b, 0, bins_per_dim_ - 1);
+    flat = flat * bins_per_dim_ + static_cast<size_t>(b);
+  }
+  return flat;
+}
+
+uint32_t PartitionRouter::RouteCore(const double* p) const {
+  for (uint32_t id : bins_[BinOf(p)]) {
+    if (plan_->ContainsCore(id, p)) return id;
+  }
+  DOD_CHECK_MSG(false, "point not covered by partition plan");
+  return 0;
+}
+
+void PartitionRouter::RouteSupport(const double* p,
+                                   std::vector<uint32_t>* out) const {
+  for (uint32_t id : bins_[BinOf(p)]) {
+    if (plan_->SupportBounds(id).Contains(p) && !plan_->ContainsCore(id, p)) {
+      out->push_back(id);
+    }
+  }
+}
+
+}  // namespace dod

@@ -1,0 +1,81 @@
+// Copyright 2026 The DOD Authors.
+
+#include "partition/strategies.h"
+
+#include <cmath>
+
+#include "partition/bisect.h"
+
+namespace dod {
+
+std::vector<Rect> EquiWidthCells(const Rect& domain, size_t target_cells) {
+  const int dims = domain.dims();
+  // Splits per dimension: the closest integer grid to `target_cells` cells.
+  int per_dim = std::max(
+      1, static_cast<int>(std::llround(
+             std::pow(static_cast<double>(target_cells), 1.0 / dims))));
+
+  // Boundary i along dim d, exact at the domain edges.
+  auto boundary = [&](int d, int i) {
+    if (i <= 0) return domain.lo(d);
+    if (i >= per_dim) return domain.hi(d);
+    return domain.lo(d) + domain.Extent(d) / per_dim * i;
+  };
+
+  std::vector<Rect> cells;
+  int idx[kMaxDimensions] = {0};
+  while (true) {
+    Point lo(dims), hi(dims);
+    for (int d = 0; d < dims; ++d) {
+      lo[d] = boundary(d, idx[d]);
+      hi[d] = boundary(d, idx[d] + 1);
+    }
+    cells.push_back(Rect(lo, hi));
+    int d = dims - 1;
+    while (d >= 0) {
+      if (++idx[d] < per_dim) break;
+      idx[d] = 0;
+      --d;
+    }
+    if (d < 0) break;
+  }
+  return cells;
+}
+
+PartitionPlan UniSpacePartitioner::BuildPlan(const DistributionSketch& sketch,
+                                             const PlanningContext& ctx) const {
+  return PartitionPlan(sketch.grid.domain(), ctx.params.radius,
+                       EquiWidthCells(sketch.grid.domain(),
+                                      ctx.target_partitions));
+}
+
+PartitionPlan DDrivenPartitioner::BuildPlan(const DistributionSketch& sketch,
+                                            const PlanningContext& ctx) const {
+  std::vector<Rect> cells = WeightedBisect(
+      sketch.grid, sketch.Scale(), ctx.target_partitions,
+      [](double, const Rect&) { return 0.0; },
+      [](double cardinality, double, const Rect&) { return cardinality; });
+  return PartitionPlan(sketch.grid.domain(), ctx.params.radius,
+                       std::move(cells));
+}
+
+PartitionPlan CDrivenPartitioner::BuildPlan(const DistributionSketch& sketch,
+                                            const PlanningContext& ctx) const {
+  const int dims = sketch.grid.dims();
+  const DetectionParams& params = ctx.params;
+  std::vector<Rect> cells = WeightedBisect(
+      sketch.grid, sketch.Scale(), ctx.target_partitions,
+      [&](double cardinality, const Rect& bucket_rect) {
+        const double area = bucket_rect.Area();
+        const double density = area > 0.0 ? cardinality / area : 0.0;
+        return RefinedBucketAux(algorithm_, cardinality, density, params,
+                                dims);
+      },
+      [&](double cardinality, double aux, const Rect&) {
+        return RefinedRegionCost(algorithm_, cardinality, aux, params);
+      });
+  return PartitionPlan(sketch.grid.domain(), ctx.params.radius,
+                       std::move(cells));
+}
+
+}  // namespace dod

@@ -1,0 +1,96 @@
+// Copyright 2026 The DOD Authors.
+//
+// The partitioning strategies evaluated in the paper (Sec. VI-A):
+//
+//  * Domain   — default domain-based partitioning *without* supporting
+//               areas; needs a second MapReduce job to verify candidate
+//               outliers near partition edges (handled by the pipeline).
+//  * uniSpace — uniform equi-width domain-space grid + supporting areas
+//               (single-pass, Sec. III-A).
+//  * DDriven  — data-driven: partitions of similar cardinality (the
+//               traditional load-balancing assumption).
+//  * CDriven  — cost-driven: partitions of similar estimated workload under
+//               the Sec. IV cost model of the chosen detection algorithm.
+//
+// Every strategy consumes the sampled distribution sketch and produces a
+// PartitionPlan; DMT (src/dshc) additionally produces the algorithm plan.
+
+#ifndef DOD_PARTITION_STRATEGIES_H_
+#define DOD_PARTITION_STRATEGIES_H_
+
+#include <memory>
+#include <string_view>
+
+#include "detection/cost_model.h"
+#include "partition/minibucket.h"
+#include "partition/partition_plan.h"
+
+namespace dod {
+
+struct PlanningContext {
+  DetectionParams params;
+  // Requested number of partitions m.
+  size_t target_partitions = 64;
+};
+
+class PartitioningStrategy {
+ public:
+  virtual ~PartitioningStrategy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // True when the produced plan relies on supporting areas for single-pass
+  // detection. The Domain baseline returns false and triggers the two-job
+  // path in the pipeline.
+  virtual bool uses_supporting_area() const { return true; }
+
+  virtual PartitionPlan BuildPlan(const DistributionSketch& sketch,
+                                  const PlanningContext& ctx) const = 0;
+};
+
+// Equi-width grid over the domain (Fig. 1's partitioning).
+class UniSpacePartitioner : public PartitioningStrategy {
+ public:
+  std::string_view name() const override { return "uniSpace"; }
+  PartitionPlan BuildPlan(const DistributionSketch& sketch,
+                          const PlanningContext& ctx) const override;
+};
+
+// Same cells as uniSpace but declared support-free: the baseline that pays
+// a verification job instead of replication.
+class DomainPartitioner : public UniSpacePartitioner {
+ public:
+  std::string_view name() const override { return "Domain"; }
+  bool uses_supporting_area() const override { return false; }
+};
+
+// Cardinality-balanced recursive bisection.
+class DDrivenPartitioner : public PartitioningStrategy {
+ public:
+  std::string_view name() const override { return "DDriven"; }
+  PartitionPlan BuildPlan(const DistributionSketch& sketch,
+                          const PlanningContext& ctx) const override;
+};
+
+// Cost-balanced recursive bisection under the cost model of `algorithm`.
+class CDrivenPartitioner : public PartitioningStrategy {
+ public:
+  explicit CDrivenPartitioner(AlgorithmKind algorithm)
+      : algorithm_(algorithm) {}
+
+  std::string_view name() const override { return "CDriven"; }
+  AlgorithmKind algorithm() const { return algorithm_; }
+
+  PartitionPlan BuildPlan(const DistributionSketch& sketch,
+                          const PlanningContext& ctx) const override;
+
+ private:
+  AlgorithmKind algorithm_;
+};
+
+// Equi-width cell bounds used by uniSpace/Domain; exposed for tests.
+std::vector<Rect> EquiWidthCells(const Rect& domain, size_t target_cells);
+
+}  // namespace dod
+
+#endif  // DOD_PARTITION_STRATEGIES_H_

@@ -1,0 +1,109 @@
+// Copyright 2026 The DOD Authors.
+//
+// AF-tree / DSHC fuzz: many randomized bucket workloads; after every
+// insertion the R-tree structural invariants must hold, and at the end the
+// clusters must exactly partition the inserted weight and tile the domain.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "dshc/af_tree.h"
+#include "dshc/dshc.h"
+#include "partition/partition_plan.h"
+
+namespace dod {
+namespace {
+
+struct FuzzCase {
+  uint64_t seed;
+  int side;           // buckets per dimension
+  int fanout;
+  double t_diff;
+  double t_max_points;
+  bool cost_cap;
+};
+
+class AfTreeFuzz : public testing::TestWithParam<FuzzCase> {};
+
+TEST_P(AfTreeFuzz, InvariantsAndConservation) {
+  const FuzzCase& c = GetParam();
+  Rng rng(c.seed);
+
+  AfTreeOptions options;
+  options.t_diff = c.t_diff;
+  options.t_max_points = c.t_max_points;
+  options.max_fanout = c.fanout;
+  if (c.cost_cap) {
+    DetectionParams params{5.0, 4};
+    options.cost_fn = ClusterCostFn(2, params);
+    options.t_max_cost = 5e5;
+  }
+  AfTree tree(2, options);
+
+  // Random density landscape: plateaus of three density bands with
+  // occasional spikes, inserted in random order (harder than row-major).
+  const size_t total_buckets = static_cast<size_t>(c.side) * c.side;
+  std::vector<uint32_t> order = RandomPermutation(total_buckets, rng);
+  double total_weight = 0.0;
+  for (uint32_t index : order) {
+    const int x = static_cast<int>(index) % c.side;
+    const int y = static_cast<int>(index) / c.side;
+    double weight;
+    const double band = rng.NextDouble();
+    if (band < 0.5) {
+      weight = 0.0;
+    } else if (band < 0.8) {
+      weight = 5.0 + rng.NextUniform(0.0, 2.0);
+    } else if (band < 0.97) {
+      weight = 60.0 + rng.NextUniform(0.0, 10.0);
+    } else {
+      weight = 500.0;
+    }
+    total_weight += weight;
+    tree.InsertBucket(
+        Rect(Point{static_cast<double>(x), static_cast<double>(y)},
+             Point{x + 1.0, y + 1.0}),
+        weight);
+    ASSERT_TRUE(tree.CheckInvariants().ok())
+        << "after bucket " << index << ": "
+        << tree.CheckInvariants().ToString();
+  }
+
+  // Weight conservation.
+  double cluster_weight = 0.0;
+  std::vector<Rect> boxes;
+  for (const AggregateFeature& af : tree.Clusters()) {
+    cluster_weight += af.num_points;
+    boxes.push_back(af.bounds);
+    if (c.t_max_points < 1e17) {
+      EXPECT_LT(af.num_points, c.t_max_points + 500.0);
+    }
+  }
+  EXPECT_NEAR(cluster_weight, total_weight, 1e-6);
+
+  // Tiling: clusters are disjoint rectangles covering the full domain.
+  const PartitionPlan plan(
+      Rect(Point{0.0, 0.0},
+           Point{static_cast<double>(c.side), static_cast<double>(c.side)}),
+      1.0, boxes);
+  EXPECT_TRUE(plan.Validate().ok()) << plan.Validate().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, AfTreeFuzz,
+    testing::Values(FuzzCase{1, 12, 4, 3.0, 1e18, false},
+                    FuzzCase{2, 16, 8, 10.0, 1e18, false},
+                    FuzzCase{3, 16, 3, 1.0, 1e18, false},
+                    FuzzCase{4, 12, 8, 5.0, 800.0, false},
+                    FuzzCase{5, 16, 8, 8.0, 1e18, true},
+                    FuzzCase{6, 20, 5, 2.0, 2000.0, true},
+                    FuzzCase{7, 10, 4, 1e9, 1e18, false},   // merge-everything
+                    FuzzCase{8, 10, 4, 1e-9, 1e18, false}),  // merge-nothing
+    [](const testing::TestParamInfo<FuzzCase>& info) {
+      return "case" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace dod

@@ -1,0 +1,174 @@
+// Copyright 2026 The DOD Authors.
+//
+// The AF-tree: DSHC merge/insert semantics and R-tree structural
+// invariants under many insertions, merges, and splits.
+
+#include "dshc/af_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace dod {
+namespace {
+
+Rect Box(double x0, double y0, double x1, double y1) {
+  return Rect(Point{x0, y0}, Point{x1, y1});
+}
+
+AfTreeOptions Options(double t_diff, double t_max = 1e18, int fanout = 4) {
+  AfTreeOptions options;
+  options.t_diff = t_diff;
+  options.t_max_points = t_max;
+  options.max_fanout = fanout;
+  return options;
+}
+
+TEST(AfTreeTest, FirstBucketBecomesOnlyCluster) {
+  AfTree tree(2, Options(1.0));
+  tree.InsertBucket(Box(0, 0, 1, 1), 5.0);
+  ASSERT_EQ(tree.num_clusters(), 1u);
+  const auto clusters = tree.Clusters();
+  EXPECT_DOUBLE_EQ(clusters[0].num_points, 5.0);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(AfTreeTest, SimilarAdjacentBucketsMerge) {
+  AfTree tree(2, Options(1.0));
+  tree.InsertBucket(Box(0, 0, 1, 1), 5.0);
+  tree.InsertBucket(Box(1, 0, 2, 1), 5.0);
+  EXPECT_EQ(tree.num_clusters(), 1u);
+  const auto clusters = tree.Clusters();
+  EXPECT_DOUBLE_EQ(clusters[0].num_points, 10.0);
+  EXPECT_EQ(clusters[0].bounds, Box(0, 0, 2, 1));
+}
+
+TEST(AfTreeTest, DissimilarDensityStaysSeparate) {
+  AfTree tree(2, Options(/*t_diff=*/1.0));
+  tree.InsertBucket(Box(0, 0, 1, 1), 5.0);    // density 5
+  tree.InsertBucket(Box(1, 0, 2, 1), 50.0);   // density 50
+  EXPECT_EQ(tree.num_clusters(), 2u);
+}
+
+TEST(AfTreeTest, NonAdjacentBucketsStaySeparate) {
+  AfTree tree(2, Options(10.0));
+  tree.InsertBucket(Box(0, 0, 1, 1), 5.0);
+  tree.InsertBucket(Box(3, 0, 4, 1), 5.0);  // gap of 2
+  EXPECT_EQ(tree.num_clusters(), 2u);
+}
+
+TEST(AfTreeTest, CardinalityCapStopsMerging) {
+  AfTree tree(2, Options(10.0, /*t_max=*/12.0));
+  tree.InsertBucket(Box(0, 0, 1, 1), 5.0);
+  tree.InsertBucket(Box(1, 0, 2, 1), 5.0);  // merge → 10
+  tree.InsertBucket(Box(2, 0, 3, 1), 5.0);  // 10 + 5 >= 12 → new cluster
+  EXPECT_EQ(tree.num_clusters(), 2u);
+}
+
+TEST(AfTreeTest, RecursiveMergeFormsLargeRectangles) {
+  // A 4x4 block of equal-density buckets scanned row-major must collapse
+  // into a single cluster via recursive strip merging.
+  AfTree tree(2, Options(1.0));
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      tree.InsertBucket(Box(x, y, x + 1, y + 1), 2.0);
+    }
+  }
+  EXPECT_EQ(tree.num_clusters(), 1u);
+  const auto clusters = tree.Clusters();
+  EXPECT_EQ(clusters[0].bounds, Box(0, 0, 4, 4));
+  EXPECT_DOUBLE_EQ(clusters[0].num_points, 32.0);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(AfTreeTest, TwoDensityPlateausYieldTwoClusters) {
+  // Left half dense, right half sparse → exactly two rectangular clusters.
+  AfTree tree(2, Options(2.0));
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      tree.InsertBucket(Box(x, y, x + 1, y + 1), x < 4 ? 20.0 : 1.0);
+    }
+  }
+  EXPECT_EQ(tree.num_clusters(), 2u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(AfTreeTest, SplitsKeepInvariantsWithTinyFanout) {
+  // Many mutually non-mergeable clusters force node splits (fanout 3).
+  AfTree tree(2, Options(/*t_diff=*/0.001, 1e18, /*fanout=*/3));
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    const int x = i % 10, y = i / 10;
+    // Strictly increasing density → nothing merges.
+    tree.InsertBucket(Box(x, y, x + 1, y + 1), 10.0 + i);
+    ASSERT_TRUE(tree.CheckInvariants().ok()) << "after insert " << i;
+  }
+  EXPECT_EQ(tree.num_clusters(), 60u);
+}
+
+TEST(AfTreeTest, InvariantsHoldUnderRandomizedWorkload) {
+  // Random densities drawn from two bands, random insertion order: the
+  // tree must maintain invariants and cluster count must stay bounded.
+  AfTree tree(2, Options(/*t_diff=*/3.0, /*t_max=*/1e18, /*fanout=*/5));
+  Rng rng(7);
+  const int side = 12;
+  std::vector<uint32_t> order = RandomPermutation(side * side, rng);
+  for (uint32_t index : order) {
+    const int x = static_cast<int>(index) % side;
+    const int y = static_cast<int>(index) / side;
+    const double weight = rng.NextBernoulli(0.5) ? 2.0 : 40.0;
+    tree.InsertBucket(Box(x, y, x + 1, y + 1), weight);
+    ASSERT_TRUE(tree.CheckInvariants().ok());
+  }
+  EXPECT_LE(tree.num_clusters(), static_cast<size_t>(side * side));
+  EXPECT_GE(tree.num_clusters(), 2u);
+}
+
+TEST(AfTreeTest, ClustersPartitionTheInsertedWeight) {
+  AfTree tree(2, Options(5.0, 200.0));
+  Rng rng(11);
+  double total = 0.0;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      const double w = 1.0 + static_cast<double>(rng.NextBounded(30));
+      total += w;
+      tree.InsertBucket(Box(x, y, x + 1, y + 1), w);
+    }
+  }
+  double cluster_sum = 0.0;
+  for (const AggregateFeature& af : tree.Clusters()) {
+    cluster_sum += af.num_points;
+  }
+  EXPECT_NEAR(cluster_sum, total, 1e-9);
+}
+
+TEST(AfTreeTest, ClusterBoxesAreDisjoint) {
+  AfTree tree(2, Options(3.0));
+  Rng rng(13);
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) {
+      tree.InsertBucket(Box(x, y, x + 1, y + 1),
+                        rng.NextBernoulli(0.3) ? 25.0 : 1.0);
+    }
+  }
+  const auto clusters = tree.Clusters();
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    for (size_t j = i + 1; j < clusters.size(); ++j) {
+      const Rect& a = clusters[i].bounds;
+      const Rect& b = clusters[j].bounds;
+      bool interior_overlap = true;
+      for (int d = 0; d < 2; ++d) {
+        if (a.hi(d) <= b.lo(d) + 1e-9 || b.hi(d) <= a.lo(d) + 1e-9) {
+          interior_overlap = false;
+        }
+      }
+      EXPECT_FALSE(interior_overlap)
+          << "clusters " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dod

@@ -1,0 +1,155 @@
+// Copyright 2026 The DOD Authors.
+//
+// The recursive weighted bisection behind DDriven / CDriven: results must
+// tile the domain exactly and balance the requested weight.
+
+#include "partition/bisect.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "data/generators.h"
+#include "partition/partition_plan.h"
+#include "partition/sampler.h"
+
+namespace dod {
+namespace {
+
+BucketAuxFn NoAux() {
+  return [](double, const Rect&) { return 0.0; };
+}
+
+RegionCostFn CountWeight() {
+  return [](double cardinality, double, const Rect&) { return cardinality; };
+}
+
+// Validates tiling by wrapping the rects into a PartitionPlan.
+void ExpectTilesDomain(const std::vector<Rect>& rects, const Rect& domain) {
+  const PartitionPlan plan(domain, 1.0, rects);
+  EXPECT_TRUE(plan.Validate().ok()) << plan.Validate().ToString();
+}
+
+TEST(WeightedBisectTest, SingleRegionIsWholeDomain) {
+  MiniBucketGrid grid(Rect::Cube(2, 0.0, 10.0), 8);
+  const std::vector<Rect> rects = WeightedBisect(grid, 1.0, 1, NoAux(), CountWeight());
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], grid.domain());
+}
+
+TEST(WeightedBisectTest, ProducesRequestedRegionCount) {
+  const Dataset data = GenerateUniform(5000, Rect::Cube(2, 0.0, 100.0), 1);
+  SamplerOptions options;
+  options.rate = 1.0;
+  options.buckets_per_dim = 16;
+  const DistributionSketch sketch = BuildSketch(data, data.Bounds(), options);
+  for (size_t m : {2, 3, 7, 16, 33}) {
+    const std::vector<Rect> rects =
+        WeightedBisect(sketch.grid, sketch.Scale(), m, NoAux(), CountWeight());
+    EXPECT_EQ(rects.size(), m);
+    ExpectTilesDomain(rects, sketch.grid.domain());
+  }
+}
+
+TEST(WeightedBisectTest, BalancesUniformWeight) {
+  const Dataset data = GenerateUniform(20000, Rect::Cube(2, 0.0, 100.0), 2);
+  SamplerOptions options;
+  options.rate = 1.0;
+  options.buckets_per_dim = 32;
+  const DistributionSketch sketch = BuildSketch(data, data.Bounds(), options);
+  const std::vector<Rect> rects =
+      WeightedBisect(sketch.grid, sketch.Scale(), 8, NoAux(), CountWeight());
+  std::vector<double> loads;
+  for (const Rect& rect : rects) {
+    loads.push_back(
+        static_cast<double>(RegionStats(sketch, rect).cardinality));
+  }
+  EXPECT_LT(ImbalanceFactor(loads), 1.3);
+}
+
+TEST(WeightedBisectTest, BalancesSkewedWeight) {
+  // 90% of mass in one corner: bisection must still balance counts.
+  Dataset data(2);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    if (i < 18000) {
+      data.Append(Point{rng.NextUniform(0.0, 10.0), rng.NextUniform(0.0, 10.0)});
+    } else {
+      data.Append(
+          Point{rng.NextUniform(0.0, 100.0), rng.NextUniform(0.0, 100.0)});
+    }
+  }
+  SamplerOptions options;
+  options.rate = 1.0;
+  options.buckets_per_dim = 64;
+  const DistributionSketch sketch =
+      BuildSketch(data, Rect::Cube(2, 0.0, 100.0), options);
+  const std::vector<Rect> rects =
+      WeightedBisect(sketch.grid, sketch.Scale(), 16, NoAux(), CountWeight());
+  ExpectTilesDomain(rects, sketch.grid.domain());
+  std::vector<double> loads;
+  for (const Rect& rect : rects) {
+    loads.push_back(
+        static_cast<double>(RegionStats(sketch, rect).cardinality));
+  }
+  // Resolution-limited, but far better than the 16x imbalance of an
+  // equi-width grid on this data.
+  EXPECT_LT(ImbalanceFactor(loads), 2.0);
+}
+
+TEST(WeightedBisectTest, EmptyGridStillTiles) {
+  MiniBucketGrid grid(Rect::Cube(2, 0.0, 10.0), 8);
+  const std::vector<Rect> rects = WeightedBisect(grid, 1.0, 4, NoAux(), CountWeight());
+  EXPECT_EQ(rects.size(), 4u);
+  ExpectTilesDomain(rects, grid.domain());
+}
+
+TEST(WeightedBisectTest, ResolutionLimitsRegionCount) {
+  // A 2x2 bucket grid cannot produce more than 4 regions.
+  MiniBucketGrid grid(Rect::Cube(2, 0.0, 10.0), 2);
+  const double p[2] = {1.0, 1.0};
+  grid.Add(p);
+  const std::vector<Rect> rects = WeightedBisect(grid, 1.0, 10, NoAux(), CountWeight());
+  EXPECT_EQ(rects.size(), 4u);
+  ExpectTilesDomain(rects, grid.domain());
+}
+
+TEST(WeightedBisectTest, RegionCostFunctionIsHonored) {
+  // Cost only the right half of the domain; the cut between the two
+  // regions must land at or beyond x=5 so that costs can balance.
+  MiniBucketGrid grid(Rect::Cube(2, 0.0, 10.0), 10);
+  CellCoord c;
+  c.dims = 2;
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      c.c[0] = x;
+      c.c[1] = y;
+      grid.AddAt(c, x >= 5 ? 1.0 : 0.0);
+    }
+  }
+  const std::vector<Rect> rects =
+      WeightedBisect(grid, 1.0, 2, NoAux(), CountWeight());
+  ASSERT_EQ(rects.size(), 2u);
+  const double cut = std::max(rects[0].lo(0), rects[1].lo(0));
+  EXPECT_GE(cut, 5.0);
+  ExpectTilesDomain(rects, grid.domain());
+}
+
+TEST(WeightedBisectTest, NonAdditiveRegionCostStillTilesAndBalances) {
+  // A superlinear (quadratic) region cost: the split choice changes but
+  // structural guarantees must hold.
+  const Dataset data = GenerateUniform(10000, Rect::Cube(2, 0.0, 100.0), 4);
+  SamplerOptions options;
+  options.rate = 1.0;
+  options.buckets_per_dim = 32;
+  const DistributionSketch sketch = BuildSketch(data, data.Bounds(), options);
+  const std::vector<Rect> rects = WeightedBisect(
+      sketch.grid, sketch.Scale(), 8, NoAux(),
+      [](double cardinality, double, const Rect&) {
+        return cardinality * cardinality;
+      });
+  EXPECT_EQ(rects.size(), 8u);
+  ExpectTilesDomain(rects, sketch.grid.domain());
+}
+
+}  // namespace
+}  // namespace dod

@@ -1,0 +1,82 @@
+// Copyright 2026 The DOD Authors.
+//
+// DodConfig factories/labels, StageBreakdown arithmetic, and the
+// auto-derived partition count.
+
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/plan.h"
+#include "data/generators.h"
+#include "partition/sampler.h"
+
+namespace dod {
+namespace {
+
+TEST(DodConfigTest, DmtFactory) {
+  const DodConfig config = DodConfig::Dmt(DetectionParams{2.5, 7});
+  EXPECT_EQ(config.strategy, StrategyKind::kDmt);
+  EXPECT_DOUBLE_EQ(config.params.radius, 2.5);
+  EXPECT_EQ(config.params.min_neighbors, 7);
+  EXPECT_EQ(config.Label(), "DMT");
+}
+
+TEST(DodConfigTest, BaselineFactory) {
+  const DodConfig config = DodConfig::Baseline(
+      DetectionParams{1.0, 1}, StrategyKind::kUniSpace,
+      AlgorithmKind::kNestedLoop);
+  EXPECT_EQ(config.strategy, StrategyKind::kUniSpace);
+  EXPECT_EQ(config.fixed_algorithm, AlgorithmKind::kNestedLoop);
+  EXPECT_EQ(config.Label(), "uniSpace + Nested-Loop");
+}
+
+TEST(DodConfigTest, DefaultsAreAutoAdaptive) {
+  const DodConfig config = DodConfig::Dmt(DetectionParams{1.0, 1});
+  EXPECT_EQ(config.target_partitions, 0u);  // 0 = derive from cardinality
+  EXPECT_EQ(config.packing, PackingPolicy::kLpt);
+  EXPECT_TRUE(config.sampler.adapt_resolution);
+}
+
+TEST(DodConfigTest, AutoPartitionCountScalesWithData) {
+  DetectionParams params{5.0, 4};
+  auto cells_for = [&](size_t n) {
+    const Dataset data = GenerateUniform(n, DomainForDensity(n, 0.05), 3);
+    DodConfig config =
+        DodConfig::Baseline(params, StrategyKind::kUniSpace,
+                            AlgorithmKind::kCellBased);
+    SamplerOptions sampler = config.sampler;
+    const DistributionSketch sketch =
+        BuildSketch(data, data.Bounds(), sampler);
+    return BuildMultiTacticPlan(sketch, config).partition_plan.num_cells();
+  };
+  // Small data floors at 16 cells; larger data gets proportionally more.
+  EXPECT_EQ(cells_for(2000), 16u);
+  EXPECT_GT(cells_for(120000), 16u);
+}
+
+TEST(StageBreakdownTest, TotalSumsStages) {
+  StageBreakdown breakdown;
+  breakdown.preprocess_seconds = 1.0;
+  breakdown.detect = StageTimes{2.0, 3.0, 4.0};
+  breakdown.verify = StageTimes{0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(breakdown.total(), 11.5);
+}
+
+TEST(StrategyKindTest, NamesAreStable) {
+  EXPECT_STREQ(StrategyKindName(StrategyKind::kDomain), "Domain");
+  EXPECT_STREQ(StrategyKindName(StrategyKind::kUniSpace), "uniSpace");
+  EXPECT_STREQ(StrategyKindName(StrategyKind::kDDriven), "DDriven");
+  EXPECT_STREQ(StrategyKindName(StrategyKind::kCDriven), "CDriven");
+  EXPECT_STREQ(StrategyKindName(StrategyKind::kDmt), "DMT");
+}
+
+TEST(AlgorithmKindTest, NamesAreStable) {
+  EXPECT_STREQ(AlgorithmKindName(AlgorithmKind::kNestedLoop), "Nested-Loop");
+  EXPECT_STREQ(AlgorithmKindName(AlgorithmKind::kCellBased), "Cell-Based");
+  EXPECT_STREQ(AlgorithmKindName(AlgorithmKind::kBruteForce), "BruteForce");
+}
+
+}  // namespace
+}  // namespace dod

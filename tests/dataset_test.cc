@@ -1,0 +1,75 @@
+// Copyright 2026 The DOD Authors.
+
+#include "common/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace dod {
+namespace {
+
+TEST(DatasetTest, AppendAndAccess) {
+  Dataset data(2);
+  EXPECT_TRUE(data.empty());
+  const PointId a = data.Append(Point{1.0, 2.0});
+  const PointId b = data.Append(Point{3.0, 4.0});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data[b][0], 3.0);
+  EXPECT_EQ(data.GetPoint(a), (Point{1.0, 2.0}));
+}
+
+TEST(DatasetTest, AppendRawPointer) {
+  Dataset data(3);
+  const double raw[3] = {1.0, 2.0, 3.0};
+  data.Append(raw);
+  EXPECT_EQ(data.GetPoint(0), (Point{1.0, 2.0, 3.0}));
+}
+
+TEST(DatasetTest, AppendAllConcatenates) {
+  Dataset a(2), b(2);
+  a.Append(Point{0.0, 0.0});
+  b.Append(Point{1.0, 1.0});
+  b.Append(Point{2.0, 2.0});
+  a.AppendAll(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.GetPoint(2), (Point{2.0, 2.0}));
+}
+
+TEST(DatasetTest, BoundsCoverAllPoints) {
+  Dataset data(2);
+  data.Append(Point{1.0, 10.0});
+  data.Append(Point{-5.0, 3.0});
+  data.Append(Point{2.0, 7.0});
+  const Rect bounds = data.Bounds();
+  EXPECT_EQ(bounds.min(), (Point{-5.0, 3.0}));
+  EXPECT_EQ(bounds.max(), (Point{2.0, 10.0}));
+}
+
+TEST(DatasetTest, SubsetPreservesOrder) {
+  Dataset data(1);
+  for (int i = 0; i < 10; ++i) data.Append(Point{static_cast<double>(i)});
+  const Dataset sub = data.Subset({7, 2, 9});
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub[0][0], 7.0);
+  EXPECT_EQ(sub[1][0], 2.0);
+  EXPECT_EQ(sub[2][0], 9.0);
+}
+
+TEST(DatasetTest, ClearEmpties) {
+  Dataset data(2);
+  data.Append(Point{1.0, 1.0});
+  data.Clear();
+  EXPECT_TRUE(data.empty());
+  EXPECT_EQ(data.size(), 0u);
+}
+
+TEST(DatasetTest, RawStorageIsRowMajor) {
+  Dataset data(2);
+  data.Append(Point{1.0, 2.0});
+  data.Append(Point{3.0, 4.0});
+  EXPECT_EQ(data.raw(), (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+}  // namespace
+}  // namespace dod

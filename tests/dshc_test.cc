@@ -1,0 +1,126 @@
+// Copyright 2026 The DOD Authors.
+//
+// DSHC end-to-end: clustering a distribution sketch must tile the domain
+// with rectangles, respect the cardinality cap, and separate density bands.
+
+#include "dshc/dshc.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/geo_like.h"
+#include "partition/partition_plan.h"
+#include "partition/sampler.h"
+
+namespace dod {
+namespace {
+
+DistributionSketch SketchOf(const Dataset& data, int buckets = 32,
+                            double rate = 0.5) {
+  SamplerOptions options;
+  options.rate = rate;
+  options.buckets_per_dim = buckets;
+  options.seed = 4242;
+  return BuildSketch(data, data.Bounds(), options);
+}
+
+void ExpectTilesDomain(const std::vector<AggregateFeature>& clusters,
+                       const Rect& domain) {
+  std::vector<Rect> rects;
+  for (const AggregateFeature& af : clusters) rects.push_back(af.bounds);
+  const PartitionPlan plan(domain, 1.0, rects);
+  EXPECT_TRUE(plan.Validate().ok()) << plan.Validate().ToString();
+}
+
+TEST(DshcTest, UniformDataCollapsesToFewClusters) {
+  const Dataset data = GenerateUniform(20000, Rect::Cube(2, 0.0, 100.0), 1);
+  const DistributionSketch sketch = SketchOf(data);
+  DshcOptions options;
+  options.target_partitions = 16;
+  const auto clusters = ClusterMiniBuckets(sketch, options);
+  ExpectTilesDomain(clusters, sketch.grid.domain());
+  // Uniform density merges aggressively; the count is governed by the
+  // cardinality cap (~4x mean → at least ~4 clusters).
+  EXPECT_LE(clusters.size(), 64u);
+  EXPECT_GE(clusters.size(), 4u);
+}
+
+TEST(DshcTest, ClusteredDataTilesAndSeparatesDensities) {
+  SettlementProfile profile;
+  profile.num_cities = 4;
+  profile.city_fraction = 0.9;
+  const Dataset data =
+      GenerateSettlements(30000, DomainForDensity(30000, 0.05), profile, 3);
+  const DistributionSketch sketch = SketchOf(data, 48);
+  DshcOptions options;
+  options.target_partitions = 32;
+  const auto clusters = ClusterMiniBuckets(sketch, options);
+  ExpectTilesDomain(clusters, sketch.grid.domain());
+  // Density spread across clusters must be large (cities vs empty space).
+  double min_density = 1e300, max_density = 0.0;
+  for (const AggregateFeature& af : clusters) {
+    if (af.num_points <= 0) continue;
+    min_density = std::min(min_density, af.density());
+    max_density = std::max(max_density, af.density());
+  }
+  EXPECT_GT(max_density, 10.0 * std::max(min_density, 1e-12));
+}
+
+TEST(DshcTest, RespectsCardinalityCap) {
+  const Dataset data = GenerateGeoRegion(GeoRegion::kNewYork, 20000, 5);
+  const DistributionSketch sketch = SketchOf(data, 32);
+  DshcOptions options;
+  options.t_max_points = 4000.0;
+  const auto clusters = ClusterMiniBuckets(sketch, options);
+  for (const AggregateFeature& af : clusters) {
+    EXPECT_LT(af.num_points, 4000.0 * 1.5)
+        << "cluster far above Tmax#";  // one bucket may exceed slightly
+  }
+}
+
+TEST(DshcTest, ExplicitThresholdsAreHonored) {
+  const Dataset data = GenerateUniform(10000, Rect::Cube(2, 0.0, 50.0), 7);
+  const DistributionSketch sketch = SketchOf(data, 16);
+  DshcOptions options;
+  options.t_diff = 123.0;
+  options.t_max_points = 456.0;
+  const DshcThresholds thresholds = ResolveThresholds(sketch, options);
+  EXPECT_DOUBLE_EQ(thresholds.t_diff, 123.0);
+  EXPECT_DOUBLE_EQ(thresholds.t_max_points, 456.0);
+}
+
+TEST(DshcTest, AutoThresholdsArePositive) {
+  const Dataset data = GenerateGeoRegion(GeoRegion::kOhio, 10000, 9);
+  const DistributionSketch sketch = SketchOf(data);
+  const DshcThresholds thresholds = ResolveThresholds(sketch, DshcOptions{});
+  EXPECT_GT(thresholds.t_diff, 0.0);
+  EXPECT_GT(thresholds.t_max_points, 0.0);
+}
+
+TEST(DshcTest, TinyTdiffDegeneratesToManyClusters) {
+  const Dataset data = GenerateGeoRegion(GeoRegion::kMassachusetts, 10000, 11);
+  const DistributionSketch sketch = SketchOf(data, 16);
+  DshcOptions loose, strict;
+  loose.t_diff = 1e9;
+  strict.t_diff = 1e-9;
+  const auto few = ClusterMiniBuckets(sketch, loose);
+  const auto many = ClusterMiniBuckets(sketch, strict);
+  EXPECT_LT(few.size(), many.size());
+  ExpectTilesDomain(few, sketch.grid.domain());
+  ExpectTilesDomain(many, sketch.grid.domain());
+}
+
+TEST(DshcTest, WorksInThreeDimensions) {
+  const Dataset data = GenerateUniform(5000, Rect::Cube(3, 0.0, 30.0), 13);
+  SamplerOptions soptions;
+  soptions.rate = 0.5;
+  soptions.buckets_per_dim = 8;
+  const DistributionSketch sketch =
+      BuildSketch(data, data.Bounds(), soptions);
+  DshcOptions options;
+  const auto clusters = ClusterMiniBuckets(sketch, options);
+  ExpectTilesDomain(clusters, sketch.grid.domain());
+}
+
+}  // namespace
+}  // namespace dod

@@ -1,0 +1,70 @@
+// Copyright 2026 The DOD Authors.
+
+#include "core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+namespace dod {
+namespace {
+
+TEST(EvaluationTest, PerfectMatch) {
+  const DetectionQuality q = CompareOutlierSets({1, 2, 3}, {3, 2, 1});
+  EXPECT_EQ(q.true_positives, 3u);
+  EXPECT_EQ(q.false_positives, 0u);
+  EXPECT_EQ(q.false_negatives, 0u);
+  EXPECT_TRUE(q.exact());
+  EXPECT_DOUBLE_EQ(q.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(q.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(q.f1(), 1.0);
+}
+
+TEST(EvaluationTest, PartialOverlap) {
+  // reported {1,2,3,4}, expected {3,4,5,6}: TP=2 FP=2 FN=2.
+  const DetectionQuality q = CompareOutlierSets({1, 2, 3, 4}, {3, 4, 5, 6});
+  EXPECT_EQ(q.true_positives, 2u);
+  EXPECT_EQ(q.false_positives, 2u);
+  EXPECT_EQ(q.false_negatives, 2u);
+  EXPECT_DOUBLE_EQ(q.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(q.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(q.f1(), 0.5);
+  EXPECT_FALSE(q.exact());
+}
+
+TEST(EvaluationTest, EmptySets) {
+  const DetectionQuality q = CompareOutlierSets({}, {});
+  EXPECT_TRUE(q.exact());
+  EXPECT_DOUBLE_EQ(q.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(q.recall(), 1.0);
+}
+
+TEST(EvaluationTest, NothingReported) {
+  const DetectionQuality q = CompareOutlierSets({}, {1, 2});
+  EXPECT_EQ(q.false_negatives, 2u);
+  EXPECT_DOUBLE_EQ(q.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(q.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(q.f1(), 0.0);
+}
+
+TEST(EvaluationTest, EverythingSpurious) {
+  const DetectionQuality q = CompareOutlierSets({1, 2}, {});
+  EXPECT_EQ(q.false_positives, 2u);
+  EXPECT_DOUBLE_EQ(q.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(q.recall(), 0.0);
+}
+
+TEST(EvaluationTest, DuplicatesAreDeduplicated) {
+  const DetectionQuality q = CompareOutlierSets({5, 5, 5}, {5});
+  EXPECT_EQ(q.true_positives, 1u);
+  EXPECT_EQ(q.false_positives, 0u);
+  EXPECT_TRUE(q.exact());
+}
+
+TEST(EvaluationTest, UnsortedInputsHandled) {
+  const DetectionQuality q =
+      CompareOutlierSets({9, 1, 5}, {5, 9, 1, 7});
+  EXPECT_EQ(q.true_positives, 3u);
+  EXPECT_EQ(q.false_negatives, 1u);
+}
+
+}  // namespace
+}  // namespace dod

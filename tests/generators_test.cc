@@ -1,0 +1,159 @@
+// Copyright 2026 The DOD Authors.
+//
+// Workload generators: determinism, domain containment, and the calibrated
+// density / skew properties the benches rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "data/distort.h"
+#include "data/generators.h"
+#include "data/geo_like.h"
+#include "data/tiger_like.h"
+#include "partition/minibucket.h"
+
+namespace dod {
+namespace {
+
+TEST(GeneratorsTest, UniformStaysInDomainAndIsDeterministic) {
+  const Rect domain = Rect::Cube(2, -5.0, 5.0);
+  const Dataset a = GenerateUniform(5000, domain, 42);
+  const Dataset b = GenerateUniform(5000, domain, 42);
+  EXPECT_EQ(a.raw(), b.raw());
+  EXPECT_TRUE(domain.Covers(a.Bounds()));
+}
+
+TEST(GeneratorsTest, DifferentSeedsDiffer) {
+  const Rect domain = Rect::Cube(2, 0.0, 1.0);
+  EXPECT_NE(GenerateUniform(100, domain, 1).raw(),
+            GenerateUniform(100, domain, 2).raw());
+}
+
+TEST(GeneratorsTest, DomainForDensityHitsTarget) {
+  const Rect domain = DomainForDensity(10000, 0.1);
+  EXPECT_NEAR(10000.0 / domain.Area(), 0.1, 1e-9);
+  EXPECT_EQ(domain.dims(), 2);
+}
+
+TEST(GeneratorsTest, SettlementsAreSkewed) {
+  SettlementProfile profile;
+  profile.city_fraction = 0.9;
+  profile.sigma_frac = 0.03;
+  const Rect domain = DomainForDensity(20000, 0.05);
+  const Dataset data = GenerateSettlements(20000, domain, profile, 7);
+  EXPECT_TRUE(domain.Covers(data.Bounds()));
+
+  // Mini-bucket histogram: clustered data concentrates most mass in a few
+  // buckets, unlike uniform data.
+  MiniBucketGrid clustered_grid(domain, 16);
+  for (size_t i = 0; i < data.size(); ++i) {
+    clustered_grid.Add(data[static_cast<PointId>(i)]);
+  }
+  std::vector<double> weights;
+  for (const auto& bucket : clustered_grid.buckets()) {
+    weights.push_back(bucket.weight);
+  }
+  EXPECT_GT(ImbalanceFactor(weights), 4.0);
+}
+
+TEST(GeoLikeTest, RegionsHaveEqualCardinalityAndOrderedDensities) {
+  const size_t n = 10000;
+  double last_density = 0.0;
+  for (GeoRegion region : {GeoRegion::kOhio, GeoRegion::kMassachusetts,
+                           GeoRegion::kCalifornia, GeoRegion::kNewYork}) {
+    const Dataset data = GenerateGeoRegion(region, n, 3);
+    EXPECT_EQ(data.size(), n);
+    const double density =
+        static_cast<double>(data.size()) / data.Bounds().Area();
+    EXPECT_GT(density, last_density)
+        << "regions must be ordered OH < MA < CA < NY in density";
+    last_density = density;
+  }
+}
+
+TEST(GeoLikeTest, RegionNames) {
+  EXPECT_EQ(GeoRegionName(GeoRegion::kOhio), "OH");
+  EXPECT_EQ(GeoRegionName(GeoRegion::kNewYork), "NY");
+}
+
+TEST(GeoLikeTest, HierarchicalCardinalityGrowsWithLevel) {
+  const size_t base = 2000;
+  size_t last = 0;
+  for (MapLevel level : {MapLevel::kMassachusetts, MapLevel::kNewEngland,
+                         MapLevel::kUnitedStates, MapLevel::kPlanet}) {
+    const Dataset data = GenerateHierarchical(level, base, 5);
+    EXPECT_EQ(data.size(), base * MapLevelMultiplier(level))
+        << MapLevelName(level);
+    EXPECT_GT(data.size(), last);
+    last = data.size();
+  }
+}
+
+TEST(GeoLikeTest, HierarchicalIsDeterministic) {
+  const Dataset a = GenerateHierarchical(MapLevel::kNewEngland, 1000, 9);
+  const Dataset b = GenerateHierarchical(MapLevel::kNewEngland, 1000, 9);
+  EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(TigerLikeTest, CorridorsAreDenserThanBackground) {
+  const Dataset data = GenerateTigerLike(20000, 11);
+  // Bucket histogram: corridor buckets should dwarf rural buckets.
+  MiniBucketGrid grid(data.Bounds(), 32);
+  for (size_t i = 0; i < data.size(); ++i) {
+    grid.Add(data[static_cast<PointId>(i)]);
+  }
+  std::vector<double> weights;
+  for (const auto& bucket : grid.buckets()) weights.push_back(bucket.weight);
+  EXPECT_GT(ImbalanceFactor(weights), 5.0);
+}
+
+TEST(TigerLikeTest, RespectsDomainAndCount) {
+  const Rect domain = Rect::Cube(2, 0.0, 200.0);
+  RoadNetworkProfile profile;
+  const Dataset data = GenerateRoadNetwork(5000, domain, profile, 13);
+  EXPECT_EQ(data.size(), 5000u);
+  EXPECT_TRUE(domain.Covers(data.Bounds()));
+}
+
+TEST(DistortTest, ProducesOriginalPlusCopies) {
+  const Dataset base = GenerateUniform(1000, Rect::Cube(2, 0.0, 100.0), 17);
+  DistortOptions options;
+  options.copies = 3;
+  const Dataset out = DistortReplicate(base, options);
+  EXPECT_EQ(out.size(), 4000u);
+  // The originals lead the output unchanged.
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(out.GetPoint(static_cast<PointId>(i)),
+              base.GetPoint(static_cast<PointId>(i)));
+  }
+}
+
+TEST(DistortTest, AlterationIsBounded) {
+  const Dataset base = GenerateUniform(500, Rect::Cube(2, 0.0, 100.0), 19);
+  DistortOptions options;
+  options.copies = 2;
+  options.max_alteration_frac = 0.01;  // 1% of extent = 1.0
+  const Dataset out = DistortReplicate(base, options);
+  for (int c = 1; c <= 2; ++c) {
+    for (size_t i = 0; i < base.size(); ++i) {
+      const double* original = base[static_cast<PointId>(i)];
+      const double* replica = out[static_cast<PointId>(c * base.size() + i)];
+      for (int d = 0; d < 2; ++d) {
+        EXPECT_LE(std::fabs(replica[d] - original[d]), 1.0 + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(DistortTest, ZeroCopiesReturnsOriginal) {
+  const Dataset base = GenerateUniform(100, Rect::Cube(2, 0.0, 10.0), 23);
+  DistortOptions options;
+  options.copies = 0;
+  const Dataset out = DistortReplicate(base, options);
+  EXPECT_EQ(out.raw(), base.raw());
+}
+
+}  // namespace
+}  // namespace dod

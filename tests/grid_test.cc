@@ -1,0 +1,130 @@
+// Copyright 2026 The DOD Authors.
+
+#include "detection/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace dod {
+namespace {
+
+TEST(CellCoordTest, EqualityAndHash) {
+  CellCoord a{{1, 2}, 2};
+  CellCoord b{{1, 2}, 2};
+  CellCoord c{{1, 3}, 2};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  CellCoordHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+}
+
+TEST(SparseGridTest, CoordOfUsesFloor) {
+  SparseGrid grid(Point{0.0, 0.0}, 1.0);
+  const double p1[2] = {0.5, 0.5};
+  const double p2[2] = {-0.5, 1.5};
+  const CellCoord c1 = grid.CoordOf(p1);
+  EXPECT_EQ(c1.c[0], 0);
+  EXPECT_EQ(c1.c[1], 0);
+  const CellCoord c2 = grid.CoordOf(p2);
+  EXPECT_EQ(c2.c[0], -1);
+  EXPECT_EQ(c2.c[1], 1);
+}
+
+TEST(SparseGridTest, InsertGroupsPointsByCell) {
+  SparseGrid grid(Point{0.0, 0.0}, 1.0);
+  const double a[2] = {0.1, 0.1};
+  const double b[2] = {0.9, 0.9};
+  const double c[2] = {1.1, 0.1};
+  grid.Insert(a, 0);
+  grid.Insert(b, 1);
+  grid.Insert(c, 2);
+  EXPECT_EQ(grid.cells().size(), 2u);
+  const SparseGrid::Cell* cell = grid.Find(grid.CoordOf(a));
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->points, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(SparseGridTest, FindReturnsNullForEmptyCell) {
+  SparseGrid grid(Point{0.0, 0.0}, 1.0);
+  CellCoord far{{100, 100}, 2};
+  EXPECT_EQ(grid.Find(far), nullptr);
+}
+
+TEST(SparseGridTest, CountBlockCountsNeighborhood) {
+  SparseGrid grid(Point{0.0, 0.0}, 1.0);
+  // One point per cell in a 5x5 patch.
+  uint32_t id = 0;
+  for (int x = 0; x < 5; ++x) {
+    for (int y = 0; y < 5; ++y) {
+      const double p[2] = {x + 0.5, y + 0.5};
+      grid.Insert(p, id++);
+    }
+  }
+  const double center[2] = {2.5, 2.5};
+  const CellCoord cc = grid.CoordOf(center);
+  EXPECT_EQ(grid.CountBlock(cc, 0), 1u);
+  EXPECT_EQ(grid.CountBlock(cc, 1), 9u);
+  EXPECT_EQ(grid.CountBlock(cc, 2), 25u);
+  EXPECT_EQ(grid.CountBlock(cc, 3), 25u);  // nothing beyond the patch
+}
+
+TEST(SparseGridTest, ForEachCellInBlockRespectsMinRing) {
+  SparseGrid grid(Point{0.0, 0.0}, 1.0);
+  uint32_t id = 0;
+  for (int x = 0; x < 5; ++x) {
+    for (int y = 0; y < 5; ++y) {
+      const double p[2] = {x + 0.5, y + 0.5};
+      grid.Insert(p, id++);
+    }
+  }
+  const double center[2] = {2.5, 2.5};
+  size_t ring2_count = 0;
+  grid.ForEachCellInBlock(grid.CoordOf(center), 2, 2,
+                          [&](const SparseGrid::Cell& cell) {
+                            ring2_count += cell.points.size();
+                          });
+  EXPECT_EQ(ring2_count, 16u);  // 5x5 minus 3x3
+}
+
+TEST(SparseGridTest, CountBlockMatchesBruteForceOnRandomData) {
+  const Dataset data = GenerateUniform(500, Rect::Cube(2, 0.0, 20.0), 99);
+  const double side = 1.7;
+  SparseGrid grid(data.Bounds().min(), side);
+  for (uint32_t i = 0; i < data.size(); ++i) grid.Insert(data[i], i);
+
+  for (const SparseGrid::Cell& cell : grid.cells()) {
+    for (int ring = 0; ring <= 2; ++ring) {
+      // Brute force: count points whose cell coords are within `ring` in
+      // Chebyshev distance.
+      size_t expected = 0;
+      for (uint32_t i = 0; i < data.size(); ++i) {
+        const CellCoord c = grid.CoordOf(data[i]);
+        int cheby = 0;
+        for (int d = 0; d < 2; ++d) {
+          cheby = std::max(cheby, std::abs(c.c[d] - cell.coord.c[d]));
+        }
+        if (cheby <= ring) ++expected;
+      }
+      EXPECT_EQ(grid.CountBlock(cell.coord, ring), expected);
+    }
+  }
+}
+
+TEST(SparseGridTest, ThreeDimensionalBlocks) {
+  SparseGrid grid(Point{0.0, 0.0, 0.0}, 1.0);
+  uint32_t id = 0;
+  for (int x = 0; x < 3; ++x) {
+    for (int y = 0; y < 3; ++y) {
+      for (int z = 0; z < 3; ++z) {
+        const double p[3] = {x + 0.5, y + 0.5, z + 0.5};
+        grid.Insert(p, id++);
+      }
+    }
+  }
+  const double center[3] = {1.5, 1.5, 1.5};
+  EXPECT_EQ(grid.CountBlock(grid.CoordOf(center), 1), 27u);
+}
+
+}  // namespace
+}  // namespace dod

@@ -1,0 +1,145 @@
+// Copyright 2026 The DOD Authors.
+
+#include "extensions/knn_outliers.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/generators.h"
+#include "data/tiger_like.h"
+
+namespace dod {
+namespace {
+
+// Exact reference: full O(n²) scoring.
+std::vector<KnnOutlier> BruteTopN(const Dataset& data,
+                                  const KnnOutlierParams& params) {
+  std::vector<KnnOutlier> scores;
+  for (PointId i = 0; i < data.size(); ++i) {
+    scores.push_back(KnnOutlier{i, KDistance(data, i, params.k)});
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const KnnOutlier& a, const KnnOutlier& b) {
+              if (a.k_distance != b.k_distance) {
+                return a.k_distance > b.k_distance;
+              }
+              return a.id < b.id;
+            });
+  if (scores.size() > params.top_n) scores.resize(params.top_n);
+  return scores;
+}
+
+void ExpectSameOutliers(const std::vector<KnnOutlier>& a,
+                        const std::vector<KnnOutlier>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << "rank " << i;
+    EXPECT_NEAR(a[i].k_distance, b[i].k_distance, 1e-9) << "rank " << i;
+  }
+}
+
+TEST(KDistanceTest, HandComputed) {
+  Dataset data(2);
+  data.Append(Point{0.0, 0.0});
+  data.Append(Point{3.0, 0.0});
+  data.Append(Point{0.0, 4.0});
+  data.Append(Point{6.0, 8.0});
+  // Point 0: neighbors at distances 3, 4, 10.
+  EXPECT_DOUBLE_EQ(KDistance(data, 0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(KDistance(data, 0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(KDistance(data, 0, 3), 10.0);
+}
+
+TEST(KDistanceTest, InfiniteWhenTooFewPoints) {
+  Dataset data(2);
+  data.Append(Point{0.0, 0.0});
+  data.Append(Point{1.0, 0.0});
+  EXPECT_TRUE(std::isinf(KDistance(data, 0, 2)));
+}
+
+TEST(TopNKnnOutliersTest, MatchesBruteForceOnUniform) {
+  const Dataset data = GenerateUniform(2000, DomainForDensity(2000, 0.05), 3);
+  const KnnOutlierParams params{5, 20};
+  ExpectSameOutliers(TopNKnnOutliers(data, params), BruteTopN(data, params));
+}
+
+TEST(TopNKnnOutliersTest, MatchesBruteForceOnClustered) {
+  SettlementProfile profile;
+  const Dataset data =
+      GenerateSettlements(3000, DomainForDensity(3000, 0.05), profile, 5);
+  const KnnOutlierParams params{4, 15};
+  ExpectSameOutliers(TopNKnnOutliers(data, params), BruteTopN(data, params));
+}
+
+TEST(TopNKnnOutliersTest, MatchesBruteForceOnCorridors) {
+  const Dataset data = GenerateTigerLike(2500, 7);
+  for (int k : {1, 3, 10}) {
+    const KnnOutlierParams params{k, 25};
+    ExpectSameOutliers(TopNKnnOutliers(data, params),
+                       BruteTopN(data, params));
+  }
+}
+
+TEST(TopNKnnOutliersTest, InjectedExtremesRankFirst) {
+  Dataset data = GenerateUniform(1000, Rect::Cube(2, 0.0, 100.0), 9);
+  const PointId far_a = data.Append(Point{1000.0, 1000.0});
+  const PointId far_b = data.Append(Point{-800.0, 900.0});
+  const KnnOutlierParams params{3, 2};
+  const std::vector<KnnOutlier> top = TopNKnnOutliers(data, params);
+  ASSERT_EQ(top.size(), 2u);
+  std::vector<PointId> ids = {top[0].id, top[1].id};
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<PointId>{far_a, far_b}));
+}
+
+TEST(TopNKnnOutliersTest, TopNLargerThanDataset) {
+  const Dataset data = GenerateUniform(50, Rect::Cube(2, 0.0, 10.0), 11);
+  const KnnOutlierParams params{3, 100};
+  EXPECT_EQ(TopNKnnOutliers(data, params).size(), 50u);
+}
+
+TEST(TopNKnnOutliersTest, KLargerThanDatasetGivesInfiniteScores) {
+  const Dataset data = GenerateUniform(5, Rect::Cube(2, 0.0, 10.0), 13);
+  const KnnOutlierParams params{10, 3};
+  const std::vector<KnnOutlier> top = TopNKnnOutliers(data, params);
+  ASSERT_EQ(top.size(), 3u);
+  for (const KnnOutlier& o : top) EXPECT_TRUE(std::isinf(o.k_distance));
+  // Tie-break by ascending id.
+  EXPECT_EQ(top[0].id, 0u);
+  EXPECT_EQ(top[1].id, 1u);
+}
+
+TEST(TopNKnnOutliersTest, EmptyInputs) {
+  Dataset data(2);
+  EXPECT_TRUE(TopNKnnOutliers(data, {3, 5}).empty());
+  data.Append(Point{1.0, 1.0});
+  KnnOutlierParams zero{3, 0};
+  EXPECT_TRUE(TopNKnnOutliers(data, zero).empty());
+}
+
+TEST(TopNKnnOutliersTest, DegenerateDomain) {
+  // All points on a vertical line: zero-area bounds, fallback path.
+  Dataset data(2);
+  for (int i = 0; i < 30; ++i) {
+    data.Append(Point{5.0, static_cast<double>(i)});
+  }
+  const KnnOutlierParams params{2, 3};
+  ExpectSameOutliers(TopNKnnOutliers(data, params), BruteTopN(data, params));
+}
+
+TEST(TopNKnnOutliersTest, SemanticsDifferFromDistanceThreshold) {
+  // The paper's related-work contrast: kNN outliers are a global top-n —
+  // shrinking n changes the reported set, while the distance-threshold
+  // definition is per-point. Top-5 must be a prefix of top-10.
+  const Dataset data = GenerateTigerLike(1500, 15);
+  const std::vector<KnnOutlier> top10 = TopNKnnOutliers(data, {4, 10});
+  const std::vector<KnnOutlier> top5 = TopNKnnOutliers(data, {4, 5});
+  ASSERT_EQ(top10.size(), 10u);
+  ASSERT_EQ(top5.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(top5[i].id, top10[i].id);
+}
+
+}  // namespace
+}  // namespace dod

@@ -1,0 +1,147 @@
+// Copyright 2026 The DOD Authors.
+
+#include "partition/minibucket.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "partition/sampler.h"
+
+namespace dod {
+namespace {
+
+TEST(MiniBucketGridTest, CoordOfClampsToGrid) {
+  MiniBucketGrid grid(Rect::Cube(2, 0.0, 10.0), 5);
+  const double inside[2] = {3.2, 7.9};
+  CellCoord c = grid.CoordOf(inside);
+  EXPECT_EQ(c.c[0], 1);
+  EXPECT_EQ(c.c[1], 3);
+  const double top[2] = {10.0, 10.0};  // upper boundary → last bucket
+  c = grid.CoordOf(top);
+  EXPECT_EQ(c.c[0], 4);
+  EXPECT_EQ(c.c[1], 4);
+}
+
+TEST(MiniBucketGridTest, AddAccumulatesWeight) {
+  MiniBucketGrid grid(Rect::Cube(2, 0.0, 10.0), 5);
+  const double p[2] = {1.0, 1.0};
+  grid.Add(p);
+  grid.Add(p, 2.5);
+  EXPECT_EQ(grid.buckets().size(), 1u);
+  EXPECT_DOUBLE_EQ(grid.buckets()[0].weight, 3.5);
+  EXPECT_DOUBLE_EQ(grid.TotalWeight(), 3.5);
+  EXPECT_DOUBLE_EQ(grid.WeightAt(grid.CoordOf(p)), 3.5);
+}
+
+TEST(MiniBucketGridTest, WeightAtEmptyBucketIsZero) {
+  MiniBucketGrid grid(Rect::Cube(2, 0.0, 10.0), 5);
+  CellCoord c{{3, 3}, 2};
+  EXPECT_DOUBLE_EQ(grid.WeightAt(c), 0.0);
+}
+
+TEST(MiniBucketGridTest, BucketRectsTileTheDomain) {
+  MiniBucketGrid grid(Rect::Cube(2, -5.0, 7.0), 4);
+  double total_area = 0.0;
+  CellCoord c;
+  c.dims = 2;
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      c.c[0] = x;
+      c.c[1] = y;
+      total_area += grid.BucketRect(c).Area();
+    }
+  }
+  EXPECT_NEAR(total_area, grid.domain().Area(), 1e-9);
+  // Edge boundaries are exact.
+  c.c[0] = 0;
+  c.c[1] = 0;
+  EXPECT_DOUBLE_EQ(grid.BucketRect(c).lo(0), -5.0);
+  c.c[0] = 3;
+  EXPECT_DOUBLE_EQ(grid.BucketRect(c).hi(0), 7.0);
+}
+
+TEST(MiniBucketGridTest, MergeFromAddsCounts) {
+  const Rect domain = Rect::Cube(2, 0.0, 10.0);
+  MiniBucketGrid a(domain, 4), b(domain, 4);
+  const double p[2] = {1.0, 1.0};
+  const double q[2] = {9.0, 9.0};
+  a.Add(p);
+  b.Add(p);
+  b.Add(q);
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.WeightAt(a.CoordOf(p)), 2.0);
+  EXPECT_DOUBLE_EQ(a.WeightAt(a.CoordOf(q)), 1.0);
+  EXPECT_DOUBLE_EQ(a.TotalWeight(), 3.0);
+}
+
+TEST(SamplerTest, RateControlsSampleSize) {
+  const Dataset data = GenerateUniform(20000, Rect::Cube(2, 0.0, 100.0), 3);
+  SamplerOptions options;
+  options.rate = 0.1;
+  options.min_sample_size = 1;  // isolate the rate from the size floor
+  options.buckets_per_dim = 8;
+  options.adapt_resolution = false;
+  const DistributionSketch sketch = BuildSketch(data, data.Bounds(), options);
+  EXPECT_NEAR(static_cast<double>(sketch.sample_size), 2000.0, 200.0);
+  EXPECT_NEAR(sketch.EstimatedCardinality(), 20000.0, 2000.0);
+  EXPECT_DOUBLE_EQ(sketch.grid.TotalWeight(),
+                   static_cast<double>(sketch.sample_size));
+}
+
+TEST(SamplerTest, SketchPreservesDistributionShape) {
+  // Two clusters: left-heavy; the sketch's left half must hold ~80%.
+  Dataset data(2);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const bool left = i < 8000;
+    data.Append(Point{rng.NextUniform(left ? 0.0 : 50.0, left ? 50.0 : 100.0),
+                      rng.NextUniform(0.0, 100.0)});
+  }
+  SamplerOptions options;
+  options.rate = 0.2;
+  options.buckets_per_dim = 10;
+  const DistributionSketch sketch =
+      BuildSketch(data, Rect::Cube(2, 0.0, 100.0), options);
+  double left_weight = 0.0;
+  for (const MiniBucketGrid::Bucket& b : sketch.grid.buckets()) {
+    if (b.coord.c[0] < 5) left_weight += b.weight;
+  }
+  EXPECT_NEAR(left_weight / sketch.grid.TotalWeight(), 0.8, 0.05);
+}
+
+TEST(SamplerTest, BlockSamplingMatchesSerialDistribution) {
+  const Dataset data = GenerateUniform(5000, Rect::Cube(2, 0.0, 10.0), 7);
+  std::vector<PointId> ids(data.size());
+  for (size_t i = 0; i < data.size(); ++i) ids[i] = static_cast<PointId>(i);
+  MiniBucketGrid grid(data.Bounds(), 8);
+  Rng rng(11);
+  const size_t sampled = SampleBlockInto(data, ids, 0.3, rng, &grid);
+  EXPECT_NEAR(static_cast<double>(sampled), 1500.0, 150.0);
+  EXPECT_DOUBLE_EQ(grid.TotalWeight(), static_cast<double>(sampled));
+}
+
+TEST(RegionStatsTest, CountsScaledBucketsInsideRegion) {
+  const Rect domain = Rect::Cube(2, 0.0, 10.0);
+  DistributionSketch sketch{MiniBucketGrid(domain, 10), 0.5, 0};
+  const double left[2] = {2.0, 5.0};
+  const double right[2] = {8.0, 5.0};
+  sketch.grid.Add(left, 10.0);
+  sketch.grid.Add(right, 30.0);
+  sketch.sample_size = 40;
+  const PartitionStats left_stats =
+      RegionStats(sketch, Rect(Point{0.0, 0.0}, Point{5.0, 10.0}));
+  EXPECT_EQ(left_stats.cardinality, 20u);  // 10 / 0.5
+  EXPECT_DOUBLE_EQ(left_stats.area, 50.0);
+  const PartitionStats all_stats = RegionStats(sketch, domain);
+  EXPECT_EQ(all_stats.cardinality, 80u);
+}
+
+TEST(RegionStatsTest, DensityAccessor) {
+  PartitionStats stats{100, 50.0, 2};
+  EXPECT_DOUBLE_EQ(stats.density(), 2.0);
+  PartitionStats degenerate{100, 0.0, 2};
+  EXPECT_DOUBLE_EQ(degenerate.density(), 0.0);
+}
+
+}  // namespace
+}  // namespace dod

@@ -1,0 +1,92 @@
+// Copyright 2026 The DOD Authors.
+
+#include "data/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "data/generators.h"
+
+namespace dod {
+namespace {
+
+TEST(MinMaxTest, MapsOntoUnitBox) {
+  Dataset data(2);
+  data.Append(Point{10.0, -5.0});
+  data.Append(Point{20.0, 5.0});
+  data.Append(Point{15.0, 0.0});
+  const NormalizationTransform transform = FitMinMax(data);
+  const Dataset normalized = transform.Apply(data);
+  const Rect bounds = normalized.Bounds();
+  EXPECT_DOUBLE_EQ(bounds.lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(bounds.hi(0), 1.0);
+  EXPECT_DOUBLE_EQ(bounds.lo(1), 0.0);
+  EXPECT_DOUBLE_EQ(bounds.hi(1), 1.0);
+  EXPECT_DOUBLE_EQ(normalized[2][0], 0.5);
+}
+
+TEST(MinMaxTest, CustomRange) {
+  Dataset data(1);
+  data.Append(Point{0.0});
+  data.Append(Point{2.0});
+  const Dataset normalized = FitMinMax(data, 100.0).Apply(data);
+  EXPECT_DOUBLE_EQ(normalized[1][0], 100.0);
+}
+
+TEST(MinMaxTest, DegenerateDimensionMapsToZero) {
+  Dataset data(2);
+  data.Append(Point{1.0, 7.0});
+  data.Append(Point{2.0, 7.0});
+  const Dataset normalized = FitMinMax(data).Apply(data);
+  EXPECT_DOUBLE_EQ(normalized[0][1], 0.0);
+  EXPECT_DOUBLE_EQ(normalized[1][1], 0.0);
+}
+
+TEST(ZScoreTest, ZeroMeanUnitVariance) {
+  const Dataset data = GenerateUniform(5000, Rect::Cube(3, -100.0, 300.0), 3);
+  const Dataset normalized = FitZScore(data).Apply(data);
+  for (int d = 0; d < 3; ++d) {
+    RunningStats stats;
+    for (size_t i = 0; i < normalized.size(); ++i) {
+      stats.Add(normalized[static_cast<PointId>(i)][d]);
+    }
+    EXPECT_NEAR(stats.mean(), 0.0, 1e-9);
+    EXPECT_NEAR(stats.stddev(), 1.0, 1e-9);
+  }
+}
+
+TEST(TransformTest, InvertRoundTrips) {
+  const Dataset data = GenerateUniform(100, Rect::Cube(2, 5.0, 50.0), 5);
+  const NormalizationTransform transform = FitZScore(data);
+  const Dataset normalized = transform.Apply(data);
+  for (size_t i = 0; i < data.size(); i += 11) {
+    const Point back =
+        transform.Invert(normalized.GetPoint(static_cast<PointId>(i)));
+    for (int d = 0; d < 2; ++d) {
+      EXPECT_NEAR(back[d], data[static_cast<PointId>(i)][d], 1e-9);
+    }
+  }
+}
+
+TEST(TransformTest, NormalizationPreservesOutlierStructure) {
+  // Scaling features differently must not change which points are isolated
+  // after min-max normalization (relative geometry within each dim).
+  Dataset data(2);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    data.Append(Point{rng.NextUniform(0.0, 1.0),
+                      rng.NextUniform(0.0, 1e6)});
+  }
+  const PointId outlier = data.Append(Point{5.0, 5e6});
+  const Dataset normalized = FitMinMax(data).Apply(data);
+  // The injected point stays extremal in both dimensions.
+  const Rect bounds = normalized.Bounds();
+  EXPECT_DOUBLE_EQ(normalized[outlier][0], bounds.hi(0));
+  EXPECT_DOUBLE_EQ(normalized[outlier][1], bounds.hi(1));
+}
+
+}  // namespace
+}  // namespace dod

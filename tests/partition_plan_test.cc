@@ -1,0 +1,179 @@
+// Copyright 2026 The DOD Authors.
+//
+// PartitionPlan structural invariants (Def. 3.1), supporting areas
+// (Def. 3.3), and the router (core + support point mapping of Fig. 3).
+
+#include "partition/partition_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/distance.h"
+#include "data/generators.h"
+#include "partition/strategies.h"
+
+namespace dod {
+namespace {
+
+PartitionPlan TwoByTwoPlan(double radius = 1.0) {
+  const Rect domain = Rect::Cube(2, 0.0, 10.0);
+  return PartitionPlan(domain, radius, EquiWidthCells(domain, 4));
+}
+
+TEST(PartitionPlanTest, ValidPlanPassesValidation) {
+  const PartitionPlan plan = TwoByTwoPlan();
+  EXPECT_TRUE(plan.Validate().ok());
+  EXPECT_EQ(plan.num_cells(), 4u);
+}
+
+TEST(PartitionPlanTest, OverlappingCellsFailValidation) {
+  const Rect domain = Rect::Cube(2, 0.0, 10.0);
+  std::vector<Rect> cells = {Rect(Point{0.0, 0.0}, Point{6.0, 10.0}),
+                             Rect(Point{5.0, 0.0}, Point{10.0, 10.0})};
+  const PartitionPlan plan(domain, 1.0, cells);
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(PartitionPlanTest, GapsFailValidation) {
+  const Rect domain = Rect::Cube(2, 0.0, 10.0);
+  std::vector<Rect> cells = {Rect(Point{0.0, 0.0}, Point{4.0, 10.0}),
+                             Rect(Point{5.0, 0.0}, Point{10.0, 10.0})};
+  const PartitionPlan plan(domain, 1.0, cells);
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(PartitionPlanTest, CellOutsideDomainFailsValidation) {
+  const Rect domain = Rect::Cube(2, 0.0, 10.0);
+  std::vector<Rect> cells = {Rect(Point{0.0, 0.0}, Point{12.0, 10.0})};
+  const PartitionPlan plan(domain, 1.0, cells);
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(PartitionPlanTest, SupportBoundsAreRExtension) {
+  const PartitionPlan plan = TwoByTwoPlan(1.5);
+  const Rect support = plan.SupportBounds(0);
+  const Rect& cell = plan.cell(0).bounds;
+  for (int d = 0; d < 2; ++d) {
+    EXPECT_DOUBLE_EQ(support.lo(d), cell.lo(d) - 1.5);
+    EXPECT_DOUBLE_EQ(support.hi(d), cell.hi(d) + 1.5);
+  }
+}
+
+TEST(PartitionPlanTest, ContainsCoreIsHalfOpenInside) {
+  const PartitionPlan plan = TwoByTwoPlan();
+  // The internal boundary x=5 belongs to the right cells only.
+  const double on_split[2] = {5.0, 2.0};
+  int owners = 0;
+  for (uint32_t id = 0; id < plan.num_cells(); ++id) {
+    if (plan.ContainsCore(id, on_split)) ++owners;
+  }
+  EXPECT_EQ(owners, 1);
+}
+
+TEST(PartitionPlanTest, DomainUpperBoundaryIsOwned) {
+  const PartitionPlan plan = TwoByTwoPlan();
+  const double corner[2] = {10.0, 10.0};
+  int owners = 0;
+  for (uint32_t id = 0; id < plan.num_cells(); ++id) {
+    if (plan.ContainsCore(id, corner)) ++owners;
+  }
+  EXPECT_EQ(owners, 1);
+}
+
+TEST(PartitionRouterTest, RouteCoreAgreesWithContainsCore) {
+  const PartitionPlan plan = TwoByTwoPlan();
+  const PartitionRouter router(plan);
+  const Dataset data = GenerateUniform(2000, plan.domain(), 17);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double* p = data[static_cast<PointId>(i)];
+    const uint32_t cell = router.RouteCore(p);
+    EXPECT_TRUE(plan.ContainsCore(cell, p));
+  }
+}
+
+TEST(PartitionRouterTest, EveryPointHasExactlyOneCoreCell) {
+  const Rect domain = Rect::Cube(2, 0.0, 100.0);
+  const PartitionPlan plan(domain, 2.0, EquiWidthCells(domain, 25));
+  const Dataset data = GenerateUniform(3000, domain, 19);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double* p = data[static_cast<PointId>(i)];
+    int owners = 0;
+    for (uint32_t id = 0; id < plan.num_cells(); ++id) {
+      if (plan.ContainsCore(id, p)) ++owners;
+    }
+    EXPECT_EQ(owners, 1);
+  }
+}
+
+TEST(PartitionRouterTest, RouteSupportMatchesDefinition) {
+  // Def. 3.3 ground truth: p is a support point of cell C iff p lies in the
+  // r-extension of C but is not a core point of C.
+  const Rect domain = Rect::Cube(2, 0.0, 50.0);
+  const PartitionPlan plan(domain, 3.0, EquiWidthCells(domain, 16));
+  const PartitionRouter router(plan);
+  const Dataset data = GenerateUniform(1500, domain, 23);
+  std::vector<uint32_t> routed;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double* p = data[static_cast<PointId>(i)];
+    routed.clear();
+    router.RouteSupport(p, &routed);
+    const std::set<uint32_t> got(routed.begin(), routed.end());
+    EXPECT_EQ(got.size(), routed.size()) << "duplicate support cells";
+    for (uint32_t id = 0; id < plan.num_cells(); ++id) {
+      const bool expected =
+          plan.SupportBounds(id).Contains(p) && !plan.ContainsCore(id, p);
+      EXPECT_EQ(got.contains(id), expected)
+          << "point " << i << " cell " << id;
+    }
+  }
+}
+
+TEST(PartitionRouterTest, SupportCoversAllForeignNeighbors) {
+  // Lemma 3.1 sufficiency at the plan level: if q is within r of p, then q
+  // is either in p's core cell or a support point of it.
+  const Rect domain = Rect::Cube(2, 0.0, 40.0);
+  const double radius = 2.5;
+  const PartitionPlan plan(domain, radius, EquiWidthCells(domain, 9));
+  const PartitionRouter router(plan);
+  const Dataset data = GenerateUniform(800, domain, 29);
+  std::vector<uint32_t> support;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double* p = data[static_cast<PointId>(i)];
+    const uint32_t home = router.RouteCore(p);
+    for (size_t j = 0; j < data.size(); ++j) {
+      if (i == j) continue;
+      const double* q = data[static_cast<PointId>(j)];
+      if (!WithinDistance(p, q, 2, radius)) continue;
+      if (plan.ContainsCore(home, q)) continue;
+      support.clear();
+      router.RouteSupport(q, &support);
+      EXPECT_NE(std::find(support.begin(), support.end(), home),
+                support.end())
+          << "neighbor " << j << " of point " << i
+          << " not replicated into cell " << home;
+    }
+  }
+}
+
+TEST(PartitionRouterTest, WorksWithManyIrregularCells) {
+  // A 1×N strip plan: thin cells stress the router's bin index.
+  const Rect domain = Rect::Cube(2, 0.0, 100.0);
+  std::vector<Rect> cells;
+  const int strips = 50;
+  for (int s = 0; s < strips; ++s) {
+    cells.push_back(Rect(Point{s * 2.0, 0.0}, Point{(s + 1) * 2.0, 100.0}));
+  }
+  const PartitionPlan plan(domain, 1.0, cells);
+  ASSERT_TRUE(plan.Validate().ok());
+  const PartitionRouter router(plan);
+  const Dataset data = GenerateUniform(1000, domain, 31);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double* p = data[static_cast<PointId>(i)];
+    const uint32_t cell = router.RouteCore(p);
+    EXPECT_TRUE(plan.ContainsCore(cell, p));
+  }
+}
+
+}  // namespace
+}  // namespace dod

@@ -1,0 +1,97 @@
+// Copyright 2026 The DOD Authors.
+
+#include "detection/pivot.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/tiger_like.h"
+#include "detection/brute_force.h"
+
+namespace dod {
+namespace {
+
+std::vector<uint32_t> Oracle(const Dataset& data, size_t num_core,
+                             const DetectionParams& params) {
+  BruteForceDetector oracle;
+  return oracle.DetectOutliers(data, num_core, params, nullptr);
+}
+
+TEST(PivotDetectorTest, MatchesOracleAcrossDensities) {
+  DetectionParams params{5.0, 4};
+  PivotDetector detector(4);
+  for (double density : {0.005, 0.05, 0.3, 1.5}) {
+    const Dataset data =
+        GenerateUniform(1200, DomainForDensity(1200, density), 77);
+    EXPECT_EQ(detector.DetectOutliers(data, data.size(), params),
+              Oracle(data, data.size(), params))
+        << "density " << density;
+  }
+}
+
+TEST(PivotDetectorTest, MatchesOracleOnClusteredData) {
+  DetectionParams params{5.0, 4};
+  SettlementProfile profile;
+  const Dataset data =
+      GenerateSettlements(2000, DomainForDensity(2000, 0.05), profile, 79);
+  PivotDetector detector(6);
+  EXPECT_EQ(detector.DetectOutliers(data, data.size(), params),
+            Oracle(data, data.size(), params));
+}
+
+TEST(PivotDetectorTest, RespectsSupportPointSemantics) {
+  DetectionParams params{5.0, 4};
+  const Dataset data = GenerateTigerLike(1500, 81);
+  const size_t num_core = data.size() * 3 / 4;
+  PivotDetector detector(4);
+  EXPECT_EQ(detector.DetectOutliers(data, num_core, params),
+            Oracle(data, num_core, params));
+}
+
+TEST(PivotDetectorTest, PivotCountDoesNotChangeResults) {
+  DetectionParams params{5.0, 4};
+  const Dataset data =
+      GenerateUniform(800, DomainForDensity(800, 0.08), 83);
+  const std::vector<uint32_t> expected = Oracle(data, data.size(), params);
+  for (int pivots : {1, 2, 8, 16}) {
+    PivotDetector detector(pivots);
+    EXPECT_EQ(detector.DetectOutliers(data, data.size(), params), expected)
+        << pivots << " pivots";
+  }
+}
+
+TEST(PivotDetectorTest, PrunesPairsOnSpreadData) {
+  DetectionParams params{2.0, 4};
+  const Dataset data =
+      GenerateUniform(2000, DomainForDensity(2000, 0.01), 85);
+  PivotDetector detector(4);
+  Counters counters;
+  detector.DetectOutliers(data, data.size(), params, &counters);
+  // On a wide domain with a small radius, the triangle-inequality filter
+  // must reject the overwhelming majority of candidate pairs.
+  EXPECT_GT(counters.Get("pivot.pruned_pairs"),
+            10 * counters.Get("pivot.distance_evals"));
+}
+
+TEST(PivotDetectorTest, EmptyAndTinyInputs) {
+  DetectionParams params{5.0, 4};
+  PivotDetector detector(4);
+  Dataset empty(2);
+  EXPECT_TRUE(detector.DetectOutliers(empty, 0, params).empty());
+  Dataset one(2);
+  one.Append(Point{1.0, 2.0});
+  EXPECT_EQ(detector.DetectOutliers(one, 1, params),
+            (std::vector<uint32_t>{0}));
+}
+
+TEST(PivotDetectorTest, MorePivotsThanPointsIsSafe) {
+  DetectionParams params{5.0, 1};
+  PivotDetector detector(16);
+  Dataset data(2);
+  data.Append(Point{0.0, 0.0});
+  data.Append(Point{1.0, 0.0});
+  EXPECT_TRUE(detector.DetectOutliers(data, 2, params).empty());
+}
+
+}  // namespace
+}  // namespace dod

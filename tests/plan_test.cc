@@ -1,0 +1,141 @@
+// Copyright 2026 The DOD Authors.
+//
+// The multi-tactic plan builder: partition/algorithm/allocation plan
+// consistency for every strategy, the DMT per-partition algorithm
+// selection, and the cost-based allocation balance.
+
+#include "core/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/stats.h"
+#include "data/generators.h"
+#include "data/geo_like.h"
+#include "partition/sampler.h"
+
+namespace dod {
+namespace {
+
+DistributionSketch SketchOf(const Dataset& data, int buckets = 32,
+                            double rate = 0.5) {
+  SamplerOptions options;
+  options.rate = rate;
+  options.buckets_per_dim = buckets;
+  return BuildSketch(data, data.Bounds(), options);
+}
+
+void ExpectConsistent(const MultiTacticPlan& plan, const DodConfig& config) {
+  const size_t m = plan.partition_plan.num_cells();
+  EXPECT_TRUE(plan.partition_plan.Validate().ok());
+  ASSERT_EQ(plan.algorithm_plan.size(), m);
+  ASSERT_EQ(plan.allocation.size(), m);
+  ASSERT_EQ(plan.estimated_cost.size(), m);
+  for (size_t i = 0; i < m; ++i) {
+    EXPECT_GE(plan.allocation[i], 0);
+    EXPECT_LT(plan.allocation[i], config.num_reduce_tasks);
+    EXPECT_GE(plan.estimated_cost[i], 0.0);
+  }
+}
+
+TEST(PlanTest, BaselinePlansAreConsistent) {
+  const Dataset data = GenerateGeoRegion(GeoRegion::kMassachusetts, 20000, 1);
+  const DistributionSketch sketch = SketchOf(data);
+  for (StrategyKind strategy :
+       {StrategyKind::kDomain, StrategyKind::kUniSpace, StrategyKind::kDDriven,
+        StrategyKind::kCDriven}) {
+    for (AlgorithmKind algorithm :
+         {AlgorithmKind::kNestedLoop, AlgorithmKind::kCellBased}) {
+      DodConfig config =
+          DodConfig::Baseline(DetectionParams{5.0, 4}, strategy, algorithm);
+      const MultiTacticPlan plan = BuildMultiTacticPlan(sketch, config);
+      ExpectConsistent(plan, config);
+      // Baselines are monolithic: one algorithm everywhere.
+      for (AlgorithmKind kind : plan.algorithm_plan) {
+        EXPECT_EQ(kind, algorithm);
+      }
+      EXPECT_EQ(plan.uses_supporting_area,
+                strategy != StrategyKind::kDomain);
+    }
+  }
+}
+
+TEST(PlanTest, DmtPlanIsConsistentAndMultiTactic) {
+  // Hierarchical data mixes dense and sparse regions: the DMT algorithm
+  // plan must actually use both detector classes.
+  const Dataset data = GenerateHierarchical(MapLevel::kNewEngland, 10000, 3);
+  const DistributionSketch sketch = SketchOf(data, 64);
+  DodConfig config = DodConfig::Dmt(DetectionParams{5.0, 4});
+  const MultiTacticPlan plan = BuildMultiTacticPlan(sketch, config);
+  ExpectConsistent(plan, config);
+  EXPECT_TRUE(plan.uses_supporting_area);
+
+  std::set<AlgorithmKind> used(plan.algorithm_plan.begin(),
+                               plan.algorithm_plan.end());
+  EXPECT_EQ(used.size(), 2u) << "DMT should assign both NL and CB on skewed "
+                                "multi-density data";
+}
+
+TEST(PlanTest, DmtAssignsCorollary43Choices) {
+  const Dataset data = GenerateHierarchical(MapLevel::kNewEngland, 10000, 5);
+  const DistributionSketch sketch = SketchOf(data, 64);
+  DodConfig config = DodConfig::Dmt(DetectionParams{5.0, 4});
+  const MultiTacticPlan plan = BuildMultiTacticPlan(sketch, config);
+  // Re-derive each cell's stats and check the assignment matches the
+  // selector (the planner uses the DSHC AFs; RegionStats agrees up to
+  // rounding, so allow the boundary cells to differ).
+  size_t agreements = 0;
+  for (size_t i = 0; i < plan.partition_plan.num_cells(); ++i) {
+    const PartitionStats stats = RegionStats(
+        sketch, plan.partition_plan.cell(static_cast<uint32_t>(i)).bounds);
+    if (plan.algorithm_plan[i] == SelectAlgorithm(stats, config.params)) {
+      ++agreements;
+    }
+  }
+  EXPECT_GT(agreements, plan.partition_plan.num_cells() * 9 / 10);
+}
+
+TEST(PlanTest, CostAllocationBalancesReducerLoads) {
+  const Dataset data = GenerateHierarchical(MapLevel::kNewEngland, 10000, 7);
+  const DistributionSketch sketch = SketchOf(data, 64);
+  DodConfig config = DodConfig::Dmt(DetectionParams{5.0, 4});
+  config.num_reduce_tasks = 8;
+  const MultiTacticPlan plan = BuildMultiTacticPlan(sketch, config);
+  const std::vector<double> loads = plan.ReducerLoads(8);
+  EXPECT_EQ(loads.size(), 8u);
+  // Cost-based packing balance is limited by the largest single partition:
+  // the estimated makespan must be near max(mean load, biggest partition).
+  const double mean = Mean(loads);
+  const double biggest =
+      *std::max_element(plan.estimated_cost.begin(),
+                        plan.estimated_cost.end());
+  EXPECT_LE(Max(loads), std::max(2.0 * mean, 1.01 * biggest));
+}
+
+TEST(PlanTest, RoundRobinAllocationForNonCostStrategies) {
+  const Dataset data = GenerateUniform(10000, Rect::Cube(2, 0.0, 200.0), 9);
+  const DistributionSketch sketch = SketchOf(data);
+  DodConfig config = DodConfig::Baseline(
+      DetectionParams{5.0, 4}, StrategyKind::kUniSpace,
+      AlgorithmKind::kCellBased);
+  config.num_reduce_tasks = 4;
+  config.target_partitions = 16;
+  const MultiTacticPlan plan = BuildMultiTacticPlan(sketch, config);
+  for (size_t i = 0; i < plan.allocation.size(); ++i) {
+    EXPECT_EQ(plan.allocation[i], static_cast<int>(i % 4));
+  }
+}
+
+TEST(PlanTest, ConfigLabels) {
+  EXPECT_EQ(DodConfig::Dmt(DetectionParams{1.0, 1}).Label(), "DMT");
+  EXPECT_EQ(DodConfig::Baseline(DetectionParams{1.0, 1},
+                                StrategyKind::kCDriven,
+                                AlgorithmKind::kNestedLoop)
+                .Label(),
+            "CDriven + Nested-Loop");
+  EXPECT_STREQ(StrategyKindName(StrategyKind::kDDriven), "DDriven");
+}
+
+}  // namespace
+}  // namespace dod

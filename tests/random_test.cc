@@ -1,0 +1,121 @@
+// Copyright 2026 The DOD Authors.
+
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace dod {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextUniformRespectsRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextUniform(-3.0, 5.5);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.5);
+  }
+}
+
+TEST(RngTest, NextBoundedStaysBelowBound) {
+  Rng rng(13);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1ULL << 40}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversSmallRangeUniformly) {
+  Rng rng(17);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.NextBounded(bound)];
+  // Each bucket should be within 10% of the expectation.
+  for (uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(counts[v], trials / static_cast<int>(bound),
+                trials / static_cast<int>(bound) / 10);
+  }
+}
+
+TEST(RngTest, GaussianMomentsAreSane) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliRateMatches) {
+  Rng rng(23);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(ShuffleTest, ProducesPermutation) {
+  Rng rng(29);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  Shuffle(shuffled, rng);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RandomPermutationTest, ContainsEveryIndexOnce) {
+  Rng rng(31);
+  const std::vector<uint32_t> perm = RandomPermutation(1000, rng);
+  std::set<uint32_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 1000u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 999u);
+}
+
+TEST(RandomPermutationTest, EmptyAndSingleton) {
+  Rng rng(37);
+  EXPECT_TRUE(RandomPermutation(0, rng).empty());
+  EXPECT_EQ(RandomPermutation(1, rng), std::vector<uint32_t>{0});
+}
+
+}  // namespace
+}  // namespace dod

@@ -1,0 +1,150 @@
+// Copyright 2026 The DOD Authors.
+//
+// The four baseline partitioning strategies: plan validity, balancing
+// goals, and the Sec. VI observation that DDriven balances cardinality but
+// not cost while CDriven balances cost.
+
+#include "partition/strategies.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "data/generators.h"
+#include "data/geo_like.h"
+#include "partition/sampler.h"
+
+namespace dod {
+namespace {
+
+DistributionSketch SketchOf(const Dataset& data, int buckets = 32,
+                            double rate = 0.5) {
+  SamplerOptions options;
+  options.rate = rate;
+  options.buckets_per_dim = buckets;
+  return BuildSketch(data, data.Bounds(), options);
+}
+
+PlanningContext Ctx(size_t m = 16) {
+  return PlanningContext{DetectionParams{5.0, 4}, m};
+}
+
+TEST(EquiWidthCellsTest, TilesAndCounts) {
+  const Rect domain = Rect::Cube(2, 0.0, 12.0);
+  const std::vector<Rect> cells = EquiWidthCells(domain, 9);
+  EXPECT_EQ(cells.size(), 9u);
+  const PartitionPlan plan(domain, 1.0, cells);
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+TEST(EquiWidthCellsTest, RoundsToNearestIntegerGrid) {
+  EXPECT_EQ(EquiWidthCells(Rect::Cube(2, 0.0, 1.0), 10).size(), 9u);   // 3x3
+  EXPECT_EQ(EquiWidthCells(Rect::Cube(2, 0.0, 1.0), 64).size(), 64u);  // 8x8
+  EXPECT_EQ(EquiWidthCells(Rect::Cube(2, 0.0, 1.0), 1).size(), 1u);
+}
+
+TEST(StrategyNames, AreDistinct) {
+  EXPECT_EQ(UniSpacePartitioner().name(), "uniSpace");
+  EXPECT_EQ(DomainPartitioner().name(), "Domain");
+  EXPECT_EQ(DDrivenPartitioner().name(), "DDriven");
+  EXPECT_EQ(CDrivenPartitioner(AlgorithmKind::kCellBased).name(), "CDriven");
+}
+
+TEST(StrategySupport, OnlyDomainSkipsSupportingArea) {
+  EXPECT_TRUE(UniSpacePartitioner().uses_supporting_area());
+  EXPECT_FALSE(DomainPartitioner().uses_supporting_area());
+  EXPECT_TRUE(DDrivenPartitioner().uses_supporting_area());
+  EXPECT_TRUE(
+      CDrivenPartitioner(AlgorithmKind::kNestedLoop).uses_supporting_area());
+}
+
+TEST(StrategiesTest, AllPlansValidateOnSkewedData) {
+  const Dataset data = GenerateHierarchical(MapLevel::kNewEngland, 4000, 7);
+  const DistributionSketch sketch = SketchOf(data);
+  const PlanningContext ctx = Ctx();
+  EXPECT_TRUE(UniSpacePartitioner().BuildPlan(sketch, ctx).Validate().ok());
+  EXPECT_TRUE(DomainPartitioner().BuildPlan(sketch, ctx).Validate().ok());
+  EXPECT_TRUE(DDrivenPartitioner().BuildPlan(sketch, ctx).Validate().ok());
+  EXPECT_TRUE(CDrivenPartitioner(AlgorithmKind::kCellBased)
+                  .BuildPlan(sketch, ctx)
+                  .Validate()
+                  .ok());
+}
+
+std::vector<double> CellCardinalities(const PartitionPlan& plan,
+                                      const DistributionSketch& sketch) {
+  std::vector<double> out;
+  for (const GridCell& cell : plan.cells()) {
+    out.push_back(
+        static_cast<double>(RegionStats(sketch, cell.bounds).cardinality));
+  }
+  return out;
+}
+
+TEST(StrategiesTest, DDrivenBalancesCardinalityBetterThanUniSpace) {
+  // Strongly skewed data: equi-width cells are wildly imbalanced in count,
+  // DDriven is not.
+  SettlementProfile profile;
+  profile.city_fraction = 0.95;
+  profile.sigma_frac = 0.02;
+  const Dataset data = GenerateSettlements(
+      30000, DomainForDensity(30000, 0.05), profile, 13);
+  const DistributionSketch sketch = SketchOf(data, 64);
+  const PlanningContext ctx = Ctx(16);
+
+  const PartitionPlan uni = UniSpacePartitioner().BuildPlan(sketch, ctx);
+  const PartitionPlan dd = DDrivenPartitioner().BuildPlan(sketch, ctx);
+  const double uni_imbalance =
+      ImbalanceFactor(CellCardinalities(uni, sketch));
+  const double dd_imbalance = ImbalanceFactor(CellCardinalities(dd, sketch));
+  EXPECT_LT(dd_imbalance, uni_imbalance * 0.6);
+  EXPECT_LT(dd_imbalance, 2.0);
+}
+
+TEST(StrategiesTest, CDrivenBalancesCostBetterThanDDriven) {
+  // Mixed-density data: equal-count partitions have very unequal
+  // Nested-Loop costs; CDriven equalizes the planner's (mini-bucket
+  // refined) cost model.
+  const Dataset data = GenerateHierarchical(MapLevel::kNewEngland, 8000, 17);
+  const DistributionSketch sketch = SketchOf(data, 64);
+  const PlanningContext ctx = Ctx(16);
+  const DetectionParams params = ctx.params;
+
+  auto cost_imbalance = [&](const PartitionPlan& plan) {
+    const PartitionRouter router(plan);
+    std::vector<double> cardinality(plan.num_cells(), 0.0);
+    std::vector<double> aux(plan.num_cells(), 0.0);
+    const double scale = sketch.Scale();
+    for (const MiniBucketGrid::Bucket& bucket : sketch.grid.buckets()) {
+      const Rect rect = sketch.grid.BucketRect(bucket.coord);
+      const uint32_t cell = router.RouteCore(rect.Center().data());
+      const double n = bucket.weight * scale;
+      const double density = rect.Area() > 0 ? n / rect.Area() : 0.0;
+      cardinality[cell] += n;
+      aux[cell] += RefinedBucketAux(AlgorithmKind::kNestedLoop, n, density,
+                                    params, 2);
+    }
+    std::vector<double> costs;
+    for (size_t i = 0; i < plan.num_cells(); ++i) {
+      costs.push_back(RefinedRegionCost(AlgorithmKind::kNestedLoop,
+                                        cardinality[i], aux[i], params));
+    }
+    return ImbalanceFactor(costs);
+  };
+
+  const PartitionPlan dd = DDrivenPartitioner().BuildPlan(sketch, ctx);
+  const PartitionPlan cd =
+      CDrivenPartitioner(AlgorithmKind::kNestedLoop).BuildPlan(sketch, ctx);
+  EXPECT_LT(cost_imbalance(cd), cost_imbalance(dd));
+}
+
+TEST(StrategiesTest, PlansRespectTargetPartitionCount) {
+  const Dataset data = GenerateUniform(5000, Rect::Cube(2, 0.0, 100.0), 19);
+  const DistributionSketch sketch = SketchOf(data);
+  for (size_t m : {4, 9, 25}) {
+    EXPECT_EQ(UniSpacePartitioner().BuildPlan(sketch, Ctx(m)).num_cells(), m);
+    EXPECT_EQ(DDrivenPartitioner().BuildPlan(sketch, Ctx(m)).num_cells(), m);
+  }
+}
+
+}  // namespace
+}  // namespace dod

@@ -1,0 +1,295 @@
+// Copyright 2026 The DOD Authors.
+//
+// dod_cli — run distance-threshold outlier detection on a CSV file or a
+// generated workload, with full control over the pipeline.
+//
+// Examples:
+//   dod_cli --generate region:MA --n 30000 --radius 5 --k 4
+//   dod_cli --input buildings.csv --columns 2,3 --radius 0.01 --k 10 \
+//           --strategy cdriven --algorithm cell_based --out outliers.csv
+//   dod_cli --generate tiger --n 50000 --plan-out plan.txt --verbose
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/flags.h"
+#include "core/pipeline.h"
+#include "core/plan_io.h"
+#include "core/report.h"
+#include "data/generators.h"
+#include "data/geo_like.h"
+#include "data/tiger_like.h"
+#include "core/parameter_advisor.h"
+#include "io/binary.h"
+#include "io/csv.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(dod_cli — distributed distance-based outlier detection
+
+Input (one of):
+  --input PATH           CSV file of points
+  --columns I,J,...      zero-based coordinate columns (default: all)
+  --delimiter C          field delimiter (default ',')
+  --skip-rows N          header rows to skip
+  --generate KIND        synthetic data: uniform | region:OH|MA|CA|NY |
+                         tiger | hierarchical:MA|NE|US|Planet
+  --n N                  generated points (default 30000)
+  --density D            mean density for --generate uniform (default 0.05)
+
+Outlier definition:
+  --radius R             distance threshold r (default 5)
+  --k K                  neighbor-count threshold k (default 4)
+
+Pipeline:
+  --strategy S           domain | unispace | ddriven | cdriven | dmt
+                         (default dmt)
+  --algorithm A          nested_loop | cell_based (baselines only)
+  --partitions M         target partition count (default n/4000, >=32)
+  --reducers R           reduce tasks (default 32)
+  --blocks B             input blocks / map tasks (default 32)
+  --sample-rate Y        preprocessing sampling rate (default 0.05)
+  --buckets B            mini buckets per dimension (default 64)
+  --seed N               RNG seed (default 42)
+
+  --suggest-r F          derive r from the data targeting outlier
+                         fraction F (overrides --radius)
+
+Output:
+  --out PATH             write outlier coordinates (.csv or .bin)
+  --plan-out PATH        write the multi-tactic plan
+  --verbose              per-stage and per-plan diagnostics
+)";
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+dod::Result<dod::Dataset> LoadOrGenerate(const dod::FlagParser& flags) {
+  const std::string input = flags.GetStringOr("input", "");
+  if (!input.empty()) {
+    // .bin files use the binary fast path.
+    if (input.size() > 4 && input.substr(input.size() - 4) == ".bin") {
+      return dod::ReadBinary(input);
+    }
+    dod::CsvOptions options;
+    const std::string delimiter = flags.GetStringOr("delimiter", ",");
+    if (!delimiter.empty()) options.delimiter = delimiter[0];
+    auto skip = flags.GetInt("skip-rows", 0);
+    if (!skip.ok()) return skip.status();
+    options.skip_rows = static_cast<int>(skip.value());
+    const std::string columns = flags.GetStringOr("columns", "");
+    if (!columns.empty()) {
+      size_t pos = 0;
+      while (pos < columns.size()) {
+        size_t comma = columns.find(',', pos);
+        if (comma == std::string::npos) comma = columns.size();
+        options.columns.push_back(
+            std::atoi(columns.substr(pos, comma - pos).c_str()));
+        pos = comma + 1;
+      }
+    }
+    return dod::ReadCsv(input, options);
+  }
+
+  const std::string kind = flags.GetStringOr("generate", "region:MA");
+  auto n_flag = flags.GetInt("n", 30000);
+  if (!n_flag.ok()) return n_flag.status();
+  const size_t n = static_cast<size_t>(n_flag.value());
+  auto seed_flag = flags.GetInt("seed", 42);
+  if (!seed_flag.ok()) return seed_flag.status();
+  const uint64_t seed = static_cast<uint64_t>(seed_flag.value());
+
+  if (kind == "uniform") {
+    auto density = flags.GetDouble("density", 0.05);
+    if (!density.ok()) return density.status();
+    return dod::GenerateUniform(n, dod::DomainForDensity(n, density.value()),
+                                seed);
+  }
+  if (kind == "tiger") return dod::GenerateTigerLike(n, seed);
+  if (kind.rfind("region:", 0) == 0) {
+    const std::string region = kind.substr(7);
+    dod::GeoRegion geo;
+    if (region == "OH") {
+      geo = dod::GeoRegion::kOhio;
+    } else if (region == "MA") {
+      geo = dod::GeoRegion::kMassachusetts;
+    } else if (region == "CA") {
+      geo = dod::GeoRegion::kCalifornia;
+    } else if (region == "NY") {
+      geo = dod::GeoRegion::kNewYork;
+    } else {
+      return dod::Status::InvalidArgument("unknown region " + region);
+    }
+    return dod::GenerateGeoRegion(geo, n, seed);
+  }
+  if (kind.rfind("hierarchical:", 0) == 0) {
+    const std::string level = kind.substr(13);
+    dod::MapLevel map_level;
+    if (level == "MA") {
+      map_level = dod::MapLevel::kMassachusetts;
+    } else if (level == "NE") {
+      map_level = dod::MapLevel::kNewEngland;
+    } else if (level == "US") {
+      map_level = dod::MapLevel::kUnitedStates;
+    } else if (level == "Planet") {
+      map_level = dod::MapLevel::kPlanet;
+    } else {
+      return dod::Status::InvalidArgument("unknown level " + level);
+    }
+    return dod::GenerateHierarchical(map_level, n, seed);
+  }
+  return dod::Status::InvalidArgument("unknown --generate kind: " + kind);
+}
+
+dod::Result<dod::DodConfig> BuildConfig(const dod::FlagParser& flags,
+                                        const dod::Dataset& data) {
+  const size_t n = data.size();
+  auto radius = flags.GetDouble("radius", 5.0);
+  if (!radius.ok()) return radius.status();
+  auto k = flags.GetInt("k", 4);
+  if (!k.ok()) return k.status();
+  if (radius.value() <= 0.0 || k.value() < 1) {
+    return dod::Status::InvalidArgument("--radius must be > 0, --k >= 1");
+  }
+  dod::DetectionParams params;
+  params.radius = radius.value();
+  params.min_neighbors = static_cast<int>(k.value());
+
+  // --suggest-r FRACTION derives r from the data so that roughly that
+  // fraction of points comes out as outliers (overrides --radius).
+  if (flags.HasFlag("suggest-r")) {
+    auto fraction = flags.GetDouble("suggest-r", 0.01);
+    if (!fraction.ok()) return fraction.status();
+    dod::AdvisorOptions advisor;
+    advisor.min_neighbors = params.min_neighbors;
+    advisor.target_outlier_fraction = fraction.value();
+    const dod::ParameterSuggestion suggestion =
+        dod::SuggestParameters(data, advisor);
+    params.radius = suggestion.params.radius;
+    std::printf("suggested r = %g (sampled k-distance %g at rate %g)\n",
+                params.radius, suggestion.sampled_k_distance,
+                suggestion.sampling_rate);
+  }
+
+  const std::string strategy_name = flags.GetStringOr("strategy", "dmt");
+  dod::StrategyKind strategy;
+  if (strategy_name == "domain") {
+    strategy = dod::StrategyKind::kDomain;
+  } else if (strategy_name == "unispace") {
+    strategy = dod::StrategyKind::kUniSpace;
+  } else if (strategy_name == "ddriven") {
+    strategy = dod::StrategyKind::kDDriven;
+  } else if (strategy_name == "cdriven") {
+    strategy = dod::StrategyKind::kCDriven;
+  } else if (strategy_name == "dmt") {
+    strategy = dod::StrategyKind::kDmt;
+  } else {
+    return dod::Status::InvalidArgument("unknown --strategy " +
+                                        strategy_name);
+  }
+
+  const std::string algorithm_name =
+      flags.GetStringOr("algorithm", "cell_based");
+  dod::AlgorithmKind algorithm;
+  if (algorithm_name == "nested_loop" || algorithm_name == "nl") {
+    algorithm = dod::AlgorithmKind::kNestedLoop;
+  } else if (algorithm_name == "cell_based" || algorithm_name == "cb") {
+    algorithm = dod::AlgorithmKind::kCellBased;
+  } else {
+    return dod::Status::InvalidArgument("unknown --algorithm " +
+                                        algorithm_name);
+  }
+
+  dod::DodConfig config =
+      strategy == dod::StrategyKind::kDmt
+          ? dod::DodConfig::Dmt(params)
+          : dod::DodConfig::Baseline(params, strategy, algorithm);
+
+  auto partitions = flags.GetInt(
+      "partitions", static_cast<long long>(std::max<size_t>(32, n / 4000)));
+  if (!partitions.ok()) return partitions.status();
+  config.target_partitions = static_cast<size_t>(partitions.value());
+  auto reducers = flags.GetInt("reducers", 32);
+  if (!reducers.ok()) return reducers.status();
+  config.num_reduce_tasks = static_cast<int>(reducers.value());
+  auto blocks = flags.GetInt("blocks", 32);
+  if (!blocks.ok()) return blocks.status();
+  config.num_blocks = static_cast<size_t>(blocks.value());
+  auto rate = flags.GetDouble("sample-rate", 0.05);
+  if (!rate.ok()) return rate.status();
+  config.sampler.rate = rate.value();
+  auto buckets = flags.GetInt("buckets", 64);
+  if (!buckets.ok()) return buckets.status();
+  config.sampler.buckets_per_dim = static_cast<int>(buckets.value());
+  auto seed = flags.GetInt("seed", 42);
+  if (!seed.ok()) return seed.status();
+  config.seed = static_cast<uint64_t>(seed.value());
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = dod::FlagParser::Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
+  const dod::FlagParser& flags = parsed.value();
+  if (flags.GetBoolOr("help", false)) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
+  auto data = LoadOrGenerate(flags);
+  if (!data.ok()) return Fail(data.status().ToString());
+  if (data.value().empty()) return Fail("no input points");
+
+  auto config = BuildConfig(flags, data.value());
+  if (!config.ok()) return Fail(config.status().ToString());
+
+  const bool verbose = flags.GetBoolOr("verbose", false);
+  const std::string out_path = flags.GetStringOr("out", "");
+  const std::string plan_path = flags.GetStringOr("plan-out", "");
+  const std::vector<std::string> unused = flags.UnusedFlags();
+  if (!unused.empty()) {
+    return Fail("unknown flag --" + unused.front() + " (see --help)");
+  }
+
+  dod::DodPipeline pipeline(config.value());
+  const dod::DodResult result = pipeline.Run(data.value());
+
+  std::fputs(
+      dod::FormatRunReport(config.value(), result, data.value().size())
+          .c_str(),
+      stdout);
+
+  if (verbose) {
+    std::printf("detect job    : %s\n",
+                result.detect_stats.ToString().c_str());
+    for (const auto& [name, value] : result.detect_stats.counters.values()) {
+      std::printf("  counter %s = %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+
+  if (!out_path.empty()) {
+    dod::Dataset outliers(data.value().dims());
+    for (dod::PointId id : result.outliers) {
+      outliers.Append(data.value()[id]);
+    }
+    const bool binary = out_path.size() > 4 &&
+                        out_path.substr(out_path.size() - 4) == ".bin";
+    const dod::Status status = binary ? dod::WriteBinary(outliers, out_path)
+                                      : dod::WriteCsv(outliers, out_path);
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("wrote %zu outliers to %s\n", outliers.size(),
+                out_path.c_str());
+  }
+  if (!plan_path.empty()) {
+    const dod::Status status = dod::WritePlanFile(result.plan, plan_path);
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("wrote plan to %s\n", plan_path.c_str());
+  }
+  return 0;
+}

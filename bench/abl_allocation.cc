@@ -34,7 +34,7 @@ int main() {
                                 data.size());
     config.packing = policy;
     dod::DodPipeline pipeline(config);
-    const dod::DodResult result = pipeline.Run(data);
+    const dod::DodResult result = pipeline.RunOrDie(data);
     const double estimated = dod::ImbalanceFactor(
         result.plan.ReducerLoads(config.num_reduce_tasks));
     const double realized =

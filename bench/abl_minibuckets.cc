@@ -30,7 +30,7 @@ int main() {
                                 data.size());
     config.sampler.buckets_per_dim = buckets;
     dod::DodPipeline pipeline(config);
-    const dod::DodResult result = pipeline.Run(data);
+    const dod::DodResult result = pipeline.RunOrDie(data);
     std::printf("%-12d %12.4f %12.4f %12.4f %12zu\n", buckets,
                 result.breakdown.preprocess_seconds,
                 result.breakdown.detect.reduce_seconds,

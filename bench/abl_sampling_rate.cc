@@ -31,7 +31,7 @@ int main() {
                                 data.size());
     config.sampler.rate = rate;
     dod::DodPipeline pipeline(config);
-    const dod::DodResult result = pipeline.Run(data);
+    const dod::DodResult result = pipeline.RunOrDie(data);
     // Realized (not estimated) reduce-task imbalance.
     const double imbalance =
         dod::ImbalanceFactor(result.detect_stats.reduce_task_seconds);

@@ -27,9 +27,9 @@ size_t ScaledN(size_t base) {
 RunResult RunPipeline(const DodConfig& config, const Dataset& data,
                       const std::string& label, int repeats) {
   DodPipeline pipeline(config);
-  DodResult result = pipeline.Run(data);
+  DodResult result = pipeline.RunOrDie(data);
   for (int i = 1; i < repeats; ++i) {
-    DodResult again = pipeline.Run(data);
+    DodResult again = pipeline.RunOrDie(data);
     if (again.breakdown.total() < result.breakdown.total()) {
       result = std::move(again);
     }

@@ -38,7 +38,13 @@ int main(int argc, char** argv) {
     const double density = static_cast<double>(data.size()) / bounds.Area();
 
     dod::DodPipeline pipeline(dod::DodConfig::Dmt(params));
-    const dod::DodResult result = pipeline.Run(data);
+    const dod::Result<dod::DodResult> run = pipeline.Run(data);
+    if (!run.ok()) {
+      std::fprintf(stderr, "pipeline failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    const dod::DodResult& result = run.value();
 
     size_t nl = 0, cb = 0;
     for (dod::AlgorithmKind kind : result.plan.algorithm_plan) {

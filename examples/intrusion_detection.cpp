@@ -73,7 +73,13 @@ int main() {
   dod::DodConfig config = dod::DodConfig::Dmt(params);
   config.sampler.buckets_per_dim = 24;  // 3-d mini-bucket grid
   dod::DodPipeline pipeline(config);
-  const dod::DodResult result = pipeline.Run(traffic.points);
+  const dod::Result<dod::DodResult> run = pipeline.Run(traffic.points);
+  if (!run.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const dod::DodResult& result = run.value();
 
   size_t recovered = 0, false_positives = 0;
   for (dod::PointId id : result.outliers) {

@@ -27,9 +27,17 @@ int main() {
 
   // 3. Run the multi-tactic pipeline: sampling, DSHC partitioning,
   //    per-partition algorithm selection, cost-based reducer allocation,
-  //    and the single-pass detection job.
+  //    and the single-pass detection job. Run() returns a Result: a job
+  //    whose tasks exhaust their retry budget reports an error instead of
+  //    aborting the process.
   dod::DodPipeline pipeline(dod::DodConfig::Dmt(params));
-  const dod::DodResult result = pipeline.Run(data);
+  const dod::Result<dod::DodResult> run = pipeline.Run(data);
+  if (!run.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const dod::DodResult& result = run.value();
 
   std::printf("dataset: %zu points in %s\n", data.size(),
               data.Bounds().ToString().c_str());

@@ -27,6 +27,8 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  kUnavailable,        // transient failure; retrying may succeed
+  kDeadlineExceeded,   // operation exceeded its time budget
 };
 
 // Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -67,6 +69,12 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -79,6 +87,11 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
 
 // A value or an error. `value()` must only be called when `ok()`.
 template <typename T>
@@ -98,15 +111,27 @@ class Result {
   T& value() & { return *value_; }
   T&& value() && { return *std::move(value_); }
 
+  // Returns the value, aborting with the status message when not ok — for
+  // callers (tests, benches, examples) that treat failure as fatal.
+  T& ValueOrDie() & {
+    if (!ok()) {
+      internal::CheckFailed(__FILE__, __LINE__, "Result::ok()",
+                            status_.ToString());
+    }
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) {
+      internal::CheckFailed(__FILE__, __LINE__, "Result::ok()",
+                            status_.ToString());
+    }
+    return *std::move(value_);
+  }
+
  private:
   Status status_;
   std::optional<T> value_;
 };
-
-namespace internal {
-[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
-                              const std::string& extra);
-}  // namespace internal
 
 }  // namespace dod
 
@@ -132,5 +157,22 @@ namespace internal {
     ::dod::Status dod_status_ = (expr);        \
     if (!dod_status_.ok()) return dod_status_; \
   } while (0)
+
+// Evaluates `expr` (a Result<T>), propagates a non-OK status to the caller,
+// and otherwise assigns the value to `lhs`:
+//
+//   DOD_ASSIGN_OR_RETURN(Dataset data, ReadCsv(path));
+//
+// `lhs` may declare a new variable or assign to an existing one. Cannot be
+// used twice on the same source line.
+#define DOD_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define DOD_STATUS_MACROS_CONCAT_(x, y) DOD_STATUS_MACROS_CONCAT_INNER_(x, y)
+#define DOD_ASSIGN_OR_RETURN(lhs, expr)                                   \
+  DOD_ASSIGN_OR_RETURN_IMPL_(                                             \
+      DOD_STATUS_MACROS_CONCAT_(dod_result_, __LINE__), lhs, expr)
+#define DOD_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                               \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
 
 #endif  // DOD_COMMON_STATUS_H_

@@ -14,6 +14,7 @@
 #include "detection/cost_model.h"
 #include "dshc/dshc.h"
 #include "mapreduce/cluster.h"
+#include "mapreduce/task_runner.h"
 #include "partition/sampler.h"
 
 namespace dod {
@@ -55,6 +56,11 @@ struct DodConfig {
   // makespans (see bench/abl_allocation).
   PackingPolicy packing = PackingPolicy::kLpt;
   ClusterSpec cluster;
+
+  // Fault injection (off by default) and the task attempt policy, applied
+  // to the detection and verification MapReduce jobs.
+  FaultSpec faults;
+  RetryPolicy retry;
 
   uint64_t seed = 42;
 

@@ -176,6 +176,19 @@ struct VerifyRecord {
   bool is_candidate = false;
 };
 
+// Wire size of one verification record: coordinates + cell id + candidate
+// flag, plus the partial neighbor count candidates carry. Variable-size —
+// this is what the engine's per-record size callback accounts for.
+size_t VerifyRecordBytes(int dims, const VerifyRecord& record) {
+  return sizeof(double) * static_cast<size_t>(dims) + sizeof(uint32_t) + 1 +
+         (record.is_candidate ? sizeof(int32_t) : 0);
+}
+
+// Prepends job context to a task failure bubbling out of RunMapReduce.
+Status AnnotateJobError(const char* job, const Status& status) {
+  return Status(status.code(), std::string(job) + ": " + status.message());
+}
+
 // Map side of the verification job: every point is shipped to the
 // neighboring cells whose r-extension contains it — exactly the supporting
 // points the first job skipped. The mappers of this second job run with no
@@ -251,8 +264,11 @@ class VerifyReducer : public Reducer<uint32_t, VerifyRecord, PointId> {
 
 }  // namespace
 
-DodResult DodPipeline::Run(const Dataset& data) const {
-  DOD_CHECK(!data.empty());
+Result<DodResult> DodPipeline::Run(const Dataset& data) const {
+  if (data.empty()) {
+    return Status::InvalidArgument(
+        "DodPipeline::Run: dataset is empty — nothing to detect on");
+  }
   const DodConfig& config = config_;
   StopWatch wall;
   DodResult result;
@@ -310,43 +326,61 @@ DodResult DodPipeline::Run(const Dataset& data) const {
   JobSpec spec;
   spec.num_reduce_tasks = config.num_reduce_tasks;
   spec.cluster = config.cluster;
+  spec.faults = config.faults;
+  spec.retry = config.retry;
   spec.split_input_bytes.reserve(store.num_blocks());
   for (size_t b = 0; b < store.num_blocks(); ++b) {
     spec.split_input_bytes.push_back(store.block(b).size() *
                                      store.BytesPerRecord());
   }
   const size_t record_bytes = DetectRecordBytes(data.dims());
+  // Point records ship the point's coordinates, so their wire size depends
+  // on the dataset — computed per record via the engine's size callback.
+  const int dims = data.dims();
+  const std::function<size_t(const uint32_t&, const TaggedPoint&)>
+      detect_record_size = [record_bytes](const uint32_t&,
+                                          const TaggedPoint&) {
+        return record_bytes;
+      };
 
   // ---- Detection job ------------------------------------------------------
   if (result.plan.uses_supporting_area) {
     DetectMapper mapper(store, partition_plan, router, /*emit_support=*/true);
     DetectReducer reducer(data, result.plan, config.params);
-    JobOutput<PointId> job =
+    Result<JobOutput<PointId>> job =
         RunMapReduce<uint32_t, TaggedPoint, PointId>(
             store.num_blocks(), mapper, reducer, partition_fn, spec,
-            record_bytes);
-    result.outliers = std::move(job.output);
-    result.detect_stats = std::move(job.stats);
+            record_bytes, detect_record_size);
+    if (!job.ok()) return AnnotateJobError("detection job", job.status());
+    result.outliers = std::move(job.value().output);
+    result.detect_stats = std::move(job.value().stats);
     result.breakdown.detect = result.detect_stats.stage_times;
   } else {
     // Domain baseline: job 1 detects locally, job 2 verifies candidates.
     DetectMapper mapper(store, partition_plan, router, /*emit_support=*/false);
     DomainDetectReducer reducer(data, result.plan, config.params);
-    JobOutput<Candidate> job =
+    Result<JobOutput<Candidate>> job =
         RunMapReduce<uint32_t, TaggedPoint, Candidate>(
             store.num_blocks(), mapper, reducer, partition_fn, spec,
-            record_bytes);
-    result.detect_stats = std::move(job.stats);
+            record_bytes, detect_record_size);
+    if (!job.ok()) return AnnotateJobError("detection job", job.status());
+    result.detect_stats = std::move(job.value().stats);
     result.breakdown.detect = result.detect_stats.stage_times;
 
-    VerifyMapper verify_mapper(store, router, job.output);
+    VerifyMapper verify_mapper(store, router, job.value().output);
     VerifyReducer verify_reducer(data, config.params);
-    JobOutput<PointId> verify =
+    Result<JobOutput<PointId>> verify =
         RunMapReduce<uint32_t, VerifyRecord, PointId>(
             store.num_blocks(), verify_mapper, verify_reducer, partition_fn,
-            spec, record_bytes);
-    result.outliers = std::move(verify.output);
-    result.verify_stats = std::move(verify.stats);
+            spec, record_bytes,
+            [dims](const uint32_t&, const VerifyRecord& record) {
+              return VerifyRecordBytes(dims, record);
+            });
+    if (!verify.ok()) {
+      return AnnotateJobError("verification job", verify.status());
+    }
+    result.outliers = std::move(verify.value().output);
+    result.verify_stats = std::move(verify.value().stats);
     result.breakdown.verify = result.verify_stats.stage_times;
   }
 

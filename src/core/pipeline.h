@@ -63,8 +63,17 @@ class DodPipeline {
 
   const DodConfig& config() const { return config_; }
 
-  // Runs the full pipeline on `data`.
-  DodResult Run(const Dataset& data) const;
+  // Runs the full pipeline on `data`. Returns InvalidArgument on an empty
+  // dataset, and propagates the structured error of any MapReduce task
+  // that exhausted its retry budget (config().retry / config().faults);
+  // the process never aborts on task failure.
+  Result<DodResult> Run(const Dataset& data) const;
+
+  // Convenience for callers that treat failure as fatal (tests, benches):
+  // Run() with a CHECK on the status.
+  DodResult RunOrDie(const Dataset& data) const {
+    return Run(data).ValueOrDie();
+  }
 
  private:
   DodConfig config_;

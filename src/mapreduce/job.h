@@ -12,12 +12,21 @@
 // are then derived by scheduling the measured task costs onto the cluster's
 // slots (see cluster.h). This yields the end-to-end execution time metric
 // the paper reports while running deterministically on one machine.
+//
+// Execution is fault tolerant: every task runs as a sequence of attempts
+// under a TaskRunner (retry with simulated backoff, speculative execution
+// for stragglers, node blacklisting), optionally under a deterministic
+// FaultInjector. Attempts stage their output and commit only on success, so
+// committed job output is identical to a fault-free run; a task that
+// exhausts its retry budget turns the job into a structured error instead
+// of aborting the process.
 
 #ifndef DOD_MAPREDUCE_JOB_H_
 #define DOD_MAPREDUCE_JOB_H_
 
 #include <algorithm>
 #include <functional>
+#include <iterator>
 #include <utility>
 #include <vector>
 
@@ -25,7 +34,9 @@
 #include "common/timer.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/counters.h"
+#include "mapreduce/fault_injection.h"
 #include "mapreduce/job_stats.h"
+#include "mapreduce/task_runner.h"
 
 namespace dod {
 
@@ -39,21 +50,48 @@ class Emitter {
 
 // User map function: consumes input split `split_index` (the mapper knows
 // how to fetch its own input, e.g. from a BlockStore) and emits records.
+// Implement Map when the task cannot fail, or override TryMap to surface
+// task-level errors to the engine (which retries, then propagates). Map
+// may be called several times for the same split (task re-execution), so
+// it must be deterministic and free of external side effects.
 template <typename K, typename V>
 class Mapper {
  public:
   virtual ~Mapper() = default;
-  virtual void Map(size_t split_index, Emitter<K, V>& out) = 0;
+  virtual void Map(size_t split_index, Emitter<K, V>& out) {
+    (void)split_index;
+    (void)out;
+    DOD_CHECK_MSG(false, "Mapper: implement Map() or TryMap()");
+  }
+  // Status-returning variant the engine invokes; defaults to adapting Map.
+  virtual Status TryMap(size_t split_index, Emitter<K, V>& out) {
+    Map(split_index, out);
+    return Status::Ok();
+  }
 };
 
 // User reduce function: one call per key group. `values` may be consumed
 // destructively. Results go to `out`; `counters` aggregates job counters.
+// Like Map, Reduce may re-run on the same group after an attempt failure.
 template <typename K, typename V, typename Out>
 class Reducer {
  public:
   virtual ~Reducer() = default;
   virtual void Reduce(const K& key, std::vector<V>& values,
-                      std::vector<Out>& out, Counters& counters) = 0;
+                      std::vector<Out>& out, Counters& counters) {
+    (void)key;
+    (void)values;
+    (void)out;
+    (void)counters;
+    DOD_CHECK_MSG(false, "Reducer: implement Reduce() or TryReduce()");
+  }
+  // Status-returning variant the engine invokes; defaults to adapting
+  // Reduce.
+  virtual Status TryReduce(const K& key, std::vector<V>& values,
+                           std::vector<Out>& out, Counters& counters) {
+    Reduce(key, values, out, counters);
+    return Status::Ok();
+  }
 };
 
 struct JobSpec {
@@ -64,6 +102,9 @@ struct JobSpec {
   // Input bytes of each split; charged as HDFS scan time against the
   // owning map task at cluster.disk_read_mbps_per_slot. Empty = no charge.
   std::vector<uint64_t> split_input_bytes;
+  // Fault injection (disabled by default) and the task attempt policy.
+  FaultSpec faults;
+  RetryPolicy retry;
 };
 
 template <typename Out>
@@ -74,32 +115,53 @@ struct JobOutput {
 
 namespace internal {
 
-// Buffers emitted records into per-reduce-task buckets.
+// Shuffle volume produced by one attempt; merged into JobStats on commit
+// so failed attempts leave no trace in the data-flow accounting.
+struct ShuffleAccounting {
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+};
+
+// Buffers emitted records into per-reduce-task buckets (attempt staging).
 template <typename K, typename V>
 class ShuffleEmitter : public Emitter<K, V> {
  public:
   using Buckets = std::vector<std::vector<std::pair<K, V>>>;
 
   ShuffleEmitter(Buckets& buckets, const std::function<int(const K&)>& part,
-                 size_t record_bytes, JobStats& stats)
+                 size_t record_bytes,
+                 const std::function<size_t(const K&, const V&)>& record_size,
+                 ShuffleAccounting& accounting, ShuffleFaultFilter* filter)
       : buckets_(buckets),
         part_(part),
         record_bytes_(record_bytes),
-        stats_(stats) {}
+        record_size_(record_size),
+        accounting_(accounting),
+        filter_(filter) {}
 
   void Emit(const K& key, const V& value) override {
+    if (filter_ != nullptr) {
+      const FaultKind fault = filter_->Next();
+      // A dropped record never reaches its bucket; a corrupted one does but
+      // poisons the attempt, whose whole staging is then discarded. Either
+      // way the filter fails the attempt, so no faulty data ever commits.
+      if (fault == FaultKind::kShuffleDrop) return;
+    }
     const int task = part_(key);
     DOD_CHECK(task >= 0 && task < static_cast<int>(buckets_.size()));
     buckets_[static_cast<size_t>(task)].emplace_back(key, value);
-    ++stats_.records_shuffled;
-    stats_.bytes_shuffled += record_bytes_;
+    ++accounting_.records;
+    accounting_.bytes += record_size_ ? record_size_(key, value)
+                                      : record_bytes_;
   }
 
  private:
   Buckets& buckets_;
   const std::function<int(const K&)>& part_;
   size_t record_bytes_;
-  JobStats& stats_;
+  const std::function<size_t(const K&, const V&)>& record_size_;
+  ShuffleAccounting& accounting_;
+  ShuffleFaultFilter* filter_;
 };
 
 }  // namespace internal
@@ -108,72 +170,136 @@ class ShuffleEmitter : public Emitter<K, V> {
 //
 // `partition` routes a key to its reduce task — the hook through which DOD
 // injects its allocation plan (Fig. 6, Step 3). `record_bytes` is the wire
-// size charged per shuffled record.
+// size charged per shuffled record; pass `record_size` instead when record
+// sizes vary (heap-allocated payloads), in which case it overrides
+// `record_bytes` per record.
+//
+// Returns the job output, or the structured error of the first task that
+// exhausted its attempt budget (see mapreduce/task_runner.h). The process
+// never aborts on task failure.
 template <typename K, typename V, typename Out>
-JobOutput<Out> RunMapReduce(size_t num_splits, Mapper<K, V>& mapper,
-                            Reducer<K, V, Out>& reducer,
-                            const std::function<int(const K&)>& partition,
-                            const JobSpec& spec,
-                            size_t record_bytes = sizeof(K) + sizeof(V)) {
-  DOD_CHECK(spec.num_reduce_tasks >= 1);
+Result<JobOutput<Out>> RunMapReduce(
+    size_t num_splits, Mapper<K, V>& mapper, Reducer<K, V, Out>& reducer,
+    const std::function<int(const K&)>& partition, const JobSpec& spec,
+    size_t record_bytes = sizeof(K) + sizeof(V),
+    const std::function<size_t(const K&, const V&)>& record_size = {}) {
+  if (spec.num_reduce_tasks < 1) {
+    return Status::InvalidArgument(
+        "RunMapReduce: num_reduce_tasks must be >= 1");
+  }
   JobOutput<Out> result;
   JobStats& stats = result.stats;
   StopWatch wall;
 
+  const FaultInjector injector(spec.faults);
+  TaskRunner runner(spec.retry, injector, spec.cluster, stats);
+
   // ---- Map phase -------------------------------------------------------
-  typename internal::ShuffleEmitter<K, V>::Buckets buckets(
-      static_cast<size_t>(spec.num_reduce_tasks));
-  internal::ShuffleEmitter<K, V> emitter(buckets, partition, record_bytes,
-                                         stats);
+  using Buckets = typename internal::ShuffleEmitter<K, V>::Buckets;
+  Buckets buckets(static_cast<size_t>(spec.num_reduce_tasks));
+  Buckets staging(static_cast<size_t>(spec.num_reduce_tasks));
+  internal::ShuffleAccounting accounting;
   stats.map_task_seconds.reserve(num_splits);
   const double read_bytes_per_second =
       spec.cluster.disk_read_mbps_per_slot * 1e6;
   for (size_t split = 0; split < num_splits; ++split) {
-    StopWatch task;
-    mapper.Map(split, emitter);
-    double cost = task.ElapsedSeconds();
-    if (split < spec.split_input_bytes.size()) {
-      cost += static_cast<double>(spec.split_input_bytes[split]) /
-              read_bytes_per_second;
-    }
-    stats.map_task_seconds.push_back(cost);
+    const double scan_seconds =
+        split < spec.split_input_bytes.size()
+            ? static_cast<double>(spec.split_input_bytes[split]) /
+                  read_bytes_per_second
+            : 0.0;
+    const Status status = runner.RunTask(
+        TaskPhase::kMap, static_cast<int>(split), scan_seconds,
+        [&](int attempt) -> Status {
+          for (auto& bucket : staging) bucket.clear();
+          accounting = internal::ShuffleAccounting{};
+          ShuffleFaultFilter filter(injector, TaskPhase::kMap,
+                                    static_cast<int>(split), attempt);
+          internal::ShuffleEmitter<K, V> emitter(
+              staging, partition, record_bytes, record_size, accounting,
+              injector.enabled() ? &filter : nullptr);
+          const Status map_status = mapper.TryMap(split, emitter);
+          stats.shuffle_records_dropped += filter.dropped();
+          stats.shuffle_records_corrupted += filter.corrupted();
+          if (!map_status.ok()) return map_status;
+          return filter.AttemptStatus();
+        },
+        [&]() {
+          for (size_t task = 0; task < buckets.size(); ++task) {
+            auto& committed = buckets[task];
+            auto& staged = staging[task];
+            committed.insert(committed.end(),
+                             std::make_move_iterator(staged.begin()),
+                             std::make_move_iterator(staged.end()));
+            staged.clear();
+          }
+          stats.records_shuffled += accounting.records;
+          stats.bytes_shuffled += accounting.bytes;
+        },
+        stats.map_task_seconds);
+    if (!status.ok()) return status;
   }
   stats.records_mapped = stats.records_shuffled;
 
   // ---- Reduce phase (sort + group + reduce, per task) -------------------
   stats.reduce_task_seconds.reserve(buckets.size());
-  for (auto& bucket : buckets) {
-    StopWatch task;
-    // Hadoop sorts at the reducer; the sort is part of the task's cost.
-    std::stable_sort(bucket.begin(), bucket.end(),
-                     [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
-                       return a.first < b.first;
-                     });
-    size_t i = 0;
-    std::vector<V> values;
-    while (i < bucket.size()) {
-      size_t j = i;
-      values.clear();
-      while (j < bucket.size() && !(bucket[i].first < bucket[j].first) &&
-             !(bucket[j].first < bucket[i].first)) {
-        values.push_back(std::move(bucket[j].second));
-        ++j;
-      }
-      reducer.Reduce(bucket[i].first, values, result.output, stats.counters);
-      ++stats.groups_reduced;
-      i = j;
-    }
-    stats.reduce_task_seconds.push_back(task.ElapsedSeconds());
+  std::vector<Out> task_output;
+  Counters task_counters;
+  uint64_t task_groups = 0;
+  for (size_t task = 0; task < buckets.size(); ++task) {
+    auto& bucket = buckets[task];
+    const Status status = runner.RunTask(
+        TaskPhase::kReduce, static_cast<int>(task), /*extra_seconds=*/0.0,
+        [&](int /*attempt*/) -> Status {
+          task_output.clear();
+          task_counters = Counters();
+          task_groups = 0;
+          // Hadoop sorts at the reducer; the sort is part of the task's
+          // cost (and idempotent, so re-running the attempt is safe).
+          std::stable_sort(
+              bucket.begin(), bucket.end(),
+              [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+                return a.first < b.first;
+              });
+          size_t i = 0;
+          std::vector<V> values;
+          while (i < bucket.size()) {
+            size_t j = i;
+            values.clear();
+            while (j < bucket.size() && !(bucket[i].first < bucket[j].first) &&
+                   !(bucket[j].first < bucket[i].first)) {
+              // Copied, not moved: the bucket must survive a retry.
+              values.push_back(bucket[j].second);
+              ++j;
+            }
+            DOD_RETURN_IF_ERROR(reducer.TryReduce(bucket[i].first, values,
+                                                  task_output, task_counters));
+            ++task_groups;
+            i = j;
+          }
+          return Status::Ok();
+        },
+        [&]() {
+          for (Out& out : task_output) result.output.push_back(std::move(out));
+          stats.counters.MergeFrom(task_counters);
+          stats.groups_reduced += task_groups;
+        },
+        stats.reduce_task_seconds);
+    if (!status.ok()) return status;
   }
 
   // ---- Derive cluster-stage times ---------------------------------------
-  stats.stage_times.map_seconds =
-      Makespan(stats.map_task_seconds, spec.cluster.map_slots());
+  // Blacklisted nodes' slots are gone; the surviving slots absorb all
+  // charged attempt costs (including failures, backoff, and speculation).
+  const int blacklisted = runner.blacklisted_nodes();
+  stats.stage_times.map_seconds = Makespan(
+      stats.map_task_seconds, spec.cluster.usable_map_slots(blacklisted));
   stats.stage_times.shuffle_seconds =
       static_cast<double>(stats.bytes_shuffled) /
       spec.cluster.ShuffleBytesPerSecond();
   stats.stage_times.reduce_seconds =
-      Makespan(stats.reduce_task_seconds, spec.cluster.reduce_slots());
+      Makespan(stats.reduce_task_seconds,
+               spec.cluster.usable_reduce_slots(blacklisted));
   stats.wall_seconds = wall.ElapsedSeconds();
   return result;
 }

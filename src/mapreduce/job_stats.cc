@@ -16,7 +16,22 @@ std::string JobStats::ToString() const {
                 static_cast<unsigned long long>(records_mapped),
                 static_cast<unsigned long long>(records_shuffled),
                 static_cast<unsigned long long>(groups_reduced));
-  return buf;
+  std::string out = buf;
+  if (task_failures > 0 || speculative_attempts > 0 ||
+      nodes_blacklisted > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " [attempts=%llu failures=%llu retries=%llu "
+                  "speculative=%llu/%llu blacklisted=%llu backoff=%.2fs]",
+                  static_cast<unsigned long long>(task_attempts),
+                  static_cast<unsigned long long>(task_failures),
+                  static_cast<unsigned long long>(task_retries),
+                  static_cast<unsigned long long>(speculative_wins),
+                  static_cast<unsigned long long>(speculative_attempts),
+                  static_cast<unsigned long long>(nodes_blacklisted),
+                  backoff_seconds);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace dod

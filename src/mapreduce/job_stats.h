@@ -43,6 +43,19 @@ struct JobStats {
   // Simulated stage durations on the configured cluster.
   StageTimes stage_times;
 
+  // Fault-tolerance accounting (see mapreduce/task_runner.h). All zero on a
+  // fault-free run with no user-level task errors.
+  uint64_t task_attempts = 0;       // attempts executed, incl. speculative
+  uint64_t task_failures = 0;       // attempts that failed
+  uint64_t task_retries = 0;        // re-executions after a failure
+  uint64_t speculative_attempts = 0;
+  uint64_t speculative_wins = 0;    // duplicates that finished first
+  uint64_t nodes_blacklisted = 0;
+  uint64_t shuffle_records_dropped = 0;    // injected transport loss
+  uint64_t shuffle_records_corrupted = 0;  // injected corruption
+  // Simulated retry delay charged into stage times.
+  double backoff_seconds = 0.0;
+
   // Real single-machine wall time spent executing the job.
   double wall_seconds = 0.0;
 

@@ -1,0 +1,143 @@
+// Copyright 2026 The DOD Authors.
+
+#include "mapreduce/task_runner.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/timer.h"
+
+namespace dod {
+
+TaskRunner::TaskRunner(const RetryPolicy& policy, const FaultInjector& injector,
+                       const ClusterSpec& cluster, JobStats& stats)
+    : policy_(policy),
+      injector_(injector),
+      stats_(stats),
+      num_nodes_(cluster.num_nodes),
+      node_failures_(static_cast<size_t>(cluster.num_nodes), 0),
+      node_blacklisted_(static_cast<size_t>(cluster.num_nodes), false) {
+  DOD_CHECK(policy.max_task_attempts >= 1);
+}
+
+int TaskRunner::AssignNode(TaskPhase phase, int task_index,
+                           int attempt) const {
+  const int base = injector_.NodeFor(phase, task_index, attempt, num_nodes_);
+  // Blacklisted nodes receive no new attempts; probe to the next healthy
+  // one. If every node is blacklisted the schedule degenerates but the job
+  // still runs (the cluster keeps at least one usable slot).
+  for (int i = 0; i < num_nodes_; ++i) {
+    const int node = (base + i) % num_nodes_;
+    if (!node_blacklisted_[static_cast<size_t>(node)]) return node;
+  }
+  return base;
+}
+
+void TaskRunner::RecordNodeFailure(TaskPhase phase, int task_index,
+                                   int attempt) {
+  const int node = AssignNode(phase, task_index, attempt);
+  auto& failures = node_failures_[static_cast<size_t>(node)];
+  ++failures;
+  if (policy_.node_failure_quota > 0 &&
+      failures >= policy_.node_failure_quota &&
+      !node_blacklisted_[static_cast<size_t>(node)]) {
+    node_blacklisted_[static_cast<size_t>(node)] = true;
+    ++blacklisted_count_;
+    stats_.nodes_blacklisted = static_cast<uint64_t>(blacklisted_count_);
+  }
+}
+
+Status TaskRunner::RunTask(TaskPhase phase, int task_index,
+                           double extra_seconds,
+                           const std::function<Status(int attempt)>& attempt_body,
+                           const std::function<void()>& commit,
+                           std::vector<double>& slot_costs) {
+  Status last_status;
+  FaultKind last_fault = FaultKind::kNone;
+  int attempts = 0;
+  for (int attempt = 0; attempt < policy_.max_task_attempts; ++attempt) {
+    // Retries wait out an exponential backoff before occupying a slot; the
+    // wait is simulated (charged, not slept).
+    double backoff = 0.0;
+    if (attempt > 0) {
+      backoff = policy_.initial_backoff_seconds *
+                std::pow(policy_.backoff_multiplier, attempt - 1);
+      stats_.backoff_seconds += backoff;
+      ++stats_.task_retries;
+    }
+    ++stats_.task_attempts;
+    ++attempts;
+
+    const FaultKind fault = injector_.TaskFault(phase, task_index, attempt);
+    StopWatch watch;
+    Status status = attempt_body(attempt);
+    const double measured = watch.ElapsedSeconds();
+
+    if (status.ok() && fault == FaultKind::kTaskFailure) {
+      status = Status::Unavailable("injected task-failure");
+    }
+    if (!status.ok()) {
+      // The attempt did its work before dying; its slot time is spent.
+      slot_costs.push_back(measured + extra_seconds + backoff);
+      ++stats_.task_failures;
+      RecordNodeFailure(phase, task_index, attempt);
+      last_status = status;
+      last_fault = fault;
+      continue;
+    }
+
+    if (fault == FaultKind::kStraggler) {
+      const double multiplier = injector_.spec().straggler_multiplier;
+      const double slow = (measured + extra_seconds) * multiplier + backoff;
+      const bool speculate =
+          policy_.speculative_execution &&
+          multiplier >= policy_.speculation_slowness_threshold;
+      if (speculate) {
+        // Duplicate attempt on another slot; distinct attempt index keeps
+        // its fault draws independent of the regular attempt sequence.
+        const int dup_attempt = policy_.max_task_attempts + attempt;
+        const FaultKind dup_fault =
+            injector_.TaskFault(phase, task_index, dup_attempt);
+        ++stats_.task_attempts;
+        ++stats_.speculative_attempts;
+        const double dup_cost =
+            dup_fault == FaultKind::kStraggler
+                ? (measured + extra_seconds) * multiplier
+                : measured + extra_seconds;
+        if (dup_fault == FaultKind::kTaskFailure) {
+          // The duplicate died; the straggler completes and wins.
+          ++stats_.task_failures;
+          RecordNodeFailure(phase, task_index, dup_attempt);
+        } else if (dup_cost < slow) {
+          // First finisher wins; the straggler is killed but its slot time
+          // was spent (Hadoop charges the loser).
+          ++stats_.speculative_wins;
+        }
+        slot_costs.push_back(dup_cost);
+      }
+      slot_costs.push_back(slow);
+      commit();
+      return Status::Ok();
+    }
+
+    slot_costs.push_back(measured + extra_seconds + backoff);
+    commit();
+    return Status::Ok();
+  }
+
+  const StatusCode code = last_status.code() == StatusCode::kOk
+                              ? StatusCode::kUnavailable
+                              : last_status.code();
+  std::string message = std::string(TaskPhaseName(phase)) + " task " +
+                        std::to_string(task_index) + " failed after " +
+                        std::to_string(attempts) + " attempts";
+  if (last_fault != FaultKind::kNone) {
+    // Poisoned-shuffle and user-status failures already describe themselves
+    // in the attempt status; injected task faults are named here.
+    message += std::string(" (last fault: ") + FaultKindName(last_fault) + ")";
+  }
+  message += ": " + last_status.message();
+  return Status(code, std::move(message));
+}
+
+}  // namespace dod

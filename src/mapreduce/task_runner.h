@@ -1,0 +1,97 @@
+// Copyright 2026 The DOD Authors.
+//
+// Fault-tolerant task attempt scheduling for the MapReduce engine.
+//
+// Each logical map/reduce task runs as a sequence of *attempts* with a
+// bounded retry budget, mirroring Hadoop's TaskAttempt machinery:
+//
+//   * a failed attempt (injected fault, poisoned shuffle, or a non-OK user
+//     status) is retried after simulated exponential backoff, charged into
+//     the stage's task costs;
+//   * an attempt that straggles past the slowness threshold triggers
+//     speculative execution — a duplicate attempt on another slot; the
+//     first finisher wins and the loser's cost is still charged to its
+//     slot (Hadoop semantics);
+//   * nodes that accumulate failures beyond a quota are blacklisted, and
+//     the engine schedules the remaining stage work on the surviving
+//     nodes' slots only;
+//   * a task that exhausts its budget degrades into a structured error
+//     naming the task, the attempt count, and the last fault — the job
+//     returns that error instead of aborting the process.
+//
+// Attempt bodies must stage their side effects and publish them only via
+// the separate `commit` callback, which the runner invokes exactly once,
+// for the winning attempt. This is the "output committer" contract that
+// makes re-execution safe.
+
+#ifndef DOD_MAPREDUCE_TASK_RUNNER_H_
+#define DOD_MAPREDUCE_TASK_RUNNER_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/fault_injection.h"
+#include "mapreduce/job_stats.h"
+
+namespace dod {
+
+// Retry / speculation / blacklisting knobs, carried by JobSpec.
+struct RetryPolicy {
+  // Total attempts per task, including the first (Hadoop
+  // mapreduce.map.maxattempts; must be >= 1).
+  int max_task_attempts = 4;
+  // Simulated delay before retry i is initial * multiplier^(i-1); charged
+  // into the retrying attempt's slot cost and JobStats::backoff_seconds.
+  double initial_backoff_seconds = 1.0;
+  double backoff_multiplier = 2.0;
+  // Launch a duplicate attempt when a straggler runs at least this many
+  // times slower than its fault-free cost.
+  bool speculative_execution = true;
+  double speculation_slowness_threshold = 1.5;
+  // Injected/observed attempt failures on one node before it is
+  // blacklisted; <= 0 disables blacklisting.
+  int node_failure_quota = 3;
+};
+
+// Runs logical tasks as retried attempts for one job. Owns the per-node
+// failure ledger; writes attempt/retry/speculation counters into JobStats.
+class TaskRunner {
+ public:
+  TaskRunner(const RetryPolicy& policy, const FaultInjector& injector,
+             const ClusterSpec& cluster, JobStats& stats);
+
+  // Executes one logical task. `attempt_body(attempt)` runs the user code
+  // into attempt-local staging and reports its status; `commit` publishes
+  // the winning attempt's staging. `extra_seconds` is charged on top of
+  // each attempt's measured time (split I/O scan). Per-attempt charged
+  // costs (including backoff and speculative duplicates) are appended to
+  // `slot_costs` — one entry per slot occupation, exactly what the stage
+  // makespan schedules.
+  Status RunTask(TaskPhase phase, int task_index, double extra_seconds,
+                 const std::function<Status(int attempt)>& attempt_body,
+                 const std::function<void()>& commit,
+                 std::vector<double>& slot_costs);
+
+  // Nodes blacklisted so far (mirrored into JobStats::nodes_blacklisted).
+  int blacklisted_nodes() const { return blacklisted_count_; }
+
+ private:
+  // Registers a failure against the attempt's node; may blacklist it.
+  void RecordNodeFailure(TaskPhase phase, int task_index, int attempt);
+  // Deterministic placement skipping blacklisted nodes.
+  int AssignNode(TaskPhase phase, int task_index, int attempt) const;
+
+  const RetryPolicy& policy_;
+  const FaultInjector& injector_;
+  JobStats& stats_;
+  int num_nodes_;
+  std::vector<int> node_failures_;
+  std::vector<bool> node_blacklisted_;
+  int blacklisted_count_ = 0;
+};
+
+}  // namespace dod
+
+#endif  // DOD_MAPREDUCE_TASK_RUNNER_H_

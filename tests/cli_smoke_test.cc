@@ -109,6 +109,26 @@ TEST(CliSmokeTest, PlanExport) {
   std::remove(plan_path.c_str());
 }
 
+TEST(CliSmokeTest, TransientFaultInjectionStillSucceeds) {
+  const CommandResult result = RunCommand(
+      "--generate uniform --n 2000 --seed 7 --fault_failure_prob 0.35 "
+      "--fault_seed 9 --max_task_attempts 8 --verbose");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  // Under a 40% per-attempt failure rate something fails and recovers, and
+  // the report advertises it.
+  EXPECT_NE(result.output.find("fault recovery"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliSmokeTest, ExhaustedRetriesFailCleanly) {
+  const CommandResult result = RunCommand(
+      "--generate uniform --n 1000 --fault_failure_prob 1 "
+      "--max_task_attempts 2");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("failed after 2 attempts"), std::string::npos)
+      << result.output;
+}
+
 TEST(CliSmokeTest, UnknownFlagIsRejected) {
   const CommandResult result =
       RunCommand("--generate uniform --n 1000 --bogus-flag 3");

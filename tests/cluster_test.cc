@@ -46,6 +46,36 @@ TEST(ScheduleTest, MakespanBounds) {
   EXPECT_LE(makespan, Sum(costs));
 }
 
+TEST(ScheduleTest, SingleSlotLoadsEqualSerialSum) {
+  const std::vector<double> loads = ScheduleLoads({1.0, 2.0, 3.0}, 1);
+  ASSERT_EQ(loads.size(), 1u);
+  EXPECT_DOUBLE_EQ(loads[0], 6.0);
+}
+
+TEST(ScheduleTest, MoreSlotsThanTasksLeavesTrailingSlotsIdle) {
+  const std::vector<double> loads = ScheduleLoads({2.0, 7.0}, 5);
+  ASSERT_EQ(loads.size(), 5u);
+  EXPECT_DOUBLE_EQ(loads[0], 2.0);
+  EXPECT_DOUBLE_EQ(loads[1], 7.0);
+  for (size_t s = 2; s < loads.size(); ++s) EXPECT_DOUBLE_EQ(loads[s], 0.0);
+}
+
+TEST(ScheduleTest, EqualCostTiesBreakTowardLowestSlotIndex) {
+  // Five unit tasks on three slots: ties on finish time always pick the
+  // lowest-numbered free slot, so the assignment is round-robin.
+  const std::vector<double> loads = ScheduleLoads({1.0, 1.0, 1.0, 1.0, 1.0}, 3);
+  ASSERT_EQ(loads.size(), 3u);
+  EXPECT_DOUBLE_EQ(loads[0], 2.0);
+  EXPECT_DOUBLE_EQ(loads[1], 2.0);
+  EXPECT_DOUBLE_EQ(loads[2], 1.0);
+}
+
+TEST(ScheduleTest, AssignmentIsDeterministic) {
+  const std::vector<double> costs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  EXPECT_EQ(ScheduleLoads(costs, 3), ScheduleLoads(costs, 3));
+  EXPECT_DOUBLE_EQ(Makespan(costs, 3), Makespan(costs, 3));
+}
+
 TEST(ClusterSpecTest, PaperDefaults) {
   ClusterSpec spec;
   EXPECT_EQ(spec.num_nodes, 40);
@@ -60,6 +90,17 @@ TEST(ClusterSpecTest, LocalHelper) {
   EXPECT_EQ(spec.num_nodes, 1);
   EXPECT_EQ(spec.map_slots(), 4);
   EXPECT_EQ(spec.reduce_slots(), 4);
+}
+
+TEST(ClusterSpecTest, BlacklistingRemovesSlotsButNeverAllOfThem) {
+  ClusterSpec spec;  // 40 nodes × 8 slots
+  EXPECT_EQ(spec.usable_map_slots(0), 320);
+  EXPECT_EQ(spec.usable_map_slots(5), 280);
+  EXPECT_EQ(spec.usable_reduce_slots(39), 8);
+  // Even a fully-blacklisted cluster keeps one node's slots so stage
+  // scheduling degrades instead of dividing by zero.
+  EXPECT_EQ(spec.usable_map_slots(40), 8);
+  EXPECT_EQ(spec.usable_reduce_slots(400), 8);
 }
 
 }  // namespace

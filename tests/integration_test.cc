@@ -64,7 +64,7 @@ TEST(IntegrationTest, RandomizedConfigurationFuzz) {
         4 + static_cast<int>(rng.NextBounded(40));
     config.seed = rng.NextUint64();
 
-    const DodResult result = DodPipeline(config).Run(data);
+    const DodResult result = DodPipeline(config).RunOrDie(data);
     const DetectionQuality quality =
         CompareOutlierSets(result.outliers, GroundTruth(data, params));
     EXPECT_TRUE(quality.exact())
@@ -88,7 +88,7 @@ TEST(IntegrationTest, CsvToPipelineToCsv) {
   DetectionParams params{5.0, 4};
   DodConfig config = DodConfig::Dmt(params);
   config.sampler.rate = 0.3;
-  const DodResult result = DodPipeline(config).Run(loaded.value());
+  const DodResult result = DodPipeline(config).RunOrDie(loaded.value());
   EXPECT_EQ(result.outliers, GroundTruth(data, params));
 
   Dataset outliers(data.dims());
@@ -107,7 +107,7 @@ TEST(IntegrationTest, SerializedPlanDescribesTheRun) {
   DetectionParams params{5.0, 4};
   DodConfig config = DodConfig::Dmt(params);
   config.sampler.rate = 0.3;
-  const DodResult result = DodPipeline(config).Run(data);
+  const DodResult result = DodPipeline(config).RunOrDie(data);
 
   Result<MultiTacticPlan> restored =
       DeserializePlan(SerializePlan(result.plan));

@@ -25,7 +25,7 @@ TEST(DomainInvariants, CandidatesEqualRescuedPlusReported) {
                                          StrategyKind::kDomain,
                                          AlgorithmKind::kNestedLoop);
   config.sampler.rate = 0.3;
-  const DodResult result = DodPipeline(config).Run(data);
+  const DodResult result = DodPipeline(config).RunOrDie(data);
   const uint64_t candidates =
       result.detect_stats.counters.Get("domain.candidates");
   const uint64_t rescued =
@@ -45,7 +45,7 @@ TEST(SupportInvariants, ReplicationIsBoundedByNeighborCells) {
                                          AlgorithmKind::kCellBased);
   config.target_partitions = 16;  // 4x4 grid, cells ≫ 2r wide
   config.sampler.rate = 0.3;
-  const DodResult result = DodPipeline(config).Run(data);
+  const DodResult result = DodPipeline(config).RunOrDie(data);
   EXPECT_LE(result.detect_stats.records_shuffled, data.size() * 9);
   EXPECT_GE(result.detect_stats.records_shuffled, data.size());
 }
@@ -114,7 +114,7 @@ TEST(PipelineInvariants, ResultsIndependentOfBlockCount) {
     DodConfig config = DodConfig::Dmt(params);
     config.num_blocks = blocks;
     config.sampler.rate = 0.3;
-    const DodResult result = DodPipeline(config).Run(data);
+    const DodResult result = DodPipeline(config).RunOrDie(data);
     if (reference.empty()) {
       reference = result.outliers;
     } else {
@@ -128,7 +128,7 @@ TEST(PipelineInvariants, EveryOutlierIdIsValidAndUnique) {
                                        59);
   DodConfig config = DodConfig::Dmt(DetectionParams{5.0, 4});
   config.sampler.rate = 0.3;
-  const DodResult result = DodPipeline(config).Run(data);
+  const DodResult result = DodPipeline(config).RunOrDie(data);
   ASSERT_FALSE(result.outliers.empty());
   for (size_t i = 0; i < result.outliers.size(); ++i) {
     EXPECT_LT(result.outliers[i], data.size());
@@ -141,7 +141,7 @@ TEST(PipelineInvariants, ShuffleByteAccountingMatchesRecordSize) {
       GenerateUniform(2000, DomainForDensity(2000, 0.05), 61);
   DodConfig config = DodConfig::Dmt(DetectionParams{5.0, 4});
   config.sampler.rate = 0.3;
-  const DodResult result = DodPipeline(config).Run(data);
+  const DodResult result = DodPipeline(config).RunOrDie(data);
   // Record size: dims doubles + tag + cell id.
   const size_t record_bytes = 2 * sizeof(double) + 1 + sizeof(uint32_t);
   EXPECT_EQ(result.detect_stats.bytes_shuffled,

@@ -36,7 +36,8 @@ TEST(EngineIoChargeTest, SplitBytesRaiseMapStageTime) {
   NullReducer reducer;
   JobSpec cheap = LocalSpec(1);
   auto no_io = RunMapReduce<int, int, int>(
-      4, mapper, reducer, [](const int&) { return 0; }, cheap);
+      4, mapper, reducer, [](const int&) { return 0; }, cheap)
+                   .ValueOrDie();
 
   JobSpec charged = LocalSpec(1);
   charged.cluster.disk_read_mbps_per_slot = 100.0;
@@ -44,7 +45,8 @@ TEST(EngineIoChargeTest, SplitBytesRaiseMapStageTime) {
   charged.split_input_bytes = {50'000'000, 50'000'000, 50'000'000,
                                50'000'000};
   auto with_io = RunMapReduce<int, int, int>(
-      4, mapper, reducer, [](const int&) { return 0; }, charged);
+      4, mapper, reducer, [](const int&) { return 0; }, charged)
+                     .ValueOrDie();
 
   EXPECT_LT(no_io.stats.stage_times.map_seconds, 0.01);
   EXPECT_NEAR(with_io.stats.stage_times.map_seconds, 0.5, 0.05);
@@ -58,7 +60,8 @@ TEST(EngineIoChargeTest, MissingEntriesAreUncharged) {
   JobSpec spec = LocalSpec(1, 1);
   spec.split_input_bytes = {10'000'000};  // only split 0 charged
   auto job = RunMapReduce<int, int, int>(
-      3, mapper, reducer, [](const int&) { return 0; }, spec);
+      3, mapper, reducer, [](const int&) { return 0; }, spec)
+                 .ValueOrDie();
   ASSERT_EQ(job.stats.map_task_seconds.size(), 3u);
   EXPECT_GT(job.stats.map_task_seconds[0], 0.09);
   EXPECT_LT(job.stats.map_task_seconds[1], 0.01);
@@ -87,12 +90,30 @@ TEST(EngineTypesTest, StringKeysSortAndGroup) {
   WordReducer reducer;
   auto job = RunMapReduce<std::string, int, std::string>(
       4, mapper, reducer, [](const std::string&) { return 0; },
-      LocalSpec(1), /*record_bytes=*/16);
+      LocalSpec(1), /*record_bytes=*/16)
+                 .ValueOrDie();
   // Keys arrive sorted: inlier, outlier, support.
   ASSERT_EQ(job.output.size(), 3u);
   EXPECT_EQ(job.output[0], "inlier:1");
   EXPECT_EQ(job.output[1], "outlier:6");
   EXPECT_EQ(job.output[2], "support:1");
+}
+
+TEST(EngineTypesTest, PerRecordSizeCallbackOverridesFlatRecordBytes) {
+  // A flat record_bytes of 16 would undercount string keys of varying
+  // length; the per-record callback charges the actual payload.
+  WordMapper mapper;
+  WordReducer reducer;
+  const auto record_size = [](const std::string& key, const int&) {
+    return key.size() + sizeof(int);
+  };
+  auto job = RunMapReduce<std::string, int, std::string>(
+      4, mapper, reducer, [](const std::string&) { return 0; },
+      LocalSpec(1), /*record_bytes=*/16, record_size)
+                 .ValueOrDie();
+  // 8 records: 6×"outlier" (7+4) + 1×"inlier" (6+4) + 1×"support" (7+4).
+  EXPECT_EQ(job.stats.records_shuffled, 8u);
+  EXPECT_EQ(job.stats.bytes_shuffled, 6u * 11 + 10 + 11);
 }
 
 TEST(CountersTest, MergeAndDefault) {

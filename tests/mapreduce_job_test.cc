@@ -59,7 +59,8 @@ TEST(MapReduceJobTest, GroupsAllValuesByKey) {
   CountReducer reducer;
   auto job = RunMapReduce<int, int, KeyCount>(
       /*num_splits=*/5, mapper, reducer,
-      [](const int& key) { return key % 3; }, SmallClusterSpec(3));
+      [](const int& key) { return key % 3; }, SmallClusterSpec(3))
+                 .ValueOrDie();
   // 500 values, keys 0..9, 50 each.
   std::map<int, int> counts;
   for (const KeyCount& kc : job.output) counts[kc.key] = kc.count;
@@ -72,7 +73,8 @@ TEST(MapReduceJobTest, StatsAccounting) {
   CountReducer reducer;
   auto job = RunMapReduce<int, int, KeyCount>(
       5, mapper, reducer, [](const int& key) { return key % 3; },
-      SmallClusterSpec(3), /*record_bytes=*/16);
+      SmallClusterSpec(3), /*record_bytes=*/16)
+                 .ValueOrDie();
   EXPECT_EQ(job.stats.records_mapped, 500u);
   EXPECT_EQ(job.stats.records_shuffled, 500u);
   EXPECT_EQ(job.stats.bytes_shuffled, 500u * 16);
@@ -89,7 +91,8 @@ TEST(MapReduceJobTest, PartitionFunctionControlsTaskPlacement) {
   ModMapper mapper(50);
   CountReducer reducer;
   auto job = RunMapReduce<int, int, KeyCount>(
-      2, mapper, reducer, [](const int&) { return 2; }, SmallClusterSpec(4));
+      2, mapper, reducer, [](const int&) { return 2; }, SmallClusterSpec(4))
+                 .ValueOrDie();
   EXPECT_EQ(job.stats.groups_reduced, 10u);
   EXPECT_EQ(job.output.size(), 10u);
 }
@@ -99,7 +102,8 @@ TEST(MapReduceJobTest, ReducerSeesKeysSorted) {
   ModMapper mapper(100);
   CountReducer reducer;
   auto job = RunMapReduce<int, int, KeyCount>(
-      1, mapper, reducer, [](const int&) { return 0; }, SmallClusterSpec(1));
+      1, mapper, reducer, [](const int&) { return 0; }, SmallClusterSpec(1))
+                 .ValueOrDie();
   ASSERT_EQ(job.output.size(), 10u);
   for (int k = 0; k < 10; ++k) EXPECT_EQ(job.output[k].key, k);
 }
@@ -115,7 +119,8 @@ TEST(MapReduceJobTest, ValuesPreserveEmissionOrderWithinKey) {
   ModMapper mapper(100);
   FirstValueReducer reducer;
   auto job = RunMapReduce<int, int, int>(
-      1, mapper, reducer, [](const int&) { return 0; }, SmallClusterSpec(1));
+      1, mapper, reducer, [](const int&) { return 0; }, SmallClusterSpec(1))
+                 .ValueOrDie();
   // Stable sort: the first value of key k is k itself (first emission).
   ASSERT_EQ(job.output.size(), 10u);
   for (int k = 0; k < 10; ++k) EXPECT_EQ(job.output[k], k);
@@ -126,8 +131,9 @@ TEST(MapReduceJobTest, DeterministicOutputAcrossRuns) {
   CountReducer reducer;
   auto run = [&] {
     return RunMapReduce<int, int, KeyCount>(
-        4, mapper, reducer, [](const int& key) { return key % 2; },
-        SmallClusterSpec(2));
+               4, mapper, reducer, [](const int& key) { return key % 2; },
+               SmallClusterSpec(2))
+        .ValueOrDie();
   };
   const auto a = run();
   const auto b = run();
@@ -142,7 +148,8 @@ TEST(MapReduceJobTest, EmptyInputProducesEmptyOutput) {
   NullMapper mapper;
   CountReducer reducer;
   auto job = RunMapReduce<int, int, KeyCount>(
-      3, mapper, reducer, [](const int&) { return 0; }, SmallClusterSpec(2));
+      3, mapper, reducer, [](const int&) { return 0; }, SmallClusterSpec(2))
+                 .ValueOrDie();
   EXPECT_TRUE(job.output.empty());
   EXPECT_EQ(job.stats.records_mapped, 0u);
   EXPECT_EQ(job.stats.groups_reduced, 0u);
@@ -155,7 +162,8 @@ TEST(MapReduceJobTest, StageTimesUseSlotScheduling) {
   CountReducer reducer;
   auto job = RunMapReduce<int, int, KeyCount>(
       5, mapper, reducer, [](const int& key) { return key % 3; },
-      SmallClusterSpec(3));
+      SmallClusterSpec(3))
+                 .ValueOrDie();
   double serial = 0.0, longest = 0.0;
   for (double t : job.stats.map_task_seconds) {
     serial += t;

@@ -35,7 +35,7 @@ TEST(PipelineConfigTest, SingleBlockSingleReducer) {
   config.num_blocks = 1;
   config.num_reduce_tasks = 1;
   config.sampler.rate = 0.3;
-  EXPECT_EQ(DodPipeline(config).Run(data).outliers,
+  EXPECT_EQ(DodPipeline(config).RunOrDie(data).outliers,
             GroundTruth(data, params));
 }
 
@@ -46,7 +46,7 @@ TEST(PipelineConfigTest, ManyBlocksManyReducers) {
   config.num_blocks = 64;
   config.num_reduce_tasks = 128;
   config.sampler.rate = 0.3;
-  EXPECT_EQ(DodPipeline(config).Run(data).outliers,
+  EXPECT_EQ(DodPipeline(config).RunOrDie(data).outliers,
             GroundTruth(data, params));
 }
 
@@ -60,7 +60,7 @@ TEST(PipelineConfigTest, SinglePartitionDegenerates) {
                                            AlgorithmKind::kNestedLoop);
     config.target_partitions = 1;
     config.sampler.rate = 0.3;
-    EXPECT_EQ(DodPipeline(config).Run(data).outliers,
+    EXPECT_EQ(DodPipeline(config).RunOrDie(data).outliers,
               GroundTruth(data, params))
         << StrategyKindName(strategy);
   }
@@ -76,7 +76,7 @@ TEST(PipelineConfigTest, AllPackingPolicies) {
     DodConfig config = DodConfig::Dmt(params);
     config.packing = policy;
     config.sampler.rate = 0.3;
-    EXPECT_EQ(DodPipeline(config).Run(data).outliers, expected)
+    EXPECT_EQ(DodPipeline(config).RunOrDie(data).outliers, expected)
         << PackingPolicyName(policy);
   }
 }
@@ -87,7 +87,7 @@ TEST(PipelineConfigTest, VeryLowSamplingRateStaysExact) {
   DetectionParams params{5.0, 4};
   DodConfig config = DodConfig::Dmt(params);
   config.sampler.rate = 0.005;
-  EXPECT_EQ(DodPipeline(config).Run(data).outliers,
+  EXPECT_EQ(DodPipeline(config).RunOrDie(data).outliers,
             GroundTruth(data, params));
 }
 
@@ -99,7 +99,7 @@ TEST(PipelineConfigTest, CoarseAndFineMiniBuckets) {
     DodConfig config = DodConfig::Dmt(params);
     config.sampler.rate = 0.3;
     config.sampler.buckets_per_dim = buckets;
-    EXPECT_EQ(DodPipeline(config).Run(data).outliers, expected)
+    EXPECT_EQ(DodPipeline(config).RunOrDie(data).outliers, expected)
         << buckets << " buckets/dim";
   }
 }
@@ -110,7 +110,7 @@ TEST(PipelineConfigTest, TinyClusterStillExact) {
   DodConfig config = DodConfig::Dmt(params);
   config.cluster = ClusterSpec::Local(2);
   config.sampler.rate = 0.3;
-  const DodResult result = DodPipeline(config).Run(data);
+  const DodResult result = DodPipeline(config).RunOrDie(data);
   EXPECT_EQ(result.outliers, GroundTruth(data, params));
   EXPECT_GT(result.breakdown.detect.reduce_seconds, 0.0);
 }
@@ -121,7 +121,7 @@ TEST(PipelineConfigTest, ThreeDimensionalPipeline) {
   DodConfig config = DodConfig::Dmt(params);
   config.sampler.rate = 0.3;
   config.sampler.buckets_per_dim = 12;
-  EXPECT_EQ(DodPipeline(config).Run(data).outliers,
+  EXPECT_EQ(DodPipeline(config).RunOrDie(data).outliers,
             GroundTruth(data, params));
 }
 
@@ -133,7 +133,7 @@ TEST(PipelineConfigTest, DistortedDataPipeline) {
   DetectionParams params{5.0, 4};
   DodConfig config = DodConfig::Dmt(params);
   config.sampler.rate = 0.3;
-  EXPECT_EQ(DodPipeline(config).Run(data).outliers,
+  EXPECT_EQ(DodPipeline(config).RunOrDie(data).outliers,
             GroundTruth(data, params));
 }
 
@@ -150,7 +150,7 @@ TEST(PipelineConfigTest, HierarchicalDataAllStrategies) {
             : DodConfig::Baseline(params, strategy,
                                   AlgorithmKind::kCellBased);
     config.sampler.rate = 0.3;
-    EXPECT_EQ(DodPipeline(config).Run(data).outliers, expected)
+    EXPECT_EQ(DodPipeline(config).RunOrDie(data).outliers, expected)
         << StrategyKindName(strategy);
   }
 }
@@ -162,7 +162,7 @@ TEST(PipelineConfigTest, RadiusLargerThanDomain) {
   DetectionParams params{100.0, 4};
   DodConfig config = DodConfig::Dmt(params);
   config.sampler.rate = 0.5;
-  EXPECT_TRUE(DodPipeline(config).Run(data).outliers.empty());
+  EXPECT_TRUE(DodPipeline(config).RunOrDie(data).outliers.empty());
 }
 
 TEST(PipelineConfigTest, KOfOne) {
@@ -170,7 +170,7 @@ TEST(PipelineConfigTest, KOfOne) {
   DetectionParams params{3.0, 1};
   DodConfig config = DodConfig::Dmt(params);
   config.sampler.rate = 0.3;
-  EXPECT_EQ(DodPipeline(config).Run(data).outliers,
+  EXPECT_EQ(DodPipeline(config).RunOrDie(data).outliers,
             GroundTruth(data, params));
 }
 
@@ -187,7 +187,7 @@ TEST(PipelineConfigTest, DuplicateHeavyData) {
   DetectionParams params{5.0, 4};
   DodConfig config = DodConfig::Dmt(params);
   config.sampler.rate = 0.5;
-  EXPECT_EQ(DodPipeline(config).Run(data).outliers,
+  EXPECT_EQ(DodPipeline(config).RunOrDie(data).outliers,
             GroundTruth(data, params));
 }
 
@@ -200,8 +200,8 @@ TEST(PipelineConfigTest, ClusterSpecAffectsSimulatedTimesOnly) {
   DodConfig large = DodConfig::Dmt(params);
   large.cluster.num_nodes = 100;
   large.sampler.rate = 0.3;
-  const DodResult a = DodPipeline(small).Run(data);
-  const DodResult b = DodPipeline(large).Run(data);
+  const DodResult a = DodPipeline(small).RunOrDie(data);
+  const DodResult b = DodPipeline(large).RunOrDie(data);
   EXPECT_EQ(a.outliers, b.outliers);
   // One slot serializes everything; 800 reduce slots parallelize fully.
   EXPECT_GT(a.breakdown.detect.reduce_seconds,
@@ -213,7 +213,7 @@ TEST(PipelineConfigTest, CountersReportAlgorithmMix) {
   DetectionParams params{5.0, 4};
   DodConfig config = DodConfig::Dmt(params);
   config.sampler.rate = 0.3;
-  const DodResult result = DodPipeline(config).Run(data);
+  const DodResult result = DodPipeline(config).RunOrDie(data);
   const uint64_t nl_cells =
       result.detect_stats.counters.Get("cells.Nested-Loop");
   const uint64_t cb_cells =

@@ -61,7 +61,7 @@ class PipelineExactness : public testing::TestWithParam<PipelineCase> {
   void ExpectExact(const Dataset& data, DetectionParams params) {
     const std::vector<PointId> expected = GroundTruth(data, params);
     DodPipeline pipeline(MakeConfig(params));
-    const DodResult result = pipeline.Run(data);
+    const DodResult result = pipeline.RunOrDie(data);
     EXPECT_EQ(result.outliers, expected)
         << "strategy=" << pipeline.config().Label()
         << " n=" << data.size() << " found=" << result.outliers.size()
@@ -129,7 +129,7 @@ TEST(PipelineBasics, ReportsStageBreakdown) {
   DetectionParams params{5.0, 4};
   const Dataset data = GenerateUniform(1500, DomainForDensity(1500, 0.05), 3);
   DodPipeline pipeline(DodConfig::Dmt(params));
-  const DodResult result = pipeline.Run(data);
+  const DodResult result = pipeline.RunOrDie(data);
   EXPECT_GT(result.breakdown.detect.reduce_seconds, 0.0);
   EXPECT_GT(result.breakdown.preprocess_seconds, 0.0);
   EXPECT_EQ(result.breakdown.verify.total(), 0.0);
@@ -141,7 +141,7 @@ TEST(PipelineBasics, DomainBaselineRunsVerificationJob) {
   const Dataset data = GenerateUniform(1500, DomainForDensity(1500, 0.02), 5);
   DodPipeline pipeline(DodConfig::Baseline(params, StrategyKind::kDomain,
                                            AlgorithmKind::kNestedLoop));
-  const DodResult result = pipeline.Run(data);
+  const DodResult result = pipeline.RunOrDie(data);
   // The Domain baseline must have run the second job (it shuffles border
   // points even when no candidate is rescued).
   EXPECT_GT(result.verify_stats.records_mapped, 0u);
@@ -163,8 +163,8 @@ TEST(PipelineBasics, DeterministicAcrossRuns) {
   DetectionParams params{5.0, 4};
   const Dataset data = GenerateTigerLike(2000, 31);
   DodPipeline pipeline(DodConfig::Dmt(params));
-  const DodResult a = pipeline.Run(data);
-  const DodResult b = pipeline.Run(data);
+  const DodResult a = pipeline.RunOrDie(data);
+  const DodResult b = pipeline.RunOrDie(data);
   EXPECT_EQ(a.outliers, b.outliers);
   EXPECT_EQ(a.plan.partition_plan.num_cells(), b.plan.partition_plan.num_cells());
 }

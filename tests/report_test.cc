@@ -11,7 +11,7 @@ namespace dod {
 namespace {
 
 DodResult RunSmall(const DodConfig& config, const Dataset& data) {
-  return DodPipeline(config).Run(data);
+  return DodPipeline(config).RunOrDie(data);
 }
 
 TEST(ReportTest, ReportMentionsKeyNumbers) {

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 namespace dod {
 namespace {
 
@@ -30,11 +33,17 @@ TEST(StatusTest, AllFactoryMethodsSetMatchingCode) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -85,8 +94,54 @@ TEST(StatusMacros, ReturnIfErrorPassesOk) {
   EXPECT_EQ(outer().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(StatusMacros, AssignOrReturnExtractsValue) {
+  auto produce = [] { return Result<int>(21); };
+  auto outer = [&]() -> Result<int> {
+    DOD_ASSIGN_OR_RETURN(const int v, produce());
+    return v * 2;
+  };
+  const Result<int> r = outer();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(StatusMacros, AssignOrReturnPropagatesError) {
+  auto produce = [] { return Result<int>(Status::Unavailable("backend down")); };
+  bool reached_end = false;
+  auto outer = [&]() -> Result<int> {
+    DOD_ASSIGN_OR_RETURN(const int v, produce());
+    reached_end = true;
+    return v;
+  };
+  const Result<int> r = outer();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(reached_end);
+}
+
+TEST(StatusMacros, AssignOrReturnWorksWithMoveOnlyTypes) {
+  auto produce = [] { return Result<std::unique_ptr<int>>(
+                          std::make_unique<int>(9)); };
+  auto outer = [&]() -> Result<int> {
+    DOD_ASSIGN_OR_RETURN(std::unique_ptr<int> p, produce());
+    return *p;
+  };
+  EXPECT_EQ(outer().value(), 9);
+}
+
+TEST(ResultTest, ValueOrDieReturnsValue) {
+  Result<int> r = 5;
+  EXPECT_EQ(r.ValueOrDie(), 5);
+  EXPECT_EQ(Result<std::string>(std::string("x")).ValueOrDie(), "x");
+}
+
 TEST(CheckMacros, CheckDeathOnFalse) {
   EXPECT_DEATH(DOD_CHECK(1 == 2), "DOD_CHECK failed");
+}
+
+TEST(CheckMacros, ValueOrDieDeathOnError) {
+  Result<int> r = Status::Internal("no value");
+  EXPECT_DEATH(r.ValueOrDie(), "no value");
 }
 
 }  // namespace

@@ -56,6 +56,16 @@ Pipeline:
   --suggest-r F          derive r from the data targeting outlier
                          fraction F (overrides --radius)
 
+Fault tolerance (simulation):
+  --max_task_attempts N  retry budget per task (default 4)
+  --fault_seed N         fault-injection seed (default 1)
+  --fault_failure_prob P injected task-attempt failure probability
+  --fault_straggler_prob P  injected straggler probability
+  --fault_straggler_mult M  straggler slowdown multiplier (default 4)
+  --fault_drop_prob P    injected shuffle-record drop probability
+  --fault_corrupt_prob P injected shuffle-record corruption probability
+                         (injection is enabled when any probability > 0)
+
 Output:
   --out PATH             write outlier coordinates (.csv or .bin)
   --plan-out PATH        write the multi-tactic plan
@@ -227,6 +237,36 @@ dod::Result<dod::DodConfig> BuildConfig(const dod::FlagParser& flags,
   auto seed = flags.GetInt("seed", 42);
   if (!seed.ok()) return seed.status();
   config.seed = static_cast<uint64_t>(seed.value());
+
+  auto attempts = flags.GetInt("max_task_attempts", 4);
+  if (!attempts.ok()) return attempts.status();
+  if (attempts.value() < 1) {
+    return dod::Status::InvalidArgument("--max_task_attempts must be >= 1");
+  }
+  config.retry.max_task_attempts = static_cast<int>(attempts.value());
+
+  auto fault_seed = flags.GetInt("fault_seed", 1);
+  if (!fault_seed.ok()) return fault_seed.status();
+  config.faults.seed = static_cast<uint64_t>(fault_seed.value());
+  auto failure_prob = flags.GetDouble("fault_failure_prob", 0.0);
+  if (!failure_prob.ok()) return failure_prob.status();
+  config.faults.task_failure_prob = failure_prob.value();
+  auto straggler_prob = flags.GetDouble("fault_straggler_prob", 0.0);
+  if (!straggler_prob.ok()) return straggler_prob.status();
+  config.faults.straggler_prob = straggler_prob.value();
+  auto straggler_mult = flags.GetDouble("fault_straggler_mult", 4.0);
+  if (!straggler_mult.ok()) return straggler_mult.status();
+  config.faults.straggler_multiplier = straggler_mult.value();
+  auto drop_prob = flags.GetDouble("fault_drop_prob", 0.0);
+  if (!drop_prob.ok()) return drop_prob.status();
+  config.faults.shuffle_drop_prob = drop_prob.value();
+  auto corrupt_prob = flags.GetDouble("fault_corrupt_prob", 0.0);
+  if (!corrupt_prob.ok()) return corrupt_prob.status();
+  config.faults.shuffle_corrupt_prob = corrupt_prob.value();
+  config.faults.enabled = config.faults.task_failure_prob > 0.0 ||
+                          config.faults.straggler_prob > 0.0 ||
+                          config.faults.shuffle_drop_prob > 0.0 ||
+                          config.faults.shuffle_corrupt_prob > 0.0;
   return config;
 }
 
@@ -257,7 +297,9 @@ int main(int argc, char** argv) {
   }
 
   dod::DodPipeline pipeline(config.value());
-  const dod::DodResult result = pipeline.Run(data.value());
+  const dod::Result<dod::DodResult> run = pipeline.Run(data.value());
+  if (!run.ok()) return Fail(run.status().ToString());
+  const dod::DodResult& result = run.value();
 
   std::fputs(
       dod::FormatRunReport(config.value(), result, data.value().size())

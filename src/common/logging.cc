@@ -4,11 +4,22 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace dod {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+// Guards the sink: one fully-assembled line per acquisition, so lines from
+// concurrent tasks never shear.
+std::mutex& SinkMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+thread_local std::string t_log_tag;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -34,6 +45,17 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+void SetThreadLogTag(std::string tag) { t_log_tag = std::move(tag); }
+
+const std::string& ThreadLogTag() { return t_log_tag; }
+
+ScopedLogTag::ScopedLogTag(const std::string& segment)
+    : previous_(t_log_tag) {
+  t_log_tag = previous_.empty() ? segment : previous_ + "/" + segment;
+}
+
+ScopedLogTag::~ScopedLogTag() { t_log_tag = std::move(previous_); }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -43,7 +65,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+  stream_ << "[" << LevelTag(level) << " " << base << ":" << line;
+  if (!t_log_tag.empty()) stream_ << " " << t_log_tag;
+  stream_ << "] ";
 }
 
 LogMessage::~LogMessage() {
@@ -52,6 +76,7 @@ LogMessage::~LogMessage() {
     return;
   }
   std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(SinkMutex());
   std::fprintf(stderr, "%s\n", line.c_str());
 }
 

@@ -2,6 +2,13 @@
 //
 // Minimal leveled logger. Intended for diagnostic output of the pipeline and
 // bench harnesses; hot paths must not log.
+//
+// Thread-safe: each line is assembled privately and written to the sink
+// under a single mutex, so concurrent task logs never interleave within a
+// line. Threads can carry a *log tag* — the runtime's workers tag
+// themselves "w0", "w1", ... and the MapReduce engine scopes "map3.a1"
+// style task/attempt tags around attempt bodies — so interleaved task logs
+// stay attributable.
 
 #ifndef DOD_COMMON_LOGGING_H_
 #define DOD_COMMON_LOGGING_H_
@@ -16,6 +23,24 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 // Global minimum level; messages below it are dropped. Default: kInfo.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Tag prepended to this thread's log lines (thread-local; empty = untagged).
+void SetThreadLogTag(std::string tag);
+const std::string& ThreadLogTag();
+
+// Appends a tag segment for the current scope ("w2" becomes "w2/map3.a0")
+// and restores the previous tag on destruction.
+class ScopedLogTag {
+ public:
+  explicit ScopedLogTag(const std::string& segment);
+  ~ScopedLogTag();
+
+  ScopedLogTag(const ScopedLogTag&) = delete;
+  ScopedLogTag& operator=(const ScopedLogTag&) = delete;
+
+ private:
+  std::string previous_;
+};
 
 namespace internal {
 

@@ -48,6 +48,10 @@ struct DodConfig {
   int num_reduce_tasks = 32;
   // Number of input blocks / map tasks.
   size_t num_blocks = 32;
+  // Worker threads that actually execute map/reduce tasks (the parallel
+  // runtime, src/runtime/): <= 0 uses every hardware thread, 1 runs the
+  // engine's sequential path. Output is byte-identical either way.
+  int num_threads = 0;
 
   SamplerOptions sampler;
   DshcOptions dshc;

@@ -24,7 +24,9 @@ size_t DetectRecordBytes(int dims) {
 }
 
 // Map side of the detection job (Fig. 3's map function): route each point
-// of the split's block to its core cell and its supporting cells.
+// of the split's block to its core cell and its supporting cells. Splits
+// run concurrently on one shared mapper instance, so routing scratch lives
+// on the stack of each Map call.
 class DetectMapper : public Mapper<uint32_t, TaggedPoint> {
  public:
   DetectMapper(const BlockStore& store, const PartitionPlan& plan,
@@ -36,13 +38,14 @@ class DetectMapper : public Mapper<uint32_t, TaggedPoint> {
 
   void Map(size_t split_index, Emitter<uint32_t, TaggedPoint>& out) override {
     const Dataset& data = store_.dataset();
+    std::vector<uint32_t> support_cells;
     for (PointId id : store_.block(split_index)) {
       const double* p = data[id];
       out.Emit(router_.RouteCore(p), TaggedPoint{id, false});
       if (emit_support_) {
-        support_cells_.clear();
-        router_.RouteSupport(p, &support_cells_);
-        for (uint32_t cell : support_cells_) {
+        support_cells.clear();
+        router_.RouteSupport(p, &support_cells);
+        for (uint32_t cell : support_cells) {
           out.Emit(cell, TaggedPoint{id, true});
         }
       }
@@ -54,7 +57,23 @@ class DetectMapper : public Mapper<uint32_t, TaggedPoint> {
   [[maybe_unused]] const PartitionPlan& plan_;
   const PartitionRouter& router_;
   bool emit_support_;
-  std::vector<uint32_t> support_cells_;
+};
+
+// All candidate detectors, built eagerly so concurrent reduce tasks can
+// share them without synchronization (DetectOutliers is const/stateless).
+class DetectorSet {
+ public:
+  DetectorSet() {
+    for (size_t k = 0; k < 3; ++k) {
+      detectors_[k] = MakeDetector(static_cast<AlgorithmKind>(k));
+    }
+  }
+  const Detector& For(AlgorithmKind kind) const {
+    return *detectors_[static_cast<size_t>(kind)];
+  }
+
+ private:
+  std::unique_ptr<Detector> detectors_[3];
 };
 
 // Reduce side when supporting areas are on: verdicts are final.
@@ -84,7 +103,7 @@ class DetectReducer : public Reducer<uint32_t, TaggedPoint, PointId> {
     if (num_core == 0) return;
 
     const AlgorithmKind algorithm = plan_.algorithm_plan[cell];
-    const Detector& detector = DetectorFor(algorithm);
+    const Detector& detector = detectors_.For(algorithm);
     DetectionParams params = params_;
     params.seed = params_.seed ^ (0x9E3779B97F4A7C15ULL * (cell + 1));
     const std::vector<uint32_t> local =
@@ -94,16 +113,10 @@ class DetectReducer : public Reducer<uint32_t, TaggedPoint, PointId> {
   }
 
  private:
-  const Detector& DetectorFor(AlgorithmKind kind) {
-    auto& slot = detectors_[static_cast<size_t>(kind)];
-    if (slot == nullptr) slot = MakeDetector(kind);
-    return *slot;
-  }
-
   const Dataset& data_;
   const MultiTacticPlan& plan_;
   const DetectionParams& params_;
-  std::unique_ptr<Detector> detectors_[3];
+  DetectorSet detectors_;
 };
 
 // A locally-detected outlier of the Domain baseline: a candidate until the
@@ -134,7 +147,7 @@ class DomainDetectReducer : public Reducer<uint32_t, TaggedPoint, Candidate> {
       ids.push_back(v.id);
     }
     const AlgorithmKind algorithm = plan_.algorithm_plan[cell];
-    const Detector& detector = DetectorFor(algorithm);
+    const Detector& detector = detectors_.For(algorithm);
     DetectionParams params = params_;
     params.seed = params_.seed ^ (0x9E3779B97F4A7C15ULL * (cell + 1));
     const std::vector<uint32_t> local = detector.DetectOutliers(
@@ -157,16 +170,10 @@ class DomainDetectReducer : public Reducer<uint32_t, TaggedPoint, Candidate> {
   }
 
  private:
-  const Detector& DetectorFor(AlgorithmKind kind) {
-    auto& slot = detectors_[static_cast<size_t>(kind)];
-    if (slot == nullptr) slot = MakeDetector(kind);
-    return *slot;
-  }
-
   const Dataset& data_;
   const MultiTacticPlan& plan_;
   const DetectionParams& params_;
-  std::unique_ptr<Detector> detectors_[3];
+  DetectorSet detectors_;
 };
 
 // Shuffle record of the verification job.
@@ -212,11 +219,12 @@ class VerifyMapper : public Mapper<uint32_t, VerifyRecord> {
                  VerifyRecord{candidate.id, candidate.partial, true});
       }
     }
+    std::vector<uint32_t> support_cells;
     for (PointId id : store_.block(split_index)) {
       const double* p = data[id];
-      support_cells_.clear();
-      router_.RouteSupport(p, &support_cells_);
-      for (uint32_t cell : support_cells_) {
+      support_cells.clear();
+      router_.RouteSupport(p, &support_cells);
+      for (uint32_t cell : support_cells) {
         out.Emit(cell, VerifyRecord{id, 0, false});
       }
     }
@@ -226,7 +234,6 @@ class VerifyMapper : public Mapper<uint32_t, VerifyRecord> {
   const BlockStore& store_;
   const PartitionRouter& router_;
   const std::vector<Candidate>& candidates_;
-  std::vector<uint32_t> support_cells_;
 };
 
 // Reduce side of the verification job: count the candidates' remaining
@@ -325,6 +332,7 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
 
   JobSpec spec;
   spec.num_reduce_tasks = config.num_reduce_tasks;
+  spec.num_threads = config.num_threads;
   spec.cluster = config.cluster;
   spec.faults = config.faults;
   spec.retry = config.retry;

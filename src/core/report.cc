@@ -62,6 +62,16 @@ std::string FormatRunReport(const DodConfig& config, const DodResult& result,
   }
   Appendf(out, "\nend-to-end    : %.4fs simulated (%.4fs wall)\n",
           result.breakdown.total(), result.wall_seconds);
+  // Simulated makespan above; what this machine's threads actually did
+  // below. With --threads=1 the wall times are the serial task sums.
+  Appendf(out,
+          "parallelism   : %d threads | map wall %.4fs | reduce wall "
+          "%.4fs\n",
+          result.detect_stats.threads_used,
+          result.detect_stats.map_wall_seconds +
+              result.verify_stats.map_wall_seconds,
+          result.detect_stats.reduce_wall_seconds +
+              result.verify_stats.reduce_wall_seconds);
 
   Appendf(out, "data movement : %llu records shuffled (%.2f MB)\n",
           static_cast<unsigned long long>(

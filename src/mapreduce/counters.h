@@ -1,6 +1,12 @@
 // Copyright 2026 The DOD Authors.
 //
 // Hadoop-style named job counters.
+//
+// MergeFrom is associative and commutative (per-name sums over an ordered
+// map), so per-task counter deltas can be folded together in any order —
+// sequential task order or whatever order a parallel run completes in —
+// and the totals come out identical. The parallel engine relies on this;
+// tests/runtime_test.cc pins it with permuted merge orders.
 
 #ifndef DOD_MAPREDUCE_COUNTERS_H_
 #define DOD_MAPREDUCE_COUNTERS_H_

@@ -11,7 +11,20 @@
 // Every task is actually executed, and its duration measured. Stage times
 // are then derived by scheduling the measured task costs onto the cluster's
 // slots (see cluster.h). This yields the end-to-end execution time metric
-// the paper reports while running deterministically on one machine.
+// the paper reports while running deterministically on one machine. The
+// real wall-clock time of each phase is measured alongside and reported in
+// JobStats, so simulated makespan and actual speedup sit side by side.
+//
+// Tasks really run concurrently: the map and reduce phases fan out over a
+// work-stealing thread pool (runtime/parallel_executor.h), with
+// JobSpec::num_threads workers (<= 0 = all hardware threads; 1 reproduces
+// the historical sequential loop exactly). Output is byte-identical for
+// every thread count: each task stages its results privately and the
+// engine commits the staged results after the phase barrier in
+// task-index order, while counters and stats merge order-independently
+// (see job_stats.h). Consequently Mapper/Reducer instances are invoked
+// concurrently for *distinct* tasks — user code must be reentrant: keep
+// per-call scratch on the stack, treat shared inputs as read-only.
 //
 // Execution is fault tolerant: every task runs as a sequence of attempts
 // under a TaskRunner (retry with simulated backoff, speculative execution
@@ -37,6 +50,7 @@
 #include "mapreduce/fault_injection.h"
 #include "mapreduce/job_stats.h"
 #include "mapreduce/task_runner.h"
+#include "runtime/parallel_executor.h"
 
 namespace dod {
 
@@ -52,8 +66,10 @@ class Emitter {
 // how to fetch its own input, e.g. from a BlockStore) and emits records.
 // Implement Map when the task cannot fail, or override TryMap to surface
 // task-level errors to the engine (which retries, then propagates). Map
-// may be called several times for the same split (task re-execution), so
-// it must be deterministic and free of external side effects.
+// may be called several times for the same split (task re-execution) and
+// concurrently for different splits (parallel execution), so it must be
+// deterministic, free of external side effects, and must not share
+// mutable scratch state between calls.
 template <typename K, typename V>
 class Mapper {
  public:
@@ -72,7 +88,9 @@ class Mapper {
 
 // User reduce function: one call per key group. `values` may be consumed
 // destructively. Results go to `out`; `counters` aggregates job counters.
-// Like Map, Reduce may re-run on the same group after an attempt failure.
+// Like Map, Reduce may re-run on the same group after an attempt failure,
+// and runs concurrently for groups of *different* reduce tasks (groups
+// within one task stay sequential) — the same reentrancy rules apply.
 template <typename K, typename V, typename Out>
 class Reducer {
  public:
@@ -98,6 +116,9 @@ struct JobSpec {
   // Number of reduce tasks (the partition function must return values in
   // [0, num_reduce_tasks)).
   int num_reduce_tasks = 1;
+  // Worker threads executing map/reduce tasks: <= 0 uses every hardware
+  // thread, 1 runs the sequential inline path (no pool).
+  int num_threads = 0;
   ClusterSpec cluster;
   // Input bytes of each split; charged as HDFS scan time against the
   // owning map task at cluster.disk_read_mbps_per_slot. Empty = no charge.
@@ -169,14 +190,15 @@ class ShuffleEmitter : public Emitter<K, V> {
 // Runs a full MapReduce job: map over `num_splits` splits, shuffle, reduce.
 //
 // `partition` routes a key to its reduce task — the hook through which DOD
-// injects its allocation plan (Fig. 6, Step 3). `record_bytes` is the wire
-// size charged per shuffled record; pass `record_size` instead when record
-// sizes vary (heap-allocated payloads), in which case it overrides
-// `record_bytes` per record.
+// injects its allocation plan (Fig. 6, Step 3); it is called concurrently
+// from map tasks and must be pure. `record_bytes` is the wire size charged
+// per shuffled record; pass `record_size` instead when record sizes vary
+// (heap-allocated payloads), in which case it overrides `record_bytes` per
+// record.
 //
-// Returns the job output, or the structured error of the first task that
-// exhausted its attempt budget (see mapreduce/task_runner.h). The process
-// never aborts on task failure.
+// Returns the job output, or the structured error of the first task (by
+// task index) that exhausted its attempt budget (see
+// mapreduce/task_runner.h). The process never aborts on task failure.
 template <typename K, typename V, typename Out>
 Result<JobOutput<Out>> RunMapReduce(
     size_t num_splits, Mapper<K, V>& mapper, Reducer<K, V, Out>& reducer,
@@ -192,106 +214,159 @@ Result<JobOutput<Out>> RunMapReduce(
   StopWatch wall;
 
   const FaultInjector injector(spec.faults);
-  TaskRunner runner(spec.retry, injector, spec.cluster, stats);
+  TaskRunner runner(spec.retry, injector, spec.cluster);
+  ParallelExecutor executor(spec.num_threads);
+  stats.threads_used = executor.num_threads();
+
+  const size_t num_reduce = static_cast<size_t>(spec.num_reduce_tasks);
+  using Buckets = typename internal::ShuffleEmitter<K, V>::Buckets;
 
   // ---- Map phase -------------------------------------------------------
-  using Buckets = typename internal::ShuffleEmitter<K, V>::Buckets;
-  Buckets buckets(static_cast<size_t>(spec.num_reduce_tasks));
-  Buckets staging(static_cast<size_t>(spec.num_reduce_tasks));
-  internal::ShuffleAccounting accounting;
-  stats.map_task_seconds.reserve(num_splits);
+  // Every map task stages into private buckets; the winning attempt's
+  // staging is committed into the task's slot and merged into the global
+  // shuffle after the barrier, in split order — so the shuffled buckets
+  // are byte-identical no matter how tasks interleave.
+  struct MapTaskState {
+    Buckets staging;
+    Buckets committed;
+    internal::ShuffleAccounting accounting;
+    JobStats stats;
+    std::vector<double> slot_costs;
+  };
+  std::vector<MapTaskState> map_tasks(num_splits);
   const double read_bytes_per_second =
       spec.cluster.disk_read_mbps_per_slot * 1e6;
-  for (size_t split = 0; split < num_splits; ++split) {
-    const double scan_seconds =
-        split < spec.split_input_bytes.size()
-            ? static_cast<double>(spec.split_input_bytes[split]) /
-                  read_bytes_per_second
-            : 0.0;
-    const Status status = runner.RunTask(
-        TaskPhase::kMap, static_cast<int>(split), scan_seconds,
-        [&](int attempt) -> Status {
-          for (auto& bucket : staging) bucket.clear();
-          accounting = internal::ShuffleAccounting{};
-          ShuffleFaultFilter filter(injector, TaskPhase::kMap,
-                                    static_cast<int>(split), attempt);
-          internal::ShuffleEmitter<K, V> emitter(
-              staging, partition, record_bytes, record_size, accounting,
-              injector.enabled() ? &filter : nullptr);
-          const Status map_status = mapper.TryMap(split, emitter);
-          stats.shuffle_records_dropped += filter.dropped();
-          stats.shuffle_records_corrupted += filter.corrupted();
-          if (!map_status.ok()) return map_status;
-          return filter.AttemptStatus();
-        },
-        [&]() {
-          for (size_t task = 0; task < buckets.size(); ++task) {
-            auto& committed = buckets[task];
-            auto& staged = staging[task];
-            committed.insert(committed.end(),
-                             std::make_move_iterator(staged.begin()),
-                             std::make_move_iterator(staged.end()));
-            staged.clear();
-          }
-          stats.records_shuffled += accounting.records;
-          stats.bytes_shuffled += accounting.bytes;
-        },
-        stats.map_task_seconds);
-    if (!status.ok()) return status;
+  StopWatch map_wall;
+  const Status map_status = executor.RunTasks(
+      num_splits, [&](size_t split) -> Status {
+        MapTaskState& task = map_tasks[split];
+        task.staging.resize(num_reduce);
+        const double scan_seconds =
+            split < spec.split_input_bytes.size()
+                ? static_cast<double>(spec.split_input_bytes[split]) /
+                      read_bytes_per_second
+                : 0.0;
+        return runner.RunTask(
+            TaskPhase::kMap, static_cast<int>(split), scan_seconds,
+            [&](int attempt) -> Status {
+              for (auto& bucket : task.staging) bucket.clear();
+              task.accounting = internal::ShuffleAccounting{};
+              ShuffleFaultFilter filter(injector, TaskPhase::kMap,
+                                        static_cast<int>(split), attempt);
+              internal::ShuffleEmitter<K, V> emitter(
+                  task.staging, partition, record_bytes, record_size,
+                  task.accounting, injector.enabled() ? &filter : nullptr);
+              const Status map_status = mapper.TryMap(split, emitter);
+              task.stats.shuffle_records_dropped += filter.dropped();
+              task.stats.shuffle_records_corrupted += filter.corrupted();
+              if (!map_status.ok()) return map_status;
+              return filter.AttemptStatus();
+            },
+            [&]() {
+              task.committed = std::move(task.staging);
+              task.stats.records_shuffled += task.accounting.records;
+              task.stats.bytes_shuffled += task.accounting.bytes;
+            },
+            task.stats, task.slot_costs);
+      });
+  if (!map_status.ok()) return map_status;
+  stats.map_wall_seconds = map_wall.ElapsedSeconds();
+
+  // Deterministic shuffle merge: split order, then bucket order.
+  Buckets buckets(num_reduce);
+  stats.map_task_seconds.reserve(num_splits);
+  for (MapTaskState& task : map_tasks) {
+    stats.MergeFrom(task.stats);
+    stats.map_task_seconds.insert(stats.map_task_seconds.end(),
+                                  task.slot_costs.begin(),
+                                  task.slot_costs.end());
+    for (size_t r = 0; r < task.committed.size(); ++r) {
+      auto& committed = buckets[r];
+      auto& staged = task.committed[r];
+      committed.insert(committed.end(),
+                       std::make_move_iterator(staged.begin()),
+                       std::make_move_iterator(staged.end()));
+    }
+    // Free the per-task buffers eagerly; the shuffle now owns the data.
+    task.committed = Buckets();
+    task.staging = Buckets();
   }
   stats.records_mapped = stats.records_shuffled;
 
   // ---- Reduce phase (sort + group + reduce, per task) -------------------
+  struct ReduceTaskState {
+    std::vector<Out> staged;
+    std::vector<Out> committed;
+    Counters counters;
+    uint64_t groups = 0;
+    JobStats stats;
+    std::vector<double> slot_costs;
+  };
+  std::vector<ReduceTaskState> reduce_tasks(buckets.size());
+  StopWatch reduce_wall;
+  const Status reduce_status = executor.RunTasks(
+      buckets.size(), [&](size_t index) -> Status {
+        ReduceTaskState& task = reduce_tasks[index];
+        auto& bucket = buckets[index];
+        return runner.RunTask(
+            TaskPhase::kReduce, static_cast<int>(index),
+            /*extra_seconds=*/0.0,
+            [&](int /*attempt*/) -> Status {
+              task.staged.clear();
+              task.counters = Counters();
+              task.groups = 0;
+              // Hadoop sorts at the reducer; the sort is part of the task's
+              // cost (and idempotent, so re-running the attempt is safe).
+              std::stable_sort(
+                  bucket.begin(), bucket.end(),
+                  [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+                    return a.first < b.first;
+                  });
+              size_t i = 0;
+              std::vector<V> values;
+              while (i < bucket.size()) {
+                size_t j = i;
+                values.clear();
+                while (j < bucket.size() &&
+                       !(bucket[i].first < bucket[j].first) &&
+                       !(bucket[j].first < bucket[i].first)) {
+                  // Copied, not moved: the bucket must survive a retry.
+                  values.push_back(bucket[j].second);
+                  ++j;
+                }
+                DOD_RETURN_IF_ERROR(reducer.TryReduce(
+                    bucket[i].first, values, task.staged, task.counters));
+                ++task.groups;
+                i = j;
+              }
+              return Status::Ok();
+            },
+            [&]() {
+              task.committed = std::move(task.staged);
+              task.stats.counters.MergeFrom(task.counters);
+              task.stats.groups_reduced += task.groups;
+            },
+            task.stats, task.slot_costs);
+      });
+  if (!reduce_status.ok()) return reduce_status;
+  stats.reduce_wall_seconds = reduce_wall.ElapsedSeconds();
+
+  // Deterministic output commit: reduce-task index order.
   stats.reduce_task_seconds.reserve(buckets.size());
-  std::vector<Out> task_output;
-  Counters task_counters;
-  uint64_t task_groups = 0;
-  for (size_t task = 0; task < buckets.size(); ++task) {
-    auto& bucket = buckets[task];
-    const Status status = runner.RunTask(
-        TaskPhase::kReduce, static_cast<int>(task), /*extra_seconds=*/0.0,
-        [&](int /*attempt*/) -> Status {
-          task_output.clear();
-          task_counters = Counters();
-          task_groups = 0;
-          // Hadoop sorts at the reducer; the sort is part of the task's
-          // cost (and idempotent, so re-running the attempt is safe).
-          std::stable_sort(
-              bucket.begin(), bucket.end(),
-              [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
-                return a.first < b.first;
-              });
-          size_t i = 0;
-          std::vector<V> values;
-          while (i < bucket.size()) {
-            size_t j = i;
-            values.clear();
-            while (j < bucket.size() && !(bucket[i].first < bucket[j].first) &&
-                   !(bucket[j].first < bucket[i].first)) {
-              // Copied, not moved: the bucket must survive a retry.
-              values.push_back(bucket[j].second);
-              ++j;
-            }
-            DOD_RETURN_IF_ERROR(reducer.TryReduce(bucket[i].first, values,
-                                                  task_output, task_counters));
-            ++task_groups;
-            i = j;
-          }
-          return Status::Ok();
-        },
-        [&]() {
-          for (Out& out : task_output) result.output.push_back(std::move(out));
-          stats.counters.MergeFrom(task_counters);
-          stats.groups_reduced += task_groups;
-        },
-        stats.reduce_task_seconds);
-    if (!status.ok()) return status;
+  for (ReduceTaskState& task : reduce_tasks) {
+    stats.MergeFrom(task.stats);
+    stats.reduce_task_seconds.insert(stats.reduce_task_seconds.end(),
+                                     task.slot_costs.begin(),
+                                     task.slot_costs.end());
+    for (Out& out : task.committed) result.output.push_back(std::move(out));
+    task.committed = std::vector<Out>();
   }
 
   // ---- Derive cluster-stage times ---------------------------------------
   // Blacklisted nodes' slots are gone; the surviving slots absorb all
   // charged attempt costs (including failures, backoff, and speculation).
   const int blacklisted = runner.blacklisted_nodes();
+  stats.nodes_blacklisted = static_cast<uint64_t>(blacklisted);
   stats.stage_times.map_seconds = Makespan(
       stats.map_task_seconds, spec.cluster.usable_map_slots(blacklisted));
   stats.stage_times.shuffle_seconds =

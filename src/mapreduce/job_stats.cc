@@ -2,20 +2,52 @@
 
 #include "mapreduce/job_stats.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace dod {
+
+void JobStats::MergeFrom(const JobStats& other) {
+  map_task_seconds.insert(map_task_seconds.end(),
+                          other.map_task_seconds.begin(),
+                          other.map_task_seconds.end());
+  reduce_task_seconds.insert(reduce_task_seconds.end(),
+                             other.reduce_task_seconds.begin(),
+                             other.reduce_task_seconds.end());
+  records_mapped += other.records_mapped;
+  records_shuffled += other.records_shuffled;
+  bytes_shuffled += other.bytes_shuffled;
+  groups_reduced += other.groups_reduced;
+  stage_times += other.stage_times;
+  task_attempts += other.task_attempts;
+  task_failures += other.task_failures;
+  task_retries += other.task_retries;
+  speculative_attempts += other.speculative_attempts;
+  speculative_wins += other.speculative_wins;
+  nodes_blacklisted = std::max(nodes_blacklisted, other.nodes_blacklisted);
+  shuffle_records_dropped += other.shuffle_records_dropped;
+  shuffle_records_corrupted += other.shuffle_records_corrupted;
+  backoff_seconds += other.backoff_seconds;
+  wall_seconds = std::max(wall_seconds, other.wall_seconds);
+  map_wall_seconds = std::max(map_wall_seconds, other.map_wall_seconds);
+  reduce_wall_seconds =
+      std::max(reduce_wall_seconds, other.reduce_wall_seconds);
+  threads_used = std::max(threads_used, other.threads_used);
+  counters.MergeFrom(other.counters);
+}
 
 std::string JobStats::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "map=%.4fs shuffle=%.4fs reduce=%.4fs total=%.4fs "
-                "(records=%llu shuffled=%llu groups=%llu)",
+                "(records=%llu shuffled=%llu groups=%llu) "
+                "wall=%.4fs threads=%d",
                 stage_times.map_seconds, stage_times.shuffle_seconds,
                 stage_times.reduce_seconds, stage_times.total(),
                 static_cast<unsigned long long>(records_mapped),
                 static_cast<unsigned long long>(records_shuffled),
-                static_cast<unsigned long long>(groups_reduced));
+                static_cast<unsigned long long>(groups_reduced),
+                wall_seconds, threads_used);
   std::string out = buf;
   if (task_failures > 0 || speculative_attempts > 0 ||
       nodes_blacklisted > 0) {

@@ -29,6 +29,12 @@ struct StageTimes {
   }
 };
 
+// One job's measurement results. The engine builds a JobStats *delta* per
+// task and folds the deltas into the job's totals with MergeFrom, which is
+// associative and order-independent (sums for counts and durations, max
+// for gauges, concatenation for the per-slot cost vectors) — the property
+// that lets tasks complete in any scheduling order while the committed
+// totals stay identical.
 struct JobStats {
   // Measured per-task durations (seconds).
   std::vector<double> map_task_seconds;
@@ -56,10 +62,24 @@ struct JobStats {
   // Simulated retry delay charged into stage times.
   double backoff_seconds = 0.0;
 
-  // Real single-machine wall time spent executing the job.
+  // Real single-machine wall time spent executing the job, reported next
+  // to the simulated makespan above: `stage_times` is what the modeled
+  // cluster would take, `wall_seconds` is what this machine actually took.
   double wall_seconds = 0.0;
+  // Measured wall time of the parallel map / reduce phases alone.
+  double map_wall_seconds = 0.0;
+  double reduce_wall_seconds = 0.0;
+  // Worker threads the runtime executed tasks on (1 = sequential).
+  int threads_used = 1;
 
   Counters counters;
+
+  // Folds another JobStats in: counts and durations add, gauges
+  // (blacklisted nodes, wall times, thread count) take the max, per-slot
+  // cost vectors concatenate, counters merge. Associative and commutative
+  // up to vector ordering, so per-task deltas may be merged in any order
+  // without changing any total.
+  void MergeFrom(const JobStats& other);
 
   // One-line summary for logs/benches.
   std::string ToString() const;

@@ -5,23 +5,28 @@
 #include <cmath>
 #include <string>
 
+#include "common/logging.h"
 #include "common/timer.h"
 
 namespace dod {
 
 TaskRunner::TaskRunner(const RetryPolicy& policy, const FaultInjector& injector,
-                       const ClusterSpec& cluster, JobStats& stats)
+                       const ClusterSpec& cluster)
     : policy_(policy),
       injector_(injector),
-      stats_(stats),
       num_nodes_(cluster.num_nodes),
       node_failures_(static_cast<size_t>(cluster.num_nodes), 0),
       node_blacklisted_(static_cast<size_t>(cluster.num_nodes), false) {
   DOD_CHECK(policy.max_task_attempts >= 1);
 }
 
-int TaskRunner::AssignNode(TaskPhase phase, int task_index,
-                           int attempt) const {
+int TaskRunner::blacklisted_nodes() const {
+  std::lock_guard<std::mutex> lock(node_mutex_);
+  return blacklisted_count_;
+}
+
+int TaskRunner::AssignNodeLocked(TaskPhase phase, int task_index,
+                                 int attempt) const {
   const int base = injector_.NodeFor(phase, task_index, attempt, num_nodes_);
   // Blacklisted nodes receive no new attempts; probe to the next healthy
   // one. If every node is blacklisted the schedule degenerates but the job
@@ -35,7 +40,8 @@ int TaskRunner::AssignNode(TaskPhase phase, int task_index,
 
 void TaskRunner::RecordNodeFailure(TaskPhase phase, int task_index,
                                    int attempt) {
-  const int node = AssignNode(phase, task_index, attempt);
+  std::lock_guard<std::mutex> lock(node_mutex_);
+  const int node = AssignNodeLocked(phase, task_index, attempt);
   auto& failures = node_failures_[static_cast<size_t>(node)];
   ++failures;
   if (policy_.node_failure_quota > 0 &&
@@ -43,7 +49,6 @@ void TaskRunner::RecordNodeFailure(TaskPhase phase, int task_index,
       !node_blacklisted_[static_cast<size_t>(node)]) {
     node_blacklisted_[static_cast<size_t>(node)] = true;
     ++blacklisted_count_;
-    stats_.nodes_blacklisted = static_cast<uint64_t>(blacklisted_count_);
   }
 }
 
@@ -51,6 +56,7 @@ Status TaskRunner::RunTask(TaskPhase phase, int task_index,
                            double extra_seconds,
                            const std::function<Status(int attempt)>& attempt_body,
                            const std::function<void()>& commit,
+                           JobStats& task_stats,
                            std::vector<double>& slot_costs) {
   Status last_status;
   FaultKind last_fault = FaultKind::kNone;
@@ -62,13 +68,16 @@ Status TaskRunner::RunTask(TaskPhase phase, int task_index,
     if (attempt > 0) {
       backoff = policy_.initial_backoff_seconds *
                 std::pow(policy_.backoff_multiplier, attempt - 1);
-      stats_.backoff_seconds += backoff;
-      ++stats_.task_retries;
+      task_stats.backoff_seconds += backoff;
+      ++task_stats.task_retries;
     }
-    ++stats_.task_attempts;
+    ++task_stats.task_attempts;
     ++attempts;
 
     const FaultKind fault = injector_.TaskFault(phase, task_index, attempt);
+    const ScopedLogTag tag(std::string(TaskPhaseName(phase)) +
+                           std::to_string(task_index) + ".a" +
+                           std::to_string(attempt));
     StopWatch watch;
     Status status = attempt_body(attempt);
     const double measured = watch.ElapsedSeconds();
@@ -79,7 +88,7 @@ Status TaskRunner::RunTask(TaskPhase phase, int task_index,
     if (!status.ok()) {
       // The attempt did its work before dying; its slot time is spent.
       slot_costs.push_back(measured + extra_seconds + backoff);
-      ++stats_.task_failures;
+      ++task_stats.task_failures;
       RecordNodeFailure(phase, task_index, attempt);
       last_status = status;
       last_fault = fault;
@@ -98,20 +107,20 @@ Status TaskRunner::RunTask(TaskPhase phase, int task_index,
         const int dup_attempt = policy_.max_task_attempts + attempt;
         const FaultKind dup_fault =
             injector_.TaskFault(phase, task_index, dup_attempt);
-        ++stats_.task_attempts;
-        ++stats_.speculative_attempts;
+        ++task_stats.task_attempts;
+        ++task_stats.speculative_attempts;
         const double dup_cost =
             dup_fault == FaultKind::kStraggler
                 ? (measured + extra_seconds) * multiplier
                 : measured + extra_seconds;
         if (dup_fault == FaultKind::kTaskFailure) {
           // The duplicate died; the straggler completes and wins.
-          ++stats_.task_failures;
+          ++task_stats.task_failures;
           RecordNodeFailure(phase, task_index, dup_attempt);
         } else if (dup_cost < slow) {
           // First finisher wins; the straggler is killed but its slot time
           // was spent (Hadoop charges the loser).
-          ++stats_.speculative_wins;
+          ++task_stats.speculative_wins;
         }
         slot_costs.push_back(dup_cost);
       }

@@ -23,11 +23,23 @@
 // the separate `commit` callback, which the runner invokes exactly once,
 // for the winning attempt. This is the "output committer" contract that
 // makes re-execution safe.
+//
+// Concurrency: one TaskRunner serves a whole job, and the parallel
+// runtime calls RunTask for distinct tasks concurrently. RunTask writes
+// all attempt accounting into the caller-supplied per-task JobStats delta
+// (merged by the engine after the phase barrier — order-independent, see
+// job_stats.h), so the only cross-task state is the node-failure ledger,
+// guarded by a mutex. The attempt *schedule* of each task (which attempts
+// run, fail, straggle, or speculate) is a pure function of the fault
+// injector and the user code, so it is identical for every thread count;
+// only node placement may vary with scheduling order, which affects no
+// committed output.
 
 #ifndef DOD_MAPREDUCE_TASK_RUNNER_H_
 #define DOD_MAPREDUCE_TASK_RUNNER_H_
 
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -56,37 +68,44 @@ struct RetryPolicy {
 };
 
 // Runs logical tasks as retried attempts for one job. Owns the per-node
-// failure ledger; writes attempt/retry/speculation counters into JobStats.
+// failure ledger; safe to call from concurrent worker threads for
+// distinct tasks.
 class TaskRunner {
  public:
   TaskRunner(const RetryPolicy& policy, const FaultInjector& injector,
-             const ClusterSpec& cluster, JobStats& stats);
+             const ClusterSpec& cluster);
 
   // Executes one logical task. `attempt_body(attempt)` runs the user code
   // into attempt-local staging and reports its status; `commit` publishes
-  // the winning attempt's staging. `extra_seconds` is charged on top of
-  // each attempt's measured time (split I/O scan). Per-attempt charged
+  // the winning attempt's staging (into per-task storage when running
+  // under the parallel executor). `extra_seconds` is charged on top of
+  // each attempt's measured time (split I/O scan). Attempt/retry/
+  // speculation counters accrue into `task_stats`, and per-attempt charged
   // costs (including backoff and speculative duplicates) are appended to
   // `slot_costs` — one entry per slot occupation, exactly what the stage
   // makespan schedules.
   Status RunTask(TaskPhase phase, int task_index, double extra_seconds,
                  const std::function<Status(int attempt)>& attempt_body,
-                 const std::function<void()>& commit,
+                 const std::function<void()>& commit, JobStats& task_stats,
                  std::vector<double>& slot_costs);
 
-  // Nodes blacklisted so far (mirrored into JobStats::nodes_blacklisted).
-  int blacklisted_nodes() const { return blacklisted_count_; }
+  // Nodes blacklisted so far (the engine mirrors the final value into
+  // JobStats::nodes_blacklisted after the phases complete).
+  int blacklisted_nodes() const;
 
  private:
   // Registers a failure against the attempt's node; may blacklist it.
   void RecordNodeFailure(TaskPhase phase, int task_index, int attempt);
-  // Deterministic placement skipping blacklisted nodes.
-  int AssignNode(TaskPhase phase, int task_index, int attempt) const;
+  // Deterministic placement skipping blacklisted nodes. Caller holds
+  // node_mutex_.
+  int AssignNodeLocked(TaskPhase phase, int task_index, int attempt) const;
 
   const RetryPolicy& policy_;
   const FaultInjector& injector_;
-  JobStats& stats_;
   int num_nodes_;
+  // Guards the node ledger below — the only state shared across
+  // concurrently running tasks.
+  mutable std::mutex node_mutex_;
   std::vector<int> node_failures_;
   std::vector<bool> node_blacklisted_;
   int blacklisted_count_ = 0;

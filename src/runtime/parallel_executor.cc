@@ -1,0 +1,60 @@
+// Copyright 2026 The DOD Authors.
+
+#include "runtime/parallel_executor.h"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace dod {
+
+ParallelExecutor::ParallelExecutor(int num_threads)
+    : num_threads_(num_threads <= 0 ? ThreadPool::DefaultThreadCount()
+                                    : num_threads) {
+  if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
+}
+
+ParallelExecutor::~ParallelExecutor() = default;
+
+Status ParallelExecutor::RunTasks(size_t n,
+                                  const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::Ok();
+  if (pool_ == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      DOD_RETURN_IF_ERROR(fn(i));
+    }
+    return Status::Ok();
+  }
+
+  // Barrier state shared with the workers. Everything behind one mutex:
+  // tasks are coarse, so the handful of lock acquisitions per task is
+  // noise next to the task body.
+  struct Barrier {
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t remaining;
+    size_t error_index;
+    Status error;
+  } barrier;
+  barrier.remaining = n;
+  barrier.error_index = n;
+
+  for (size_t i = 0; i < n; ++i) {
+    pool_->Submit([&barrier, &fn, i] {
+      Status status = fn(i);
+      std::lock_guard<std::mutex> lock(barrier.mutex);
+      // Lowest failing index wins so the reported error does not depend
+      // on scheduling order.
+      if (!status.ok() && i < barrier.error_index) {
+        barrier.error_index = i;
+        barrier.error = std::move(status);
+      }
+      if (--barrier.remaining == 0) barrier.done.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(barrier.mutex);
+  barrier.done.wait(lock, [&barrier] { return barrier.remaining == 0; });
+  return barrier.error_index < n ? barrier.error : Status::Ok();
+}
+
+}  // namespace dod

@@ -1,0 +1,68 @@
+// Copyright 2026 The DOD Authors.
+//
+// Deterministic task fan-out over a ThreadPool.
+//
+// The MapReduce engine's unit of parallelism is the *task* (one map split,
+// one reduce partition). ParallelExecutor::RunTasks runs a batch of such
+// tasks and acts as a barrier: it returns only when every launched task has
+// finished. Determinism is split between the executor and its caller:
+//
+//   * the executor guarantees each index runs exactly once and that error
+//     selection is order-independent (the failing task with the lowest
+//     index wins, regardless of which thread noticed first);
+//   * the caller keeps all task side effects in per-task staging and
+//     publishes them *after* the barrier in task-index order, which makes
+//     the combined output byte-identical for every thread count.
+//
+// With num_threads == 1 no pool exists: tasks run inline on the calling
+// thread in index order, stopping at the first failure — exactly the
+// engine's historical sequential loop, preserved so `--threads=1`
+// reproduces it bit for bit (including not running tasks after an error).
+
+#ifndef DOD_RUNTIME_PARALLEL_EXECUTOR_H_
+#define DOD_RUNTIME_PARALLEL_EXECUTOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+#include "runtime/thread_pool.h"
+
+namespace dod {
+
+class ParallelExecutor {
+ public:
+  // num_threads <= 0 selects ThreadPool::DefaultThreadCount() (all
+  // hardware threads); 1 is the sequential inline path; >= 2 spawns a
+  // work-stealing pool of that many workers.
+  explicit ParallelExecutor(int num_threads);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  // Worker threads executing tasks (>= 1; 1 means sequential).
+  int num_threads() const { return num_threads_; }
+  bool sequential() const { return pool_ == nullptr; }
+
+  // Runs fn(0) .. fn(n - 1) and waits for all of them (barrier).
+  //
+  // Sequential: index order, stops at the first non-OK status and returns
+  // it. Parallel: every task runs to completion even when some fail, and
+  // the non-OK status of the lowest failing index is returned — the same
+  // error a sequential run would have surfaced.
+  //
+  // `fn` is invoked concurrently in parallel mode and must confine its
+  // side effects to per-index state. Not reentrant: do not call RunTasks
+  // from inside a task.
+  Status RunTasks(size_t n, const std::function<Status(size_t)>& fn);
+
+ private:
+  int num_threads_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace dod
+
+#endif  // DOD_RUNTIME_PARALLEL_EXECUTOR_H_

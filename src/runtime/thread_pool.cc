@@ -1,0 +1,104 @@
+// Copyright 2026 The DOD Authors.
+
+#include "runtime/thread_pool.h"
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace dod {
+
+int ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  DOD_CHECK_MSG(num_threads >= 1, "ThreadPool: need at least one thread");
+  queues_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkQueue>());
+  }
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back(&ThreadPool::WorkerMain, this,
+                          static_cast<size_t>(i));
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    // Empty critical section: pairs the stop flag with the sleepers'
+    // predicate check so none of them naps through shutdown.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  const size_t index =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[index]->mutex);
+    queues_[index]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::TakeTask(size_t worker_index) {
+  const size_t n = queues_.size();
+  // Own deque first, newest task (back) — the cache-warm end.
+  {
+    WorkQueue& own = *queues_[worker_index];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      std::function<void()> task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  // Steal a sibling's oldest task (front).
+  for (size_t offset = 1; offset < n; ++offset) {
+    WorkQueue& victim = *queues_[(worker_index + offset) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      std::function<void()> task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::WorkerMain(size_t worker_index) {
+  SetThreadLogTag("w" + std::to_string(worker_index));
+  for (;;) {
+    std::function<void()> task = TakeTask(worker_index);
+    if (task) {
+      task();
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace dod

@@ -1,0 +1,90 @@
+// Copyright 2026 The DOD Authors.
+//
+// A work-stealing thread pool for coarse-grained CPU-bound tasks.
+//
+// Each worker owns a deque of tasks: Submit() distributes new tasks over
+// the workers round-robin, an idle worker first drains its own deque
+// (LIFO, cache-warm), then steals from its siblings (FIFO, oldest task
+// first — the classic work-stealing discipline that keeps big stolen units
+// moving). MapReduce tasks are milliseconds-to-seconds coarse, so the
+// queues are mutex-guarded rather than lock-free; contention on them is
+// negligible at this granularity and the implementation stays trivially
+// ThreadSanitizer-clean.
+//
+// The pool makes no ordering or exclusivity guarantees — determinism is
+// the caller's job (see runtime/parallel_executor.h for the barrier +
+// deterministic-commit pattern the MapReduce engine uses).
+
+#ifndef DOD_RUNTIME_THREAD_POOL_H_
+#define DOD_RUNTIME_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dod {
+
+class ThreadPool {
+ public:
+  // Spawns exactly `num_threads` workers (must be >= 1). The calling
+  // thread never executes tasks; it only submits and (elsewhere) waits.
+  explicit ThreadPool(int num_threads);
+
+  // Drains nothing: the caller must have waited for its tasks before
+  // destroying the pool. Joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueues one task. Thread-safe; may be called from worker threads,
+  // though the MapReduce engine only submits from the job thread.
+  void Submit(std::function<void()> task);
+
+  // Tasks submitted over the pool's lifetime (diagnostic).
+  uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+  // std::thread::hardware_concurrency with a floor of 1 (the standard
+  // allows it to report 0 on exotic platforms).
+  static int DefaultThreadCount();
+
+ private:
+  // One worker's deque. The owner pushes/pops at the back; thieves take
+  // from the front.
+  struct WorkQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerMain(size_t worker_index);
+  // Pops the worker's own newest task or steals a sibling's oldest one.
+  // Returns an empty function when every deque is empty.
+  std::function<void()> TakeTask(size_t worker_index);
+
+  std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::thread> threads_;
+  // Round-robin submission cursor.
+  std::atomic<size_t> next_queue_{0};
+  // Tasks enqueued but not yet taken; the wake predicate. Modified with
+  // wake_mutex_ held conceptually paired (see Submit) so sleepers never
+  // miss a wakeup.
+  std::atomic<int> pending_{0};
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+};
+
+}  // namespace dod
+
+#endif  // DOD_RUNTIME_THREAD_POOL_H_

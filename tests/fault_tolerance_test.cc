@@ -248,6 +248,137 @@ TEST(FaultToleranceTest, IdenticalSeedsGiveIdenticalFaultSchedules) {
 }
 
 // ---------------------------------------------------------------------------
+// Parallel determinism under faults: for every fault-injection kind, a run
+// on N worker threads must commit byte-identical output, counters, and
+// fault accounting to the sequential run. (nodes_blacklisted is excluded:
+// injected *faults* are pure hashes of (seed, phase, task, attempt), but
+// node *placement* probes the blacklist at attempt start, which is
+// interleaving-sensitive — it affects no committed output.)
+
+JobSpec WithThreads(JobSpec spec, int num_threads) {
+  spec.num_threads = num_threads;
+  return spec;
+}
+
+void ExpectSameCommittedResults(const JobOutput<KeyCount>& sequential,
+                                const JobOutput<KeyCount>& parallel,
+                                const std::string& label) {
+  EXPECT_EQ(parallel.output, sequential.output) << label;
+  EXPECT_EQ(parallel.stats.counters.values(),
+            sequential.stats.counters.values())
+      << label;
+  EXPECT_EQ(parallel.stats.records_shuffled, sequential.stats.records_shuffled)
+      << label;
+  EXPECT_EQ(parallel.stats.groups_reduced, sequential.stats.groups_reduced)
+      << label;
+  EXPECT_EQ(parallel.stats.task_attempts, sequential.stats.task_attempts)
+      << label;
+  EXPECT_EQ(parallel.stats.task_failures, sequential.stats.task_failures)
+      << label;
+  EXPECT_EQ(parallel.stats.task_retries, sequential.stats.task_retries)
+      << label;
+  EXPECT_EQ(parallel.stats.speculative_attempts,
+            sequential.stats.speculative_attempts)
+      << label;
+  EXPECT_EQ(parallel.stats.speculative_wins, sequential.stats.speculative_wins)
+      << label;
+  EXPECT_EQ(parallel.stats.shuffle_records_dropped,
+            sequential.stats.shuffle_records_dropped)
+      << label;
+  EXPECT_EQ(parallel.stats.shuffle_records_corrupted,
+            sequential.stats.shuffle_records_corrupted)
+      << label;
+  EXPECT_DOUBLE_EQ(parallel.stats.backoff_seconds,
+                   sequential.stats.backoff_seconds)
+      << label;
+  // Per-slot costs are measured attempt durations — values vary run to run,
+  // but the attempt schedule (and hence slot count) is thread-invariant.
+  EXPECT_EQ(parallel.stats.map_task_seconds.size(),
+            sequential.stats.map_task_seconds.size())
+      << label;
+  EXPECT_EQ(parallel.stats.reduce_task_seconds.size(),
+            sequential.stats.reduce_task_seconds.size())
+      << label;
+}
+
+TEST(ParallelFaultDeterminismTest, EveryFaultKindCommitsIdentically) {
+  struct Scenario {
+    const char* name;
+    JobSpec spec;
+  };
+  std::vector<Scenario> scenarios;
+
+  {
+    JobSpec crash = TransientFaultSpec(3, /*transient_attempts=*/2);
+    crash.faults.task_failure_prob = 1.0;
+    crash.retry.max_task_attempts = 4;
+    scenarios.push_back({"task-failure", crash});
+  }
+  {
+    JobSpec straggle = TransientFaultSpec(3, /*transient_attempts=*/1);
+    straggle.faults.straggler_prob = 1.0;
+    straggle.faults.straggler_multiplier = 4.0;
+    scenarios.push_back({"straggler+speculation", straggle});
+  }
+  {
+    JobSpec drop = TransientFaultSpec(3, /*transient_attempts=*/1);
+    drop.faults.shuffle_drop_prob = 0.05;
+    scenarios.push_back({"shuffle-drop", drop});
+  }
+  {
+    JobSpec corrupt = TransientFaultSpec(3, /*transient_attempts=*/1);
+    corrupt.faults.shuffle_corrupt_prob = 0.05;
+    scenarios.push_back({"shuffle-corrupt", corrupt});
+  }
+  {
+    JobSpec mixed = TransientFaultSpec(3, /*transient_attempts=*/2);
+    mixed.faults.task_failure_prob = 0.4;
+    mixed.faults.straggler_prob = 0.3;
+    mixed.faults.straggler_multiplier = 4.0;
+    mixed.faults.shuffle_drop_prob = 0.01;
+    mixed.faults.shuffle_corrupt_prob = 0.01;
+    mixed.retry.max_task_attempts = 5;
+    scenarios.push_back({"mixed", mixed});
+  }
+
+  for (const Scenario& scenario : scenarios) {
+    const JobOutput<KeyCount> sequential =
+        RunCountJob(WithThreads(scenario.spec, 1));
+    ASSERT_GT(sequential.stats.task_attempts, 8u) << scenario.name;
+    for (int threads : {2, 8}) {
+      const JobOutput<KeyCount> parallel =
+          RunCountJob(WithThreads(scenario.spec, threads));
+      ExpectSameCommittedResults(
+          sequential, parallel,
+          std::string(scenario.name) + " @ " + std::to_string(threads) +
+              " threads");
+    }
+  }
+}
+
+TEST(ParallelFaultDeterminismTest, ExhaustedRetriesFailIdenticallyInParallel) {
+  JobSpec spec = FaultFreeSpec(3);
+  spec.faults.enabled = true;
+  spec.faults.seed = 7;
+  spec.faults.task_failure_prob = 1.0;  // permanent
+  spec.retry.max_task_attempts = 3;
+
+  const Result<JobOutput<KeyCount>> sequential =
+      TryCountJob(WithThreads(spec, 1));
+  ASSERT_FALSE(sequential.ok());
+  for (int threads : {2, 8}) {
+    const Result<JobOutput<KeyCount>> parallel =
+        TryCountJob(WithThreads(spec, threads));
+    ASSERT_FALSE(parallel.ok());
+    EXPECT_EQ(parallel.status().code(), sequential.status().code());
+    // Every map task fails permanently; the committed error is always the
+    // lowest-index task's, so the message matches the sequential run.
+    EXPECT_EQ(std::string(parallel.status().message()),
+              std::string(sequential.status().message()));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Pipeline-level: the acceptance-facing behaviors.
 
 std::vector<PointId> GroundTruth(const Dataset& data,
@@ -372,6 +503,42 @@ TEST(PipelineFaultTest, IdenticalFaultSeedsGiveIdenticalStats) {
   EXPECT_DOUBLE_EQ(sa.backoff_seconds, sb.backoff_seconds);
   // The stats line advertises the recovery work.
   EXPECT_NE(sa.ToString().find("attempts="), std::string::npos);
+}
+
+TEST(PipelineFaultTest, ThreadCountNeverChangesTheOutliersEvenUnderFaults) {
+  DetectionParams params{/*radius=*/5.0, /*min_neighbors=*/4};
+  const Dataset data = GenerateUniform(1500, DomainForDensity(1500, 0.05), 7);
+
+  DodConfig config = SmallDmtConfig(params);
+  config.faults.enabled = true;
+  config.faults.seed = 3;
+  config.faults.task_failure_prob = 0.5;
+  config.faults.straggler_prob = 0.3;
+  config.faults.straggler_multiplier = 4.0;
+  config.faults.shuffle_drop_prob = 0.002;
+  config.faults.max_faulty_attempts_per_task = 2;
+  config.retry.max_task_attempts = 5;
+
+  config.num_threads = 1;
+  const Result<DodResult> sequential = DodPipeline(config).Run(data);
+  ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+  EXPECT_EQ(sequential.value().detect_stats.threads_used, 1);
+  EXPECT_GT(sequential.value().detect_stats.task_failures, 0u);
+
+  for (int threads : {2, 8}) {
+    config.num_threads = threads;
+    const Result<DodResult> parallel = DodPipeline(config).Run(data);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(parallel.value().detect_stats.threads_used, threads);
+    EXPECT_EQ(parallel.value().outliers, sequential.value().outliers)
+        << threads << " threads";
+    const JobStats& s = sequential.value().detect_stats;
+    const JobStats& p = parallel.value().detect_stats;
+    EXPECT_EQ(p.task_attempts, s.task_attempts);
+    EXPECT_EQ(p.task_failures, s.task_failures);
+    EXPECT_EQ(p.speculative_attempts, s.speculative_attempts);
+    EXPECT_EQ(p.counters.values(), s.counters.values());
+  }
 }
 
 }  // namespace

@@ -49,6 +49,9 @@ Pipeline:
   --partitions M         target partition count (default n/4000, >=32)
   --reducers R           reduce tasks (default 32)
   --blocks B             input blocks / map tasks (default 32)
+  --threads N            worker threads running map/reduce tasks
+                         (default: all hardware threads; 1 = sequential,
+                         output is byte-identical for any N)
   --sample-rate Y        preprocessing sampling rate (default 0.05)
   --buckets B            mini buckets per dimension (default 64)
   --seed N               RNG seed (default 42)
@@ -228,6 +231,13 @@ dod::Result<dod::DodConfig> BuildConfig(const dod::FlagParser& flags,
   auto blocks = flags.GetInt("blocks", 32);
   if (!blocks.ok()) return blocks.status();
   config.num_blocks = static_cast<size_t>(blocks.value());
+  // 0 = all hardware threads (the engine resolves it).
+  auto threads = flags.GetInt("threads", 0);
+  if (!threads.ok()) return threads.status();
+  if (threads.value() < 0) {
+    return dod::Status::InvalidArgument("--threads must be >= 0");
+  }
+  config.num_threads = static_cast<int>(threads.value());
   auto rate = flags.GetDouble("sample-rate", 0.05);
   if (!rate.ok()) return rate.status();
   config.sampler.rate = rate.value();

@@ -26,10 +26,19 @@ inline double Euclidean(const double* a, const double* b, int dims) {
   return std::sqrt(SquaredEuclidean(a, b, dims));
 }
 
+// True iff dist(a, b)² <= sq_radius (Def. 2.1 neighbor test with the square
+// hoisted). Inner loops should compute radius * radius once and call this;
+// WithinDistance below re-squares on every call and is kept for one-off
+// tests.
+inline bool WithinSquaredDistance(const double* a, const double* b, int dims,
+                                  double sq_radius) {
+  return SquaredEuclidean(a, b, dims) <= sq_radius;
+}
+
 // True iff dist(a, b) <= radius (Def. 2.1 neighbor test).
 inline bool WithinDistance(const double* a, const double* b, int dims,
                            double radius) {
-  return SquaredEuclidean(a, b, dims) <= radius * radius;
+  return WithinSquaredDistance(a, b, dims, radius * radius);
 }
 
 // L1 (Manhattan) distance; provided for completeness and tests.

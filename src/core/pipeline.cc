@@ -155,12 +155,13 @@ class DomainDetectReducer : public Reducer<uint32_t, TaggedPoint, Candidate> {
 
     // Exact partial neighbor count for each candidate (bounded by k).
     const int dims = data_.dims();
+    const double sq_radius = params_.radius * params_.radius;
     for (uint32_t index : local) {
       const double* p = partition[index];
       int32_t partial = 0;
       for (uint32_t j = 0; j < partition.size(); ++j) {
         if (j == index) continue;
-        if (WithinDistance(p, partition[j], dims, params_.radius)) {
+        if (WithinSquaredDistance(p, partition[j], dims, sq_radius)) {
           ++partial;
         }
       }
@@ -246,13 +247,14 @@ class VerifyReducer : public Reducer<uint32_t, VerifyRecord, PointId> {
   void Reduce(const uint32_t& /*cell*/, std::vector<VerifyRecord>& values,
               std::vector<PointId>& out, Counters& counters) override {
     const int dims = data_.dims();
+    const double sq_radius = params_.radius * params_.radius;
     for (const VerifyRecord& candidate : values) {
       if (!candidate.is_candidate) continue;
       const double* p = data_[candidate.id];
       int neighbors = candidate.partial;
       for (const VerifyRecord& other : values) {
         if (other.is_candidate) continue;
-        if (WithinDistance(p, data_[other.id], dims, params_.radius)) {
+        if (WithinSquaredDistance(p, data_[other.id], dims, sq_radius)) {
           if (++neighbors >= params_.min_neighbors) break;
         }
       }

@@ -13,6 +13,7 @@ std::vector<uint32_t> BruteForceDetector::DetectOutliers(
   std::vector<uint32_t> outliers;
   const int dims = points.dims();
   const size_t n = points.size();
+  const double sq_radius = params.radius * params.radius;
   uint64_t distance_evals = 0;
   for (uint32_t i = 0; i < num_core; ++i) {
     const double* p = points[i];
@@ -20,7 +21,7 @@ std::vector<uint32_t> BruteForceDetector::DetectOutliers(
     for (uint32_t j = 0; j < n; ++j) {
       if (j == i) continue;
       ++distance_evals;
-      if (WithinDistance(p, points[j], dims, params.radius)) {
+      if (WithinSquaredDistance(p, points[j], dims, sq_radius)) {
         if (++neighbors >= params.min_neighbors) break;
       }
     }

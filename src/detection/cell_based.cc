@@ -5,8 +5,9 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/distance.h"
 #include "detection/grid.h"
+#include "kernels/distance_kernels.h"
+#include "kernels/soa_block.h"
 
 namespace dod {
 
@@ -88,18 +89,21 @@ std::vector<uint32_t> CellBasedDetector::DetectOutliers(
   // Nested-Loop in the intermediate-density window of Fig. 5, where neither
   // pruning fires for most cells yet neighbors are plentiful enough for
   // Nested-Loop to exit quickly.
+  // The undecided points arrive grouped by their candidate cell (the cell
+  // loop above appends per cell), and all of them probe the same blocked
+  // SoA copy of the partition, built once; the square of r is hoisted with
+  // it. No cap: the count is exact in every kernel mode.
   if (!undecided.empty()) {
     const size_t n = points.size();
+    SoABlock probes(dims);
+    probes.Assign(points);
+    const double sq_radius = params.radius * params.radius;
+    const KernelOps& ops = GetKernelOps(params.kernels);
     for (uint32_t id : undecided) {
-      const double* p = points[id];
-      int neighbors = 0;
-      for (uint32_t j = 0; j < n; ++j) {
-        if (j == id) continue;
-        ++distance_evals;
-        if (WithinDistance(p, points[j], dims, params.radius)) {
-          ++neighbors;
-        }
-      }
+      const int neighbors =
+          ops.count_within_radius(probes, 0, n, points[id], sq_radius,
+                                  /*skip_id=*/id, /*cap=*/-1,
+                                  &distance_evals);
       if (neighbors < k) outliers.push_back(id);
     }
   }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "kernels/kernel_mode.h"
 #include "mapreduce/counters.h"
 
 namespace dod {
@@ -30,6 +31,9 @@ struct DetectionParams {
   int min_neighbors = 1;
   // Seed for detectors with randomized probe order (Nested-Loop).
   uint64_t seed = 42;
+  // Distance-kernel implementation. Verdicts are bit-identical in every
+  // mode (see kernels/distance_kernels.h); kScalar is the escape hatch.
+  KernelMode kernels = KernelMode::kAuto;
 };
 
 // Which centralized detection algorithm to run on a partition — the unit of

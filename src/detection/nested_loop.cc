@@ -2,8 +2,9 @@
 
 #include "detection/nested_loop.h"
 
-#include "common/distance.h"
 #include "common/random.h"
+#include "kernels/distance_kernels.h"
+#include "kernels/soa_block.h"
 
 namespace dod {
 
@@ -21,40 +22,34 @@ std::vector<uint32_t> NestedLoopDetector::DetectOutliers(
   // random permutation and each probe sequence is a linear scan of that
   // buffer from a per-point random offset. One O(n) copy up front buys
   // sequential (cache-friendly) probing, and the shared permutation matches
-  // the Lemma 4.1 cost model's independence assumption.
+  // the Lemma 4.1 cost model's independence assumption. The probe buffer is
+  // a blocked SoA so the kernels count kSoaWidth candidates per step; each
+  // slot keeps its point's original id, so self-matches are skipped by id
+  // (a duplicate coordinate pair is still a genuine neighbor).
   Rng rng(params.seed);
   const std::vector<uint32_t> order = RandomPermutation(n, rng);
-  std::vector<double> probe_coords(n * static_cast<size_t>(dims));
-  for (size_t j = 0; j < n; ++j) {
-    const double* src = points[order[j]];
-    double* dst = probe_coords.data() + j * static_cast<size_t>(dims);
-    for (int d = 0; d < dims; ++d) dst[d] = src[d];
-  }
+  SoABlock probes(dims);
+  probes.AssignPermuted(points, order);
 
-  const double radius = params.radius;
+  const double sq_radius = params.radius * params.radius;
   const int k = params.min_neighbors;
+  const KernelOps& ops = GetKernelOps(params.kernels);
   uint64_t distance_evals = 0;
   for (uint32_t i = 0; i < num_core; ++i) {
     const double* p = points[i];
     const size_t start = rng.NextBounded(n);
-    int neighbors = 0;
-    bool inlier = false;
-    // Two sequential sweeps: [start, n) then [0, start).
-    for (int sweep = 0; sweep < 2 && !inlier; ++sweep) {
-      const size_t begin = sweep == 0 ? start : 0;
-      const size_t end = sweep == 0 ? n : start;
-      for (size_t j = begin; j < end; ++j) {
-        if (order[j] == i) continue;
-        ++distance_evals;
-        if (WithinDistance(p, probe_coords.data() + j * dims, dims, radius)) {
-          if (++neighbors >= k) {
-            inlier = true;
-            break;
-          }
-        }
-      }
+    // Two sequential sweeps: [start, n) then [0, start). The kernels stop
+    // as soon as k neighbors are confirmed; if neither sweep reaches k the
+    // counts are exact, so the verdict matches the per-pair scan exactly.
+    int neighbors = ops.count_within_radius(probes, start, n, p, sq_radius,
+                                            /*skip_id=*/i, k,
+                                            &distance_evals);
+    if (neighbors < k) {
+      neighbors += ops.count_within_radius(probes, 0, start, p, sq_radius,
+                                           /*skip_id=*/i, k - neighbors,
+                                           &distance_evals);
     }
-    if (!inlier) outliers.push_back(i);
+    if (neighbors < k) outliers.push_back(i);
   }
   if (counters != nullptr) {
     counters->Increment("nested_loop.distance_evals", distance_evals);

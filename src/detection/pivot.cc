@@ -5,10 +5,19 @@
 #include <cmath>
 #include <vector>
 
-#include "common/distance.h"
 #include "common/random.h"
+#include "kernels/distance_kernels.h"
+#include "kernels/soa_block.h"
 
 namespace dod {
+namespace {
+
+// Candidates that survive the triangle-inequality filter are gathered into
+// a scratch SoA buffer of this many slots and counted batched. Early exit
+// happens at flush granularity, so the verdict (count >= k) is unchanged.
+constexpr size_t kGatherBatch = 8 * kSoaWidth;
+
+}  // namespace
 
 std::vector<uint32_t> PivotDetector::DetectOutliers(
     const Dataset& points, size_t num_core, const DetectionParams& params,
@@ -20,20 +29,25 @@ std::vector<uint32_t> PivotDetector::DetectOutliers(
   const int dims = points.dims();
   const int pivots = static_cast<int>(
       std::min<size_t>(static_cast<size_t>(num_pivots_), n));
+  const KernelOps& ops = GetKernelOps(params.kernels);
 
   // Pivot selection: a random point first, then farthest-point refinement
-  // (maximizes spread, the standard pivot heuristic).
+  // (maximizes spread, the standard pivot heuristic). Each refinement round
+  // is one batched distance sweep over the SoA copy of the partition.
+  SoABlock all_points(dims);
+  all_points.Assign(points);
+  std::vector<double> sq_dist(n);
   Rng rng(params.seed);
   std::vector<uint32_t> pivot_ids;
   pivot_ids.push_back(static_cast<uint32_t>(rng.NextBounded(n)));
   std::vector<double> nearest(n, 1e300);
   for (int p = 1; p < pivots; ++p) {
-    const double* prev = points[pivot_ids.back()];
+    ops.squared_distances(all_points, points[pivot_ids.back()],
+                          sq_dist.data(), nullptr);
     uint32_t farthest = 0;
     double best = -1.0;
     for (uint32_t i = 0; i < n; ++i) {
-      nearest[i] =
-          std::min(nearest[i], SquaredEuclidean(points[i], prev, dims));
+      nearest[i] = std::min(nearest[i], sq_dist[i]);
       if (nearest[i] > best) {
         best = nearest[i];
         farthest = i;
@@ -42,24 +56,29 @@ std::vector<uint32_t> PivotDetector::DetectOutliers(
     pivot_ids.push_back(farthest);
   }
 
-  // Distance table: point → pivots, flat row-major.
+  // Distance table: point → pivots, flat row-major; one batched sweep per
+  // pivot.
   std::vector<double> pivot_dist(n * static_cast<size_t>(pivots));
-  for (uint32_t i = 0; i < n; ++i) {
-    for (int p = 0; p < pivots; ++p) {
-      pivot_dist[i * pivots + static_cast<size_t>(p)] =
-          Euclidean(points[i], points[pivot_ids[static_cast<size_t>(p)]],
-                    dims);
+  for (int p = 0; p < pivots; ++p) {
+    ops.squared_distances(all_points, points[pivot_ids[static_cast<size_t>(p)]],
+                          sq_dist.data(), nullptr);
+    for (uint32_t i = 0; i < n; ++i) {
+      pivot_dist[i * pivots + static_cast<size_t>(p)] = std::sqrt(sq_dist[i]);
     }
   }
 
   const double radius = params.radius;
+  const double sq_radius = radius * radius;
   const int k = params.min_neighbors;
   uint64_t distance_evals = 0, pruned = 0;
+  SoABlock batch(dims);
+  batch.Reserve(kGatherBatch);
   for (uint32_t i = 0; i < num_core; ++i) {
     const double* p = points[i];
     const double* pd = &pivot_dist[i * pivots];
     int neighbors = 0;
     bool inlier = false;
+    batch.Clear();
     for (uint32_t j = 0; j < n && !inlier; ++j) {
       if (j == i) continue;
       // Triangle-inequality lower bound via each pivot.
@@ -75,10 +94,20 @@ std::vector<uint32_t> PivotDetector::DetectOutliers(
         ++pruned;
         continue;
       }
-      ++distance_evals;
-      if (WithinDistance(p, points[j], dims, radius)) {
-        if (++neighbors >= k) inlier = true;
+      batch.Append(points[j], j);
+      if (batch.size() == kGatherBatch) {
+        neighbors += ops.count_within_radius(batch, 0, batch.size(), p,
+                                             sq_radius, kSoaInvalidId,
+                                             k - neighbors, &distance_evals);
+        batch.Clear();
+        if (neighbors >= k) inlier = true;
       }
+    }
+    if (!inlier && !batch.empty()) {
+      neighbors += ops.count_within_radius(batch, 0, batch.size(), p,
+                                           sq_radius, kSoaInvalidId,
+                                           k - neighbors, &distance_evals);
+      if (neighbors >= k) inlier = true;
     }
     if (!inlier) outliers.push_back(i);
   }

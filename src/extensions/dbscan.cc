@@ -6,9 +6,10 @@
 #include <deque>
 #include <unordered_map>
 
-#include "common/distance.h"
 #include "common/union_find.h"
 #include "detection/grid.h"
+#include "kernels/distance_kernels.h"
+#include "kernels/soa_block.h"
 #include "partition/partition_plan.h"
 #include "partition/strategies.h"
 
@@ -16,32 +17,45 @@ namespace dod {
 namespace {
 
 // Neighbor lists via a sparse grid with cell side eps: all neighbors of a
-// point lie within the 3^d block around its cell.
+// point lie within the 3^d block around its cell. Each cell's members are
+// mirrored into a blocked SoA buffer at build time, so a range query is one
+// RangeMask kernel call per non-empty cell of the block; eps² is hoisted
+// once.
 class EpsIndex {
  public:
-  EpsIndex(const Dataset& points, double eps)
-      : points_(points), eps_(eps), grid_(points.Bounds().min(), eps) {
+  EpsIndex(const Dataset& points, double eps, KernelMode kernels)
+      : points_(points),
+        sq_eps_(eps * eps),
+        ops_(GetKernelOps(kernels)),
+        grid_(points.Bounds().min(), eps) {
     for (uint32_t i = 0; i < points.size(); ++i) grid_.Insert(points_[i], i);
+    cell_soa_.reserve(grid_.cells().size());
+    for (const SparseGrid::Cell& cell : grid_.cells()) {
+      SoABlock& soa = cell_soa_.emplace_back(points.dims());
+      soa.Reserve(cell.points.size());
+      for (uint32_t j : cell.points) soa.Append(points_[j], j);
+    }
   }
 
-  // Appends the ids within eps of point `i` (excluding `i`) to `out`.
+  // Appends the ids within eps of point `i` (excluding `i`) to `out`, in
+  // cell order then member order — the order the scalar scan produced.
   void Neighbors(uint32_t i, std::vector<uint32_t>* out) const {
     const double* p = points_[i];
     grid_.ForEachCellInBlock(
         grid_.CoordOf(p), 0, 1, [&](const SparseGrid::Cell& cell) {
-          for (uint32_t j : cell.points) {
-            if (j != i &&
-                WithinDistance(p, points_[j], points_.dims(), eps_)) {
-              out->push_back(j);
-            }
-          }
+          const size_t index =
+              static_cast<size_t>(&cell - grid_.cells().data());
+          ops_.range_mask(cell_soa_[index], p, sq_eps_, /*skip_id=*/i, out,
+                          nullptr);
         });
   }
 
  private:
   const Dataset& points_;
-  double eps_;
+  double sq_eps_;
+  const KernelOps& ops_;
   SparseGrid grid_;
+  std::vector<SoABlock> cell_soa_;
 };
 
 }  // namespace
@@ -54,7 +68,7 @@ std::vector<int32_t> DbscanLabels(const Dataset& data,
   DOD_CHECK(params.eps > 0.0);
   DOD_CHECK(params.min_pts >= 1);
 
-  const EpsIndex index(data, params.eps);
+  const EpsIndex index(data, params.eps, params.kernels);
   std::vector<std::vector<uint32_t>> neighbor_cache(n);
   std::vector<bool> is_core(n, false);
   for (uint32_t i = 0; i < n; ++i) {
@@ -123,7 +137,7 @@ DistributedDbscanResult DistributedDbscan(
     Dataset part(data.dims());
     part.Reserve(members[c].size());
     for (PointId id : members[c]) part.Append(data[id]);
-    const EpsIndex index(part, params.eps);
+    const EpsIndex index(part, params.eps, params.kernels);
     std::vector<uint32_t> neighbors;
     for (size_t i = 0; i < core[c].size(); ++i) {
       neighbors.clear();
@@ -148,7 +162,7 @@ DistributedDbscanResult DistributedDbscan(
     Dataset part(data.dims());
     part.Reserve(members[c].size());
     for (PointId id : members[c]) part.Append(data[id]);
-    const EpsIndex index(part, params.eps);
+    const EpsIndex index(part, params.eps, params.kernels);
 
     const size_t local_n = members[c].size();
     std::vector<int32_t> local(local_n, kDbscanNoise);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "kernels/kernel_mode.h"
 
 namespace dod {
 
@@ -26,6 +27,9 @@ struct DbscanParams {
   // Minimum neighborhood size (including the point itself) for a point to
   // be a core point.
   int min_pts = 5;
+  // Distance-kernel implementation for the eps-range queries; labels are
+  // identical in every mode.
+  KernelMode kernels = KernelMode::kAuto;
 };
 
 // Label of points that belong to no cluster.

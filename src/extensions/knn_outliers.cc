@@ -9,11 +9,18 @@
 
 #include "common/distance.h"
 #include "detection/grid.h"
+#include "kernels/distance_kernels.h"
+#include "kernels/soa_block.h"
 
 namespace dod {
 namespace {
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+// Candidate neighbors are gathered into a scratch SoA of this many slots
+// and their distances computed batched; the heap consumes them in gather
+// order, so its state matches the per-pair scan bit for bit.
+constexpr size_t kGatherBatch = 8 * kSoaWidth;
 
 // Running upper bound on a point's k-distance: max-heap of the k smallest
 // distances seen so far.
@@ -39,18 +46,29 @@ class KSmallest {
   std::priority_queue<double> heap_;
 };
 
-}  // namespace
-
-double KDistance(const Dataset& data, PointId id, int k) {
-  DOD_CHECK(k >= 1);
+// k-distance of `id` against a prebuilt SoA copy of the whole dataset.
+double KDistanceOverSoa(const SoABlock& all_points, const Dataset& data,
+                        PointId id, int k, const KernelOps& ops,
+                        std::vector<double>* sq_dist) {
   KSmallest smallest(k);
-  const int dims = data.dims();
-  const double* p = data[id];
+  sq_dist->resize(data.size());
+  ops.squared_distances(all_points, data[id], sq_dist->data(), nullptr);
   for (PointId j = 0; j < data.size(); ++j) {
     if (j == id) continue;
-    smallest.Add(Euclidean(p, data[j], dims));
+    smallest.Add(std::sqrt((*sq_dist)[j]));
   }
   return smallest.Bound();
+}
+
+}  // namespace
+
+double KDistance(const Dataset& data, PointId id, int k, KernelMode kernels) {
+  DOD_CHECK(k >= 1);
+  SoABlock all_points(data.dims());
+  all_points.Assign(data);
+  std::vector<double> sq_dist;
+  return KDistanceOverSoa(all_points, data, id, k, GetKernelOps(kernels),
+                          &sq_dist);
 }
 
 std::vector<KnnOutlier> TopNKnnOutliers(const Dataset& data,
@@ -60,6 +78,7 @@ std::vector<KnnOutlier> TopNKnnOutliers(const Dataset& data,
   const size_t n = data.size();
   if (n == 0 || params.top_n == 0) return result;
   const int dims = data.dims();
+  const KernelOps& ops = GetKernelOps(params.kernels);
 
   // Grid sized for ~2 points per cell; degenerate domains fall back to the
   // O(n²) scan.
@@ -72,8 +91,12 @@ std::vector<KnnOutlier> TopNKnnOutliers(const Dataset& data,
 
   std::vector<KnnOutlier> scores;
   if (side <= 0.0) {
+    SoABlock all_points(dims);
+    all_points.Assign(data);
+    std::vector<double> sq_dist;
     for (PointId i = 0; i < n; ++i) {
-      scores.push_back(KnnOutlier{i, KDistance(data, i, params.k)});
+      scores.push_back(KnnOutlier{
+          i, KDistanceOverSoa(all_points, data, i, params.k, ops, &sq_dist)});
     }
   } else {
     SparseGrid grid(bounds.min(), side);
@@ -87,6 +110,9 @@ std::vector<KnnOutlier> TopNKnnOutliers(const Dataset& data,
     // never enter the top n.
     std::priority_queue<double, std::vector<double>, std::greater<double>>
         top_heap;
+    SoABlock batch(dims);
+    batch.Reserve(kGatherBatch);
+    std::vector<double> batch_sq(kGatherBatch);
     for (uint32_t i = 0; i < n; ++i) {
       const double* p = data[i];
       const double theta = top_heap.size() >= params.top_n
@@ -96,15 +122,27 @@ std::vector<KnnOutlier> TopNKnnOutliers(const Dataset& data,
       const CellCoord center = grid.CoordOf(p);
       bool pruned = false;
       double k_distance = kInfinity;
+      const auto flush = [&] {
+        if (batch.empty()) return;
+        ops.squared_distances(batch, p, batch_sq.data(), nullptr);
+        for (size_t s = 0; s < batch.size(); ++s) {
+          smallest.Add(std::sqrt(batch_sq[s]));
+        }
+        batch.Clear();
+      };
       for (int ring = 0; ring <= max_ring; ++ring) {
         grid.ForEachCellInBlock(center, ring, ring,
                                 [&](const SparseGrid::Cell& cell) {
                                   for (uint32_t j : cell.points) {
                                     if (j == i) continue;
-                                    smallest.Add(
-                                        Euclidean(p, data[j], dims));
+                                    batch.Append(data[j], j);
+                                    if (batch.size() == kGatherBatch) {
+                                      flush();
+                                    }
                                   }
                                 });
+        // The bound checks need every distance of this ring settled.
+        flush();
         const double bound = smallest.Bound();
         if (bound < theta) {
           pruned = true;  // certainly below the current top-n
@@ -117,6 +155,7 @@ std::vector<KnnOutlier> TopNKnnOutliers(const Dataset& data,
           break;
         }
       }
+      batch.Clear();  // drop leftovers of a pruned/early-exited scan
       if (pruned) continue;
       if (k_distance == kInfinity) k_distance = smallest.Bound();
       scores.push_back(KnnOutlier{i, k_distance});

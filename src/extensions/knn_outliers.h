@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "kernels/kernel_mode.h"
 
 namespace dod {
 
@@ -29,6 +30,8 @@ struct KnnOutlierParams {
   int k = 5;
   // How many top-scoring points to report.
   size_t top_n = 10;
+  // Distance-kernel implementation; scores are bit-identical in every mode.
+  KernelMode kernels = KernelMode::kAuto;
 };
 
 struct KnnOutlier {
@@ -48,7 +51,8 @@ std::vector<KnnOutlier> TopNKnnOutliers(const Dataset& data,
                                         const KnnOutlierParams& params);
 
 // Exact k-distance of one point (helper; O(n) scan).
-double KDistance(const Dataset& data, PointId id, int k);
+double KDistance(const Dataset& data, PointId id, int k,
+                 KernelMode kernels = KernelMode::kAuto);
 
 }  // namespace dod
 

@@ -1,0 +1,186 @@
+// Copyright 2026 The DOD Authors.
+//
+// AVX2 specialization of the distance kernels. Compiled into every build on
+// x86-64 GCC/Clang (unless DOD_DISABLE_AVX2 is defined) via per-function
+// target attributes; callers reach it only through the dispatch in
+// distance_kernels.cc, which probes the CPU at runtime first.
+//
+// Exactness: squared distances use explicit sub/mul/add intrinsics — never
+// FMA — so every lane performs the same individually-rounded operation
+// sequence as the scalar kernel. Threshold compares use _CMP_LE_OQ
+// (ordered: NaN yields false, ties at exactly r yield true), matching the
+// scalar `<=` bit for bit.
+
+#include "kernels/distance_kernels.h"
+
+#if !defined(DOD_DISABLE_AVX2) && defined(__GNUC__) && defined(__x86_64__)
+#define DOD_KERNELS_COMPILE_AVX2 1
+#else
+#define DOD_KERNELS_COMPILE_AVX2 0
+#endif
+
+#if DOD_KERNELS_COMPILE_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <limits>
+
+#define DOD_AVX2 __attribute__((target("avx2")))
+
+namespace dod {
+namespace {
+
+// Squared distances from `q` to the kSoaWidth slots of `block`, as two
+// 4-wide vectors (slots 0-3 and 4-7).
+DOD_AVX2 inline void BlockSquaredDistances(const SoABlock& pts, size_t block,
+                                           const double* q, int dims,
+                                           __m256d* lo, __m256d* hi) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  for (int d = 0; d < dims; ++d) {
+    const double* lane = pts.Lane(block, d);
+    const __m256d qd = _mm256_set1_pd(q[d]);
+    const __m256d d0 = _mm256_sub_pd(qd, _mm256_loadu_pd(lane));
+    const __m256d d1 = _mm256_sub_pd(qd, _mm256_loadu_pd(lane + 4));
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+  }
+  *lo = acc0;
+  *hi = acc1;
+}
+
+// Bit s set iff slot s is within sq_radius (NaN distances excluded).
+DOD_AVX2 inline unsigned WithinMask(__m256d lo, __m256d hi,
+                                    double sq_radius) {
+  const __m256d r = _mm256_set1_pd(sq_radius);
+  const unsigned m0 = static_cast<unsigned>(
+      _mm256_movemask_pd(_mm256_cmp_pd(lo, r, _CMP_LE_OQ)));
+  const unsigned m1 = static_cast<unsigned>(
+      _mm256_movemask_pd(_mm256_cmp_pd(hi, r, _CMP_LE_OQ)));
+  return m0 | (m1 << 4);
+}
+
+// Bit s set iff slot s carries skip_id.
+DOD_AVX2 inline unsigned SkipMask(const uint32_t* ids, uint32_t skip_id) {
+  const __m256i v =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids));
+  const __m256i eq =
+      _mm256_cmpeq_epi32(v, _mm256_set1_epi32(static_cast<int>(skip_id)));
+  return static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+}
+
+DOD_AVX2 int Avx2Count(const SoABlock& pts, size_t begin, size_t end,
+                       const double* q, double sq_radius, uint32_t skip_id,
+                       int cap, uint64_t* pairs) {
+  if (cap == 0) return 0;
+  const int dims = pts.dims();
+  uint64_t evals = 0;
+  int count = 0;
+  const size_t first = begin / kSoaWidth;
+  const size_t last = (end + kSoaWidth - 1) / kSoaWidth;
+  for (size_t b = first; b < last; ++b) {
+    const size_t base = b * kSoaWidth;
+    const size_t lo_slot = begin > base ? begin - base : 0;
+    const size_t hi_slot = std::min(end - base, kSoaWidth);
+    __m256d d0, d1;
+    BlockSquaredDistances(pts, b, q, dims, &d0, &d1);
+    const unsigned range =
+        ((1u << hi_slot) - 1u) & ~((1u << lo_slot) - 1u);
+    const unsigned valid = range & ~SkipMask(pts.Ids(b), skip_id);
+    evals += static_cast<unsigned>(__builtin_popcount(valid));
+    count += __builtin_popcount(WithinMask(d0, d1, sq_radius) & valid);
+    if (cap >= 0 && count >= cap) break;
+  }
+  if (pairs != nullptr) *pairs += evals;
+  return count;
+}
+
+DOD_AVX2 void Avx2RangeMask(const SoABlock& pts, const double* q,
+                            double sq_radius, uint32_t skip_id,
+                            std::vector<uint32_t>* out, uint64_t* pairs) {
+  const int dims = pts.dims();
+  uint64_t evals = 0;
+  for (size_t b = 0; b < pts.num_blocks(); ++b) {
+    const size_t base = b * kSoaWidth;
+    const size_t hi_slot = std::min(pts.size() - base, kSoaWidth);
+    __m256d d0, d1;
+    BlockSquaredDistances(pts, b, q, dims, &d0, &d1);
+    const uint32_t* ids = pts.Ids(b);
+    const unsigned range = (1u << hi_slot) - 1u;
+    const unsigned valid = range & ~SkipMask(ids, skip_id);
+    evals += static_cast<unsigned>(__builtin_popcount(valid));
+    unsigned hits = WithinMask(d0, d1, sq_radius) & valid;
+    while (hits != 0) {  // ascending slot order
+      const int s = __builtin_ctz(hits);
+      out->push_back(ids[s]);
+      hits &= hits - 1;
+    }
+  }
+  if (pairs != nullptr) *pairs += evals;
+}
+
+DOD_AVX2 double Avx2Min(const SoABlock& pts, const double* q,
+                        uint64_t* pairs) {
+  const int dims = pts.dims();
+  __m256d best =
+      _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  for (size_t b = 0; b < pts.num_blocks(); ++b) {
+    __m256d d0, d1;
+    BlockSquaredDistances(pts, b, q, dims, &d0, &d1);
+    // min_pd(a, b) returns b when a is NaN, so NaN distances are excluded
+    // exactly like the scalar `<` update; pad slots contribute +infinity.
+    best = _mm256_min_pd(d0, best);
+    best = _mm256_min_pd(d1, best);
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, best);
+  double result = std::numeric_limits<double>::infinity();
+  for (double v : lanes) {
+    if (v < result) result = v;
+  }
+  if (pairs != nullptr) *pairs += pts.size();
+  return result;
+}
+
+DOD_AVX2 void Avx2Dists(const SoABlock& pts, const double* q, double* out,
+                        uint64_t* pairs) {
+  const int dims = pts.dims();
+  for (size_t b = 0; b < pts.num_blocks(); ++b) {
+    const size_t base = b * kSoaWidth;
+    const size_t hi_slot = std::min(pts.size() - base, kSoaWidth);
+    __m256d d0, d1;
+    BlockSquaredDistances(pts, b, q, dims, &d0, &d1);
+    if (hi_slot == kSoaWidth) {
+      _mm256_storeu_pd(out + base, d0);
+      _mm256_storeu_pd(out + base + 4, d1);
+    } else {
+      double tmp[kSoaWidth];
+      _mm256_storeu_pd(tmp, d0);
+      _mm256_storeu_pd(tmp + 4, d1);
+      for (size_t s = 0; s < hi_slot; ++s) out[base + s] = tmp[s];
+    }
+  }
+  if (pairs != nullptr) *pairs += pts.size();
+}
+
+constexpr KernelOps kAvx2Ops = {"avx2", Avx2Count, Avx2RangeMask, Avx2Min,
+                                Avx2Dists};
+
+}  // namespace
+
+namespace internal {
+const KernelOps* Avx2KernelOpsOrNull() { return &kAvx2Ops; }
+}  // namespace internal
+
+}  // namespace dod
+
+#else  // !DOD_KERNELS_COMPILE_AVX2
+
+namespace dod {
+namespace internal {
+const KernelOps* Avx2KernelOpsOrNull() { return nullptr; }
+}  // namespace internal
+}  // namespace dod
+
+#endif  // DOD_KERNELS_COMPILE_AVX2

@@ -23,6 +23,7 @@
 #include "core/parameter_advisor.h"
 #include "io/binary.h"
 #include "io/csv.h"
+#include "kernels/kernel_mode.h"
 
 namespace {
 
@@ -52,6 +53,9 @@ Pipeline:
   --threads N            worker threads running map/reduce tasks
                          (default: all hardware threads; 1 = sequential,
                          output is byte-identical for any N)
+  --kernels MODE         distance kernels: auto (batched SIMD, default) |
+                         scalar (per-pair reference); verdicts are
+                         bit-identical either way
   --sample-rate Y        preprocessing sampling rate (default 0.05)
   --buckets B            mini buckets per dimension (default 64)
   --seed N               RNG seed (default 42)
@@ -170,6 +174,10 @@ dod::Result<dod::DodConfig> BuildConfig(const dod::FlagParser& flags,
   dod::DetectionParams params;
   params.radius = radius.value();
   params.min_neighbors = static_cast<int>(k.value());
+  const std::string kernels = flags.GetStringOr("kernels", "auto");
+  if (!dod::ParseKernelMode(kernels, &params.kernels)) {
+    return dod::Status::InvalidArgument("--kernels must be scalar or auto");
+  }
 
   // --suggest-r FRACTION derives r from the data so that roughly that
   // fraction of points comes out as outliers (overrides --radius).

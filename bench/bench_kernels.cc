@@ -20,6 +20,8 @@
 #include "detection/nested_loop.h"
 #include "kernels/distance_kernels.h"
 #include "kernels/soa_block.h"
+#include "observability/metrics.h"
+#include "observability/profile.h"
 
 namespace {
 
@@ -199,5 +201,6 @@ int main(int argc, char** argv) {
 
   WriteJson("BENCH_kernels.json", data.size(), num_queries, kernels,
             detector);
+  dod::bench::WriteMetricsJson("BENCH_kernels_metrics.json", {});
   return 0;
 }

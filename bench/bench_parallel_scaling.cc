@@ -142,5 +142,7 @@ int main() {
   }
 
   WriteJson("BENCH_parallel.json", n, reference.outliers.size(), curve);
+  dod::bench::WriteMetricsJson("BENCH_parallel_metrics.json",
+                               reference.detect_stats.partition_profiles);
   return 0;
 }

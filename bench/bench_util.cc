@@ -7,6 +7,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "observability/metrics.h"
+#include "observability/profile.h"
+
 namespace dod {
 namespace bench {
 
@@ -75,6 +78,21 @@ DodConfig BenchConfig(StrategyKind strategy, AlgorithmKind algorithm,
   config.sampler.buckets_per_dim = std::clamp(
       static_cast<int>(std::sqrt(n * config.sampler.rate / 10.0)), 32, 128);
   return config;
+}
+
+void WriteMetricsJson(const char* path,
+                      const std::vector<PartitionProfile>& profiles) {
+  const std::string json =
+      ObservabilityReportJson(MetricsRegistry::Global().Snapshot(), profiles);
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
 }
 
 void PrintHeader(const std::string& title, const std::string& note) {

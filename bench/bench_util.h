@@ -52,6 +52,13 @@ RunResult RunPipeline(const DodConfig& config, const Dataset& data,
 DodConfig BenchConfig(StrategyKind strategy, AlgorithmKind algorithm,
                       const DetectionParams& params, size_t n);
 
+// Dumps the process-wide metrics registry (plus optional per-partition
+// cost snapshots) as an observability report next to the BENCH_*.json of
+// the calling bench, so regressions in counter values can be diffed the
+// same way as throughput numbers.
+void WriteMetricsJson(const char* path,
+                      const std::vector<PartitionProfile>& profiles);
+
 // Figure-style output helpers.
 void PrintHeader(const std::string& title, const std::string& note);
 void PrintRow(const std::vector<std::string>& cells,

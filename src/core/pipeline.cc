@@ -7,9 +7,44 @@
 #include "common/distance.h"
 #include "common/timer.h"
 #include "detection/brute_force.h"
+#include "observability/metrics.h"
+#include "observability/profile.h"
+#include "observability/trace.h"
 
 namespace dod {
 namespace {
+
+// Job counter charged with an algorithm's distance evaluations; diffing it
+// around a detector call isolates the call's evaluations (groups within a
+// reduce task run sequentially, so the diff sees only this cell).
+const char* EvalCounterName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kNestedLoop:
+      return "nested_loop.distance_evals";
+    case AlgorithmKind::kCellBased:
+      return "cell_based.distance_evals";
+    case AlgorithmKind::kBruteForce:
+      return "brute_force.distance_evals";
+  }
+  return "";
+}
+
+// Registry histograms fed by the detection reducers. Observations happen
+// per executed attempt (a retried attempt observes again), which is still
+// deterministic because the attempt schedule is a pure function of the
+// fault-injection seed.
+void RecordPartitionMetrics(const PartitionProfile& profile) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  static const uint32_t kCore = metrics.Id("detect.partition_core_points",
+                                           MetricKind::kHistogram);
+  static const uint32_t kSupport = metrics.Id(
+      "detect.partition_support_points", MetricKind::kHistogram);
+  static const uint32_t kSeconds =
+      metrics.Id("detect.cell_seconds", MetricKind::kHistogram);
+  metrics.Observe(kCore, static_cast<double>(profile.core_points));
+  metrics.Observe(kSupport, static_cast<double>(profile.support_points));
+  metrics.Observe(kSeconds, profile.measured_seconds);
+}
 
 // Shuffle record of the detection job: one point reference plus the core /
 // support tag of Fig. 3 ("0-p" / "1-p").
@@ -80,8 +115,8 @@ class DetectorSet {
 class DetectReducer : public Reducer<uint32_t, TaggedPoint, PointId> {
  public:
   DetectReducer(const Dataset& data, const MultiTacticPlan& plan,
-                const DetectionParams& params)
-      : data_(data), plan_(plan), params_(params) {}
+                const DetectionParams& params, PartitionProfiler* profiler)
+      : data_(data), plan_(plan), params_(params), profiler_(profiler) {}
 
   void Reduce(const uint32_t& cell, std::vector<TaggedPoint>& values,
               std::vector<PointId>& out, Counters& counters) override {
@@ -100,22 +135,49 @@ class DetectReducer : public Reducer<uint32_t, TaggedPoint, PointId> {
     for (const TaggedPoint& v : values) {
       if (v.support) partition.Append(data_[v.id]);
     }
-    if (num_core == 0) return;
 
     const AlgorithmKind algorithm = plan_.algorithm_plan[cell];
-    const Detector& detector = detectors_.For(algorithm);
-    DetectionParams params = params_;
-    params.seed = params_.seed ^ (0x9E3779B97F4A7C15ULL * (cell + 1));
-    const std::vector<uint32_t> local =
-        detector.DetectOutliers(partition, num_core, params, &counters);
-    for (uint32_t index : local) out.push_back(ids[index]);
-    counters.Increment(std::string("cells.") + AlgorithmKindName(algorithm));
+    PartitionProfile profile;
+    profile.cell = cell;
+    profile.algorithm = AlgorithmKindName(algorithm);
+    profile.core_points = num_core;
+    profile.support_points = values.size() - num_core;
+    profile.area = plan_.partition_plan.cell(cell).bounds.Area();
+    profile.density =
+        profile.area > 0.0 ? static_cast<double>(num_core) / profile.area : 0.0;
+    profile.predicted_cost = cell < plan_.estimated_cost.size()
+                                 ? plan_.estimated_cost[cell]
+                                 : 0.0;
+
+    if (num_core > 0) {
+      trace::Span span("detect", "cell");
+      span.Arg("cell", cell)
+          .Arg("algorithm", profile.algorithm.c_str())
+          .Arg("core", num_core)
+          .Arg("support", profile.support_points);
+      const char* eval_counter = EvalCounterName(algorithm);
+      const uint64_t evals_before = counters.Get(eval_counter);
+      StopWatch detect_watch;
+      const Detector& detector = detectors_.For(algorithm);
+      DetectionParams params = params_;
+      params.seed = params_.seed ^ (0x9E3779B97F4A7C15ULL * (cell + 1));
+      const std::vector<uint32_t> local =
+          detector.DetectOutliers(partition, num_core, params, &counters);
+      profile.measured_seconds = detect_watch.ElapsedSeconds();
+      profile.measured_distance_evals =
+          counters.Get(eval_counter) - evals_before;
+      for (uint32_t index : local) out.push_back(ids[index]);
+      counters.Increment(std::string("cells.") + AlgorithmKindName(algorithm));
+    }
+    if (profiler_ != nullptr) profiler_->Record(profile);
+    RecordPartitionMetrics(profile);
   }
 
  private:
   const Dataset& data_;
   const MultiTacticPlan& plan_;
   const DetectionParams& params_;
+  PartitionProfiler* profiler_;
   DetectorSet detectors_;
 };
 
@@ -133,8 +195,9 @@ struct Candidate {
 class DomainDetectReducer : public Reducer<uint32_t, TaggedPoint, Candidate> {
  public:
   DomainDetectReducer(const Dataset& data, const MultiTacticPlan& plan,
-                      const DetectionParams& params)
-      : data_(data), plan_(plan), params_(params) {}
+                      const DetectionParams& params,
+                      PartitionProfiler* profiler)
+      : data_(data), plan_(plan), params_(params), profiler_(profiler) {}
 
   void Reduce(const uint32_t& cell, std::vector<TaggedPoint>& values,
               std::vector<Candidate>& out, Counters& counters) override {
@@ -147,11 +210,34 @@ class DomainDetectReducer : public Reducer<uint32_t, TaggedPoint, Candidate> {
       ids.push_back(v.id);
     }
     const AlgorithmKind algorithm = plan_.algorithm_plan[cell];
+    PartitionProfile profile;
+    profile.cell = cell;
+    profile.algorithm = AlgorithmKindName(algorithm);
+    profile.core_points = partition.size();
+    profile.area = plan_.partition_plan.cell(cell).bounds.Area();
+    profile.density = profile.area > 0.0
+                          ? static_cast<double>(partition.size()) / profile.area
+                          : 0.0;
+    profile.predicted_cost = cell < plan_.estimated_cost.size()
+                                 ? plan_.estimated_cost[cell]
+                                 : 0.0;
+    trace::Span span("detect", "cell");
+    span.Arg("cell", cell)
+        .Arg("algorithm", profile.algorithm.c_str())
+        .Arg("core", partition.size());
+    const char* eval_counter = EvalCounterName(algorithm);
+    const uint64_t evals_before = counters.Get(eval_counter);
+    StopWatch detect_watch;
     const Detector& detector = detectors_.For(algorithm);
     DetectionParams params = params_;
     params.seed = params_.seed ^ (0x9E3779B97F4A7C15ULL * (cell + 1));
     const std::vector<uint32_t> local = detector.DetectOutliers(
         partition, partition.size(), params, &counters);
+    profile.measured_seconds = detect_watch.ElapsedSeconds();
+    profile.measured_distance_evals =
+        counters.Get(eval_counter) - evals_before;
+    if (profiler_ != nullptr) profiler_->Record(profile);
+    RecordPartitionMetrics(profile);
 
     // Exact partial neighbor count for each candidate (bounded by k).
     const int dims = data_.dims();
@@ -174,6 +260,7 @@ class DomainDetectReducer : public Reducer<uint32_t, TaggedPoint, Candidate> {
   const Dataset& data_;
   const MultiTacticPlan& plan_;
   const DetectionParams& params_;
+  PartitionProfiler* profiler_;
   DetectorSet detectors_;
 };
 
@@ -281,6 +368,9 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
   const DodConfig& config = config_;
   StopWatch wall;
   DodResult result;
+  trace::Span run_span("pipeline", "run");
+  run_span.Arg("config", config.Label().c_str())
+      .Arg("points", static_cast<uint64_t>(data.size()));
 
   // ---- Preprocessing job -------------------------------------------------
   // Distribution estimation (sampling map tasks) + plan generation (single
@@ -303,6 +393,8 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
   if (needs_sketch) {
     // The sampling map tasks scan the full input once; charge the HDFS
     // read like any other map stage.
+    trace::Span sample_span("pipeline", "sample");
+    sample_span.Arg("blocks", static_cast<uint64_t>(store.num_blocks()));
     const double read_bytes_per_second =
         config.cluster.disk_read_mbps_per_slot * 1e6;
     std::vector<double> sample_task_seconds;
@@ -319,12 +411,32 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
     }
     preprocess_seconds +=
         Makespan(sample_task_seconds, config.cluster.map_slots());
+    sample_span.Arg("sample_size", sketch.sample_size);
   }
 
   StopWatch plan_watch;
-  result.plan = BuildMultiTacticPlan(sketch, config);
+  {
+    trace::Span plan_span("pipeline", "plan");
+    result.plan = BuildMultiTacticPlan(sketch, config);
+    plan_span.Arg("partitions", static_cast<uint64_t>(
+                                    result.plan.partition_plan.num_cells()));
+  }
   preprocess_seconds += plan_watch.ElapsedSeconds();
   result.breakdown.preprocess_seconds = preprocess_seconds;
+
+  {
+    MetricsRegistry& metrics = MetricsRegistry::Global();
+    static const uint32_t kRuns =
+        metrics.Id("pipeline.runs", MetricKind::kCounter);
+    static const uint32_t kPartitions =
+        metrics.Id("pipeline.partitions", MetricKind::kGauge);
+    static const uint32_t kPreprocess =
+        metrics.Id("pipeline.preprocess_seconds", MetricKind::kHistogram);
+    metrics.Increment(kRuns);
+    metrics.SetMax(kPartitions, static_cast<double>(
+                                    result.plan.partition_plan.num_cells()));
+    metrics.Observe(kPreprocess, preprocess_seconds);
+  }
 
   const PartitionPlan& partition_plan = result.plan.partition_plan;
   PartitionRouter router(partition_plan);
@@ -354,9 +466,13 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
       };
 
   // ---- Detection job ------------------------------------------------------
+  // The reducers record one predicted-vs-measured profile per reduced cell;
+  // keyed by cell, so retried attempts overwrite instead of duplicating.
+  PartitionProfiler profiler;
   if (result.plan.uses_supporting_area) {
+    trace::Span job_span("pipeline", "detect_job");
     DetectMapper mapper(store, partition_plan, router, /*emit_support=*/true);
-    DetectReducer reducer(data, result.plan, config.params);
+    DetectReducer reducer(data, result.plan, config.params, &profiler);
     Result<JobOutput<PointId>> job =
         RunMapReduce<uint32_t, TaggedPoint, PointId>(
             store.num_blocks(), mapper, reducer, partition_fn, spec,
@@ -367,8 +483,9 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
     result.breakdown.detect = result.detect_stats.stage_times;
   } else {
     // Domain baseline: job 1 detects locally, job 2 verifies candidates.
+    trace::Span job_span("pipeline", "detect_job");
     DetectMapper mapper(store, partition_plan, router, /*emit_support=*/false);
-    DomainDetectReducer reducer(data, result.plan, config.params);
+    DomainDetectReducer reducer(data, result.plan, config.params, &profiler);
     Result<JobOutput<Candidate>> job =
         RunMapReduce<uint32_t, TaggedPoint, Candidate>(
             store.num_blocks(), mapper, reducer, partition_fn, spec,
@@ -377,6 +494,7 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
     result.detect_stats = std::move(job.value().stats);
     result.breakdown.detect = result.detect_stats.stage_times;
 
+    trace::Span verify_span("pipeline", "verify_job");
     VerifyMapper verify_mapper(store, router, job.value().output);
     VerifyReducer verify_reducer(data, config.params);
     Result<JobOutput<PointId>> verify =
@@ -393,9 +511,19 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
     result.verify_stats = std::move(verify.value().stats);
     result.breakdown.verify = result.verify_stats.stage_times;
   }
+  result.detect_stats.partition_profiles = profiler.Sorted();
 
   std::sort(result.outliers.begin(), result.outliers.end());
   result.wall_seconds = wall.ElapsedSeconds();
+  {
+    MetricsRegistry& metrics = MetricsRegistry::Global();
+    static const uint32_t kOutliers =
+        metrics.Id("pipeline.outliers", MetricKind::kCounter);
+    static const uint32_t kWall =
+        metrics.Id("pipeline.wall_seconds", MetricKind::kHistogram);
+    metrics.Increment(kOutliers, result.outliers.size());
+    metrics.Observe(kWall, result.wall_seconds);
+  }
   return result;
 }
 

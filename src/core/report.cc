@@ -2,8 +2,10 @@
 
 #include "core/report.h"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <vector>
 
 namespace dod {
 namespace {
@@ -72,6 +74,33 @@ std::string FormatRunReport(const DodConfig& config, const DodResult& result,
               result.verify_stats.map_wall_seconds,
           result.detect_stats.reduce_wall_seconds +
               result.verify_stats.reduce_wall_seconds);
+
+  // Cost-model accuracy: the planner's predicted per-partition workload
+  // against the distance evaluations detection actually performed.
+  {
+    std::vector<double> ratios;
+    for (const PartitionProfile& profile :
+         result.detect_stats.partition_profiles) {
+      if (profile.predicted_cost > 0.0 &&
+          profile.measured_distance_evals > 0) {
+        ratios.push_back(profile.predicted_cost /
+                         static_cast<double>(profile.measured_distance_evals));
+      }
+    }
+    if (!ratios.empty()) {
+      std::sort(ratios.begin(), ratios.end());
+      const auto quantile = [&ratios](double q) {
+        const size_t index = std::min(
+            ratios.size() - 1, static_cast<size_t>(q * ratios.size()));
+        return ratios[index];
+      };
+      Appendf(out,
+              "cost model    : %zu partitions profiled | predicted/measured "
+              "evals: median %.2fx (p10 %.2fx, p90 %.2fx)\n",
+              result.detect_stats.partition_profiles.size(), quantile(0.5),
+              quantile(0.1), quantile(0.9));
+    }
+  }
 
   Appendf(out, "data movement : %llu records shuffled (%.2f MB)\n",
           static_cast<unsigned long long>(

@@ -3,6 +3,7 @@
 #include "detection/brute_force.h"
 
 #include "common/distance.h"
+#include "observability/metrics.h"
 
 namespace dod {
 
@@ -29,6 +30,15 @@ std::vector<uint32_t> BruteForceDetector::DetectOutliers(
   }
   if (counters != nullptr) {
     counters->Increment("brute_force.distance_evals", distance_evals);
+  }
+  {
+    MetricsRegistry& metrics = MetricsRegistry::Global();
+    static const uint32_t kCalls =
+        metrics.Id("detect.calls.brute_force", MetricKind::kCounter);
+    static const uint32_t kPairs =
+        metrics.Id("detect.pairs.brute_force", MetricKind::kCounter);
+    metrics.Increment(kCalls);
+    metrics.Increment(kPairs, distance_evals);
   }
   return outliers;
 }

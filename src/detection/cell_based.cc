@@ -8,6 +8,7 @@
 #include "detection/grid.h"
 #include "kernels/distance_kernels.h"
 #include "kernels/soa_block.h"
+#include "observability/metrics.h"
 
 namespace dod {
 
@@ -116,6 +117,15 @@ std::vector<uint32_t> CellBasedDetector::DetectOutliers(
     counters->Increment("cell_based.outlier_cells", outlier_cells);
     counters->Increment("cell_based.probed_cells", probed_cells);
     counters->Increment("cell_based.distance_evals", distance_evals);
+  }
+  {
+    MetricsRegistry& metrics = MetricsRegistry::Global();
+    static const uint32_t kCalls =
+        metrics.Id("detect.calls.cell_based", MetricKind::kCounter);
+    static const uint32_t kPairs =
+        metrics.Id("detect.pairs.cell_based", MetricKind::kCounter);
+    metrics.Increment(kCalls);
+    metrics.Increment(kPairs, distance_evals);
   }
   return outliers;
 }

@@ -5,6 +5,7 @@
 #include "common/random.h"
 #include "kernels/distance_kernels.h"
 #include "kernels/soa_block.h"
+#include "observability/metrics.h"
 
 namespace dod {
 
@@ -53,6 +54,15 @@ std::vector<uint32_t> NestedLoopDetector::DetectOutliers(
   }
   if (counters != nullptr) {
     counters->Increment("nested_loop.distance_evals", distance_evals);
+  }
+  {
+    MetricsRegistry& metrics = MetricsRegistry::Global();
+    static const uint32_t kCalls =
+        metrics.Id("detect.calls.nested_loop", MetricKind::kCounter);
+    static const uint32_t kPairs =
+        metrics.Id("detect.pairs.nested_loop", MetricKind::kCounter);
+    metrics.Increment(kCalls);
+    metrics.Increment(kPairs, distance_evals);
   }
   return outliers;
 }

@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "kernels/distance_kernels.h"
 #include "kernels/soa_block.h"
+#include "observability/metrics.h"
 
 namespace dod {
 namespace {
@@ -114,6 +115,15 @@ std::vector<uint32_t> PivotDetector::DetectOutliers(
   if (counters != nullptr) {
     counters->Increment("pivot.distance_evals", distance_evals);
     counters->Increment("pivot.pruned_pairs", pruned);
+  }
+  {
+    MetricsRegistry& metrics = MetricsRegistry::Global();
+    static const uint32_t kCalls =
+        metrics.Id("detect.calls.pivot", MetricKind::kCounter);
+    static const uint32_t kPairs =
+        metrics.Id("detect.pairs.pivot", MetricKind::kCounter);
+    metrics.Increment(kCalls);
+    metrics.Increment(kPairs, distance_evals);
   }
   return outliers;
 }

@@ -50,6 +50,8 @@
 #include "mapreduce/fault_injection.h"
 #include "mapreduce/job_stats.h"
 #include "mapreduce/task_runner.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
 #include "runtime/parallel_executor.h"
 
 namespace dod {
@@ -237,7 +239,11 @@ Result<JobOutput<Out>> RunMapReduce(
   const double read_bytes_per_second =
       spec.cluster.disk_read_mbps_per_slot * 1e6;
   StopWatch map_wall;
-  const Status map_status = executor.RunTasks(
+  Status map_status;
+  {
+    trace::Span phase_span("phase", "map");
+    phase_span.Arg("tasks", static_cast<uint64_t>(num_splits));
+    map_status = executor.RunTasks(
       num_splits, [&](size_t split) -> Status {
         MapTaskState& task = map_tasks[split];
         task.staging.resize(num_reduce);
@@ -269,29 +275,35 @@ Result<JobOutput<Out>> RunMapReduce(
             },
             task.stats, task.slot_costs);
       });
+  }
   if (!map_status.ok()) return map_status;
   stats.map_wall_seconds = map_wall.ElapsedSeconds();
 
   // Deterministic shuffle merge: split order, then bucket order.
   Buckets buckets(num_reduce);
-  stats.map_task_seconds.reserve(num_splits);
-  for (MapTaskState& task : map_tasks) {
-    stats.MergeFrom(task.stats);
-    stats.map_task_seconds.insert(stats.map_task_seconds.end(),
-                                  task.slot_costs.begin(),
-                                  task.slot_costs.end());
-    for (size_t r = 0; r < task.committed.size(); ++r) {
-      auto& committed = buckets[r];
-      auto& staged = task.committed[r];
-      committed.insert(committed.end(),
-                       std::make_move_iterator(staged.begin()),
-                       std::make_move_iterator(staged.end()));
+  {
+    trace::Span shuffle_span("phase", "shuffle");
+    stats.map_task_seconds.reserve(num_splits);
+    for (MapTaskState& task : map_tasks) {
+      stats.MergeFrom(task.stats);
+      stats.map_task_seconds.insert(stats.map_task_seconds.end(),
+                                    task.slot_costs.begin(),
+                                    task.slot_costs.end());
+      for (size_t r = 0; r < task.committed.size(); ++r) {
+        auto& committed = buckets[r];
+        auto& staged = task.committed[r];
+        committed.insert(committed.end(),
+                         std::make_move_iterator(staged.begin()),
+                         std::make_move_iterator(staged.end()));
+      }
+      // Free the per-task buffers eagerly; the shuffle now owns the data.
+      task.committed = Buckets();
+      task.staging = Buckets();
     }
-    // Free the per-task buffers eagerly; the shuffle now owns the data.
-    task.committed = Buckets();
-    task.staging = Buckets();
+    stats.records_mapped = stats.records_shuffled;
+    shuffle_span.Arg("records", stats.records_shuffled)
+        .Arg("bytes", stats.bytes_shuffled);
   }
-  stats.records_mapped = stats.records_shuffled;
 
   // ---- Reduce phase (sort + group + reduce, per task) -------------------
   struct ReduceTaskState {
@@ -304,7 +316,11 @@ Result<JobOutput<Out>> RunMapReduce(
   };
   std::vector<ReduceTaskState> reduce_tasks(buckets.size());
   StopWatch reduce_wall;
-  const Status reduce_status = executor.RunTasks(
+  Status reduce_status;
+  {
+    trace::Span phase_span("phase", "reduce");
+    phase_span.Arg("tasks", static_cast<uint64_t>(buckets.size()));
+    reduce_status = executor.RunTasks(
       buckets.size(), [&](size_t index) -> Status {
         ReduceTaskState& task = reduce_tasks[index];
         auto& bucket = buckets[index];
@@ -348,6 +364,7 @@ Result<JobOutput<Out>> RunMapReduce(
             },
             task.stats, task.slot_costs);
       });
+  }
   if (!reduce_status.ok()) return reduce_status;
   stats.reduce_wall_seconds = reduce_wall.ElapsedSeconds();
 
@@ -376,6 +393,58 @@ Result<JobOutput<Out>> RunMapReduce(
       Makespan(stats.reduce_task_seconds,
                spec.cluster.usable_reduce_slots(blacklisted));
   stats.wall_seconds = wall.ElapsedSeconds();
+
+  // Fold the job's totals into the process-wide metrics registry. Every
+  // value is a sum (or max) of per-task deltas, so — like the JobStats
+  // merge — the recorded metrics are independent of scheduling order.
+  {
+    MetricsRegistry& metrics = MetricsRegistry::Global();
+    static const uint32_t kJobs = metrics.Id("mr.jobs", MetricKind::kCounter);
+    static const uint32_t kMapTasks =
+        metrics.Id("mr.map_tasks", MetricKind::kCounter);
+    static const uint32_t kReduceTasks =
+        metrics.Id("mr.reduce_tasks", MetricKind::kCounter);
+    static const uint32_t kAttempts =
+        metrics.Id("mr.task_attempts", MetricKind::kCounter);
+    static const uint32_t kFailures =
+        metrics.Id("mr.task_failures", MetricKind::kCounter);
+    static const uint32_t kRetries =
+        metrics.Id("mr.task_retries", MetricKind::kCounter);
+    static const uint32_t kSpeculative =
+        metrics.Id("mr.speculative_attempts", MetricKind::kCounter);
+    static const uint32_t kRecords =
+        metrics.Id("mr.records_shuffled", MetricKind::kCounter);
+    static const uint32_t kBytes =
+        metrics.Id("mr.bytes_shuffled", MetricKind::kCounter);
+    static const uint32_t kGroups =
+        metrics.Id("mr.groups_reduced", MetricKind::kCounter);
+    static const uint32_t kThreads =
+        metrics.Id("mr.threads_used", MetricKind::kGauge);
+    static const uint32_t kMapSlot =
+        metrics.Id("mr.map_slot_seconds", MetricKind::kHistogram);
+    static const uint32_t kReduceSlot =
+        metrics.Id("mr.reduce_slot_seconds", MetricKind::kHistogram);
+    static const uint32_t kJobWall =
+        metrics.Id("mr.job_wall_seconds", MetricKind::kHistogram);
+    metrics.Increment(kJobs);
+    metrics.Increment(kMapTasks, static_cast<uint64_t>(num_splits));
+    metrics.Increment(kReduceTasks, static_cast<uint64_t>(buckets.size()));
+    metrics.Increment(kAttempts, stats.task_attempts);
+    metrics.Increment(kFailures, stats.task_failures);
+    metrics.Increment(kRetries, stats.task_retries);
+    metrics.Increment(kSpeculative, stats.speculative_attempts);
+    metrics.Increment(kRecords, stats.records_shuffled);
+    metrics.Increment(kBytes, stats.bytes_shuffled);
+    metrics.Increment(kGroups, stats.groups_reduced);
+    metrics.SetMax(kThreads, static_cast<double>(stats.threads_used));
+    for (double seconds : stats.map_task_seconds) {
+      metrics.Observe(kMapSlot, seconds);
+    }
+    for (double seconds : stats.reduce_task_seconds) {
+      metrics.Observe(kReduceSlot, seconds);
+    }
+    metrics.Observe(kJobWall, stats.wall_seconds);
+  }
   return result;
 }
 

@@ -34,6 +34,9 @@ void JobStats::MergeFrom(const JobStats& other) {
       std::max(reduce_wall_seconds, other.reduce_wall_seconds);
   threads_used = std::max(threads_used, other.threads_used);
   counters.MergeFrom(other.counters);
+  partition_profiles.insert(partition_profiles.end(),
+                            other.partition_profiles.begin(),
+                            other.partition_profiles.end());
 }
 
 std::string JobStats::ToString() const {

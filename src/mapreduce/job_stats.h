@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mapreduce/counters.h"
+#include "observability/profile.h"
 
 namespace dod {
 
@@ -73,6 +74,11 @@ struct JobStats {
   int threads_used = 1;
 
   Counters counters;
+
+  // Per-partition cost-model snapshots recorded by the reduce side of a
+  // detection job (empty for jobs that don't profile partitions). Sorted
+  // by cell id; concatenated by MergeFrom like the per-slot cost vectors.
+  std::vector<PartitionProfile> partition_profiles;
 
   // Folds another JobStats in: counts and durations add, gauges
   // (blacklisted nodes, wall times, thread count) take the max, per-slot

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "observability/trace.h"
 
 namespace dod {
 
@@ -78,6 +79,12 @@ Status TaskRunner::RunTask(TaskPhase phase, int task_index,
     const ScopedLogTag tag(std::string(TaskPhaseName(phase)) +
                            std::to_string(task_index) + ".a" +
                            std::to_string(attempt));
+    // One trace span per attempt; its args identify the attempt and carry
+    // the injected fault and outcome, so spans reconcile exactly with the
+    // task_attempts / task_failures counters.
+    trace::Span span("task", phase == TaskPhase::kMap ? "map_attempt"
+                                                      : "reduce_attempt");
+    span.Arg("task", task_index).Arg("attempt", attempt);
     StopWatch watch;
     Status status = attempt_body(attempt);
     const double measured = watch.ElapsedSeconds();
@@ -85,6 +92,8 @@ Status TaskRunner::RunTask(TaskPhase phase, int task_index,
     if (status.ok() && fault == FaultKind::kTaskFailure) {
       status = Status::Unavailable("injected task-failure");
     }
+    if (fault != FaultKind::kNone) span.Arg("fault", FaultKindName(fault));
+    span.Arg("status", status.ok() ? "ok" : "failed");
     if (!status.ok()) {
       // The attempt did its work before dying; its slot time is spent.
       slot_costs.push_back(measured + extra_seconds + backoff);
@@ -109,6 +118,22 @@ Status TaskRunner::RunTask(TaskPhase phase, int task_index,
             injector_.TaskFault(phase, task_index, dup_attempt);
         ++task_stats.task_attempts;
         ++task_stats.speculative_attempts;
+        {
+          // The duplicate is simulated (charged, not re-executed), but it
+          // is an attempt: give it its own zero-length span so span counts
+          // keep matching task_attempts.
+          trace::Span dup_span("task", phase == TaskPhase::kMap
+                                           ? "map_attempt"
+                                           : "reduce_attempt");
+          dup_span.Arg("task", task_index)
+              .Arg("attempt", dup_attempt)
+              .Arg("speculative", 1);
+          if (dup_fault != FaultKind::kNone) {
+            dup_span.Arg("fault", FaultKindName(dup_fault));
+          }
+          dup_span.Arg("status",
+                       dup_fault == FaultKind::kTaskFailure ? "failed" : "ok");
+        }
         const double dup_cost =
             dup_fault == FaultKind::kStraggler
                 ? (measured + extra_seconds) * multiplier

@@ -1,0 +1,342 @@
+// Copyright 2026 The DOD Authors.
+
+#include "observability/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "common/status.h"
+
+namespace dod {
+
+int HistogramBucket(double value) {
+  if (!(value > 0.0)) return 0;  // <= 0 and NaN
+  if (std::isinf(value)) return kHistogramBuckets - 1;
+  const int bucket = std::ilogb(value) + 33;
+  return std::clamp(bucket, 1, kHistogramBuckets - 1);
+}
+
+double HistogramBucketLowerBound(int bucket) {
+  if (bucket <= 0) return 0.0;
+  return std::ldexp(1.0, bucket - 33);
+}
+
+bool IsTimingMetric(std::string_view name) {
+  constexpr std::string_view kSuffix = "_seconds";
+  return name.size() >= kSuffix.size() &&
+         name.substr(name.size() - kSuffix.size()) == kSuffix;
+}
+
+// One thread's (or the retired aggregate's) storage: dense arrays of
+// relaxed atomics. Each live shard has a single writer (its owning
+// thread); atomics exist so Snapshot() may read concurrently without a
+// data race. C++20 value-initializes default-constructed atomics, so a
+// freshly constructed Shard is all zeros.
+struct MetricsRegistry::Shard {
+  std::atomic<uint64_t> counters[kMaxCounters];
+  std::atomic<uint64_t> gauge_count[kMaxGauges];
+  std::atomic<double> gauge_max[kMaxGauges];
+  std::atomic<uint64_t> hist_count[kMaxHistograms];
+  std::atomic<double> hist_sum[kMaxHistograms];
+  std::atomic<uint64_t> hist_buckets[kMaxHistograms][kHistogramBuckets];
+
+  void Zero() {
+    for (auto& c : counters) c.store(0, std::memory_order_relaxed);
+    for (auto& c : gauge_count) c.store(0, std::memory_order_relaxed);
+    for (auto& c : gauge_max) c.store(0.0, std::memory_order_relaxed);
+    for (auto& c : hist_count) c.store(0, std::memory_order_relaxed);
+    for (auto& c : hist_sum) c.store(0.0, std::memory_order_relaxed);
+    for (auto& row : hist_buckets) {
+      for (auto& c : row) c.store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+// Registered per thread on first update; the destructor folds the shard
+// back into the registry when the thread exits. Main-thread thread-locals
+// destroy before static-storage objects ([basic.start.term]), so the
+// handle never outlives the Global() registry.
+struct MetricsRegistry::ShardHandle {
+  MetricsRegistry* registry = nullptr;
+  Shard* shard = nullptr;
+  ~ShardHandle() {
+    if (registry != nullptr && shard != nullptr) registry->Retire(shard);
+  }
+};
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::MetricsRegistry() : retired_(new Shard()) {}
+
+MetricsRegistry::~MetricsRegistry() {
+  delete retired_;
+  // Live shards belong to still-running threads; by the time statics are
+  // destroyed only the main thread remains and its handle has already
+  // retired (thread-locals destroy first), so this is normally empty.
+  for (Shard* shard : live_shards_) delete shard;
+}
+
+MetricsRegistry::Shard* MetricsRegistry::LocalShard() {
+  thread_local ShardHandle handle;
+  if (handle.shard == nullptr) {
+    auto shard = std::make_unique<Shard>();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      live_shards_.push_back(shard.get());
+    }
+    handle.registry = this;
+    handle.shard = shard.release();
+  }
+  return handle.shard;
+}
+
+void MetricsRegistry::Retire(Shard* shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FoldShard(*shard, *retired_);
+  live_shards_.erase(
+      std::remove(live_shards_.begin(), live_shards_.end(), shard),
+      live_shards_.end());
+  delete shard;
+}
+
+void MetricsRegistry::FoldShard(const Shard& shard, Shard& into) {
+  auto add = [](const std::atomic<uint64_t>& src, std::atomic<uint64_t>& dst) {
+    const uint64_t v = src.load(std::memory_order_relaxed);
+    if (v != 0) {
+      dst.store(dst.load(std::memory_order_relaxed) + v,
+                std::memory_order_relaxed);
+    }
+  };
+  for (int i = 0; i < kMaxCounters; ++i) add(shard.counters[i], into.counters[i]);
+  for (int i = 0; i < kMaxGauges; ++i) {
+    const uint64_t n = shard.gauge_count[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    add(shard.gauge_count[i], into.gauge_count[i]);
+    const double v = shard.gauge_max[i].load(std::memory_order_relaxed);
+    const double cur = into.gauge_max[i].load(std::memory_order_relaxed);
+    into.gauge_max[i].store(std::max(cur, v), std::memory_order_relaxed);
+  }
+  for (int i = 0; i < kMaxHistograms; ++i) {
+    const uint64_t n = shard.hist_count[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    add(shard.hist_count[i], into.hist_count[i]);
+    const double v = shard.hist_sum[i].load(std::memory_order_relaxed);
+    into.hist_sum[i].store(
+        into.hist_sum[i].load(std::memory_order_relaxed) + v,
+        std::memory_order_relaxed);
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      add(shard.hist_buckets[i][b], into.hist_buckets[i][b]);
+    }
+  }
+}
+
+uint32_t MetricsRegistry::Id(std::string_view name, MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint32_t n = num_metrics_.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (infos_[i].name == name) {
+      DOD_CHECK_MSG(infos_[i].kind == kind,
+                    "metric registered with a different kind: " +
+                        std::string(name));
+      return i;
+    }
+  }
+  uint32_t dense = 0;
+  switch (kind) {
+    case MetricKind::kCounter:
+      DOD_CHECK_MSG(num_counters_ < kMaxCounters, "counter space exhausted");
+      dense = num_counters_++;
+      break;
+    case MetricKind::kGauge:
+      DOD_CHECK_MSG(num_gauges_ < kMaxGauges, "gauge space exhausted");
+      dense = num_gauges_++;
+      break;
+    case MetricKind::kHistogram:
+      DOD_CHECK_MSG(num_histograms_ < kMaxHistograms,
+                    "histogram space exhausted");
+      dense = num_histograms_++;
+      break;
+  }
+  infos_[n].name = std::string(name);
+  infos_[n].kind = kind;
+  infos_[n].dense = dense;
+  num_metrics_.store(n + 1, std::memory_order_release);
+  return n;
+}
+
+void MetricsRegistry::Increment(uint32_t id, uint64_t delta) {
+  DOD_CHECK(id < num_metrics_.load(std::memory_order_acquire));
+  const MetricInfo& info = infos_[id];
+  DOD_CHECK(info.kind == MetricKind::kCounter);
+  auto& cell = LocalShard()->counters[info.dense];
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+void MetricsRegistry::SetMax(uint32_t id, double value) {
+  DOD_CHECK(id < num_metrics_.load(std::memory_order_acquire));
+  const MetricInfo& info = infos_[id];
+  DOD_CHECK(info.kind == MetricKind::kGauge);
+  Shard* shard = LocalShard();
+  auto& count = shard->gauge_count[info.dense];
+  auto& max = shard->gauge_max[info.dense];
+  const uint64_t n = count.load(std::memory_order_relaxed);
+  const double cur = max.load(std::memory_order_relaxed);
+  max.store(n == 0 ? value : std::max(cur, value),
+            std::memory_order_relaxed);
+  count.store(n + 1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Observe(uint32_t id, double value) {
+  DOD_CHECK(id < num_metrics_.load(std::memory_order_acquire));
+  const MetricInfo& info = infos_[id];
+  DOD_CHECK(info.kind == MetricKind::kHistogram);
+  Shard* shard = LocalShard();
+  auto& count = shard->hist_count[info.dense];
+  auto& sum = shard->hist_sum[info.dense];
+  auto& bucket = shard->hist_buckets[info.dense][HistogramBucket(value)];
+  count.store(count.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+  sum.store(sum.load(std::memory_order_relaxed) + value,
+            std::memory_order_relaxed);
+  bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto acc = std::make_unique<Shard>();
+  FoldShard(*retired_, *acc);
+  for (const Shard* shard : live_shards_) FoldShard(*shard, *acc);
+
+  const uint32_t n = num_metrics_.load(std::memory_order_relaxed);
+  std::vector<MetricSnapshot> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const MetricInfo& info = infos_[i];
+    MetricSnapshot snapshot;
+    snapshot.name = info.name;
+    snapshot.kind = info.kind;
+    switch (info.kind) {
+      case MetricKind::kCounter:
+        snapshot.count = acc->counters[info.dense].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kGauge:
+        snapshot.count = acc->gauge_count[info.dense].load(std::memory_order_relaxed);
+        snapshot.value = acc->gauge_max[info.dense].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram:
+        snapshot.count = acc->hist_count[info.dense].load(std::memory_order_relaxed);
+        snapshot.value = acc->hist_sum[info.dense].load(std::memory_order_relaxed);
+        snapshot.buckets.resize(kHistogramBuckets);
+        for (int b = 0; b < kHistogramBuckets; ++b) {
+          snapshot.buckets[static_cast<size_t>(b)] =
+              acc->hist_buckets[info.dense][b].load(std::memory_order_relaxed);
+        }
+        break;
+    }
+    out.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retired_->Zero();
+  for (Shard* shard : live_shards_) shard->Zero();
+}
+
+namespace {
+
+void AppendJsonString(std::string& out, std::string_view text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendJsonDouble(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshotJson(const std::vector<MetricSnapshot>& snapshots) {
+  std::vector<const MetricSnapshot*> sorted;
+  sorted.reserve(snapshots.size());
+  for (const MetricSnapshot& s : snapshots) sorted.push_back(&s);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const MetricSnapshot* a, const MetricSnapshot* b) {
+              return a->name < b->name;
+            });
+
+  std::string out = "{";
+  for (const MetricKind kind : {MetricKind::kCounter, MetricKind::kGauge,
+                                MetricKind::kHistogram}) {
+    switch (kind) {
+      case MetricKind::kCounter: out += "\"counters\":{"; break;
+      case MetricKind::kGauge: out += ",\"gauges\":{"; break;
+      case MetricKind::kHistogram: out += ",\"histograms\":{"; break;
+    }
+    bool first = true;
+    for (const MetricSnapshot* s : sorted) {
+      if (s->kind != kind) continue;
+      if (!first) out += ',';
+      first = false;
+      AppendJsonString(out, s->name);
+      out += ':';
+      switch (kind) {
+        case MetricKind::kCounter:
+          out += std::to_string(s->count);
+          break;
+        case MetricKind::kGauge:
+          out += "{\"count\":" + std::to_string(s->count) + ",\"max\":";
+          AppendJsonDouble(out, s->value);
+          out += '}';
+          break;
+        case MetricKind::kHistogram: {
+          out += "{\"count\":" + std::to_string(s->count) + ",\"sum\":";
+          AppendJsonDouble(out, s->value);
+          out += ",\"buckets\":[";
+          bool first_bucket = true;
+          for (size_t b = 0; b < s->buckets.size(); ++b) {
+            if (s->buckets[b] == 0) continue;
+            if (!first_bucket) out += ',';
+            first_bucket = false;
+            out += "{\"lo\":";
+            AppendJsonDouble(out, HistogramBucketLowerBound(static_cast<int>(b)));
+            out += ",\"count\":" + std::to_string(s->buckets[b]) + '}';
+          }
+          out += "]}";
+          break;
+        }
+      }
+    }
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace dod

@@ -1,0 +1,154 @@
+// Copyright 2026 The DOD Authors.
+//
+// A lock-cheap process-wide metrics registry: counters, gauges and
+// histograms with fixed log2 bucketing, usable from mappers, reducers,
+// detectors and kernels without serializing the hot path.
+//
+// Design: every metric name is registered once (under a mutex) and mapped
+// to a small dense id; updates go to a per-thread shard of plain relaxed
+// atomics indexed by that id — no lock, no contention, no false sharing
+// with the registration path. When a thread exits, its shard is folded
+// into a retired aggregate; Snapshot() merges the retired aggregate with
+// every live shard. Because every fold is a per-cell sum (or max, for
+// gauges), the merge is associative and order-independent — the same
+// algebra as JobStats::MergeFrom — so identical work produces identical
+// snapshots regardless of which thread did what in which order.
+//
+// Determinism convention: metrics whose name ends in "_seconds" hold
+// wall-clock measurements and are exempt from run-to-run determinism
+// (their *counts* are still deterministic, their values are not); every
+// other metric must be bit-identical across runs with the same seed and
+// configuration. IsTimingMetric() tests the convention; the observability
+// determinism test enforces it.
+
+#ifndef DOD_OBSERVABILITY_METRICS_H_
+#define DOD_OBSERVABILITY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dod {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// Histograms use a fixed log2 bucketing: bucket 0 holds values <= 0 (and
+// NaN); bucket b in [1, 63] holds values in [2^(b-33), 2^(b-32)), so the
+// covered range spans ~2e-10 (sub-nanosecond timings) to ~2e9 (large
+// counts). Values outside clamp to the first/last bucket.
+inline constexpr int kHistogramBuckets = 64;
+
+// Bucket index for a value (always in [0, kHistogramBuckets)).
+int HistogramBucket(double value);
+
+// Inclusive lower bound of a bucket; 0.0 for bucket 0.
+double HistogramBucketLowerBound(int bucket);
+
+// True when `name` follows the timing-metric naming convention (ends in
+// "_seconds") and is therefore exempt from value determinism.
+bool IsTimingMetric(std::string_view name);
+
+// One metric's merged view at Snapshot() time.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  // kCounter: total count. kGauge: number of Set() calls (0 = never set).
+  // kHistogram: number of observations.
+  uint64_t count = 0;
+  // kGauge: max of all Set() values. kHistogram: sum of observations.
+  double value = 0.0;
+  // kHistogram only: per-bucket observation counts.
+  std::vector<uint64_t> buckets;
+};
+
+// The process-wide registry. Use through MetricsRegistry::Global(); the
+// constructor is private so there is exactly one id space and one set of
+// thread shards.
+class MetricsRegistry {
+ public:
+  // Capacity of the dense id space per kind; registration aborts beyond
+  // it (metric names are static program vocabulary, not data).
+  static constexpr int kMaxCounters = 256;
+  static constexpr int kMaxGauges = 64;
+  static constexpr int kMaxHistograms = 64;
+
+  static MetricsRegistry& Global();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registers (or looks up) `name` and returns its stable handle. The
+  // kind must match the original registration. Cheap enough for cold
+  // paths; hot paths should cache the handle in a function-local static.
+  uint32_t Id(std::string_view name, MetricKind kind);
+
+  // Hot-path updates by handle: a relaxed atomic add/max on this thread's
+  // shard.
+  void Increment(uint32_t id, uint64_t delta = 1);
+  void SetMax(uint32_t id, double value);   // gauge: retains the max
+  void Observe(uint32_t id, double value);  // histogram
+
+  // Name-resolving conveniences for cold paths.
+  void IncrementCounter(std::string_view name, uint64_t delta = 1) {
+    Increment(Id(name, MetricKind::kCounter), delta);
+  }
+  void SetGauge(std::string_view name, double value) {
+    SetMax(Id(name, MetricKind::kGauge), value);
+  }
+  void ObserveHistogram(std::string_view name, double value) {
+    Observe(Id(name, MetricKind::kHistogram), value);
+  }
+
+  // Merged view of every registered metric, in registration order.
+  // Safe to call concurrently with updates (updates are atomic; a racing
+  // snapshot sees each cell's value at some point in time).
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  // Zeroes every value (live shards and the retired aggregate) while
+  // keeping registrations, so handles stay valid. Call only at quiescent
+  // points (between runs); concurrent updates may be lost, not corrupted.
+  void Reset();
+
+ private:
+  struct Shard;
+  struct ShardHandle;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  Shard* LocalShard();
+  void Retire(Shard* shard);
+  static void FoldShard(const Shard& shard, Shard& into);
+
+  struct MetricInfo {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    uint32_t dense = 0;  // index within the kind's shard array
+  };
+
+  // infos_/num_metrics_ form an append-only registry: writers append under
+  // mutex_ then release-store the count; readers acquire-load the count
+  // and index below it without locking.
+  MetricInfo infos_[kMaxCounters + kMaxGauges + kMaxHistograms];
+  std::atomic<uint32_t> num_metrics_{0};
+  uint32_t num_counters_ = 0;
+  uint32_t num_gauges_ = 0;
+  uint32_t num_histograms_ = 0;
+
+  mutable std::mutex mutex_;
+  std::vector<Shard*> live_shards_;
+  Shard* retired_;  // owned; aggregate of every exited thread's shard
+};
+
+// Serializes snapshots as a JSON object:
+//   {"counters":{...},"gauges":{...},"histograms":{...}}
+// Metrics sort by name, so the output is deterministic for deterministic
+// values regardless of registration order.
+std::string MetricsSnapshotJson(const std::vector<MetricSnapshot>& snapshots);
+
+}  // namespace dod
+
+#endif  // DOD_OBSERVABILITY_METRICS_H_

@@ -1,0 +1,222 @@
+// Copyright 2026 The DOD Authors.
+
+#include "observability/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+namespace dod::trace {
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+Status WriteTraceFile(const std::string& path,
+                      const std::vector<TraceEvent>& events) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open trace file for writing: " + path);
+  }
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(out, event.name);
+    out += "\",\"cat\":\"";
+    AppendEscaped(out, event.category);
+    out += "\",\"ph\":\"X\"";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f", event.ts_us,
+                  event.dur_us);
+    out += buf;
+    out += ",\"pid\":1,\"tid\":" + std::to_string(event.tid);
+    out += ",\"args\":{" + event.args + "}}";
+  }
+  out += "]}\n";
+  const size_t written = std::fwrite(out.data(), 1, out.size(), file);
+  const int close_error = std::fclose(file);
+  if (written != out.size() || close_error != 0) {
+    return Status::IoError("short write to trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+#if !defined(DOD_TRACING_DISABLED)
+
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Global event store. Live per-thread buffers register here; exiting
+// threads (and snapshots) fold them into `done`.
+struct Collector {
+  std::mutex mutex;
+  std::vector<std::vector<TraceEvent>> done;
+  std::vector<std::vector<TraceEvent>*> live;
+  Clock::time_point epoch = Clock::now();
+  std::atomic<uint32_t> next_tid{0};
+};
+
+Collector& GetCollector() {
+  static Collector collector;
+  return collector;
+}
+
+struct ThreadBuffer {
+  std::vector<TraceEvent> events;
+  uint32_t tid = 0;
+  bool registered = false;
+  ~ThreadBuffer() {
+    if (!registered) return;
+    Collector& collector = GetCollector();
+    std::lock_guard<std::mutex> lock(collector.mutex);
+    if (!events.empty()) collector.done.push_back(std::move(events));
+    collector.live.erase(
+        std::remove(collector.live.begin(), collector.live.end(), &events),
+        collector.live.end());
+  }
+};
+
+ThreadBuffer& GetThreadBuffer() {
+  thread_local ThreadBuffer buffer;
+  if (!buffer.registered) {
+    Collector& collector = GetCollector();
+    std::lock_guard<std::mutex> lock(collector.mutex);
+    collector.live.push_back(&buffer.events);
+    buffer.tid = collector.next_tid.fetch_add(1, std::memory_order_relaxed);
+    buffer.registered = true;
+  }
+  return buffer;
+}
+
+}  // namespace
+
+void Record(TraceEvent&& event) {
+  GetThreadBuffer().events.push_back(std::move(event));
+}
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   GetCollector().epoch)
+      .count();
+}
+
+uint32_t ThreadId() { return GetThreadBuffer().tid; }
+
+}  // namespace internal
+
+void Start() {
+  Clear();
+  internal::GetCollector().epoch = internal::Clock::now();
+  internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Stop() { internal::g_enabled.store(false, std::memory_order_relaxed); }
+
+void Clear() {
+  internal::Collector& collector = internal::GetCollector();
+  std::lock_guard<std::mutex> lock(collector.mutex);
+  collector.done.clear();
+  for (std::vector<TraceEvent>* buffer : collector.live) buffer->clear();
+}
+
+std::vector<TraceEvent> SnapshotEvents() {
+  internal::Collector& collector = internal::GetCollector();
+  std::lock_guard<std::mutex> lock(collector.mutex);
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : collector.done) {
+    out.insert(out.end(), buffer.begin(), buffer.end());
+  }
+  for (const std::vector<TraceEvent>* buffer : collector.live) {
+    out.insert(out.end(), buffer->begin(), buffer->end());
+  }
+  return out;
+}
+
+Status WriteChromeJson(const std::string& path) {
+  std::vector<TraceEvent> events = SnapshotEvents();
+  // Normalize: order events by content, then rename thread ids densely in
+  // that order — two runs of the same workload differ only in ts/dur.
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              const int cat = std::string_view(a.category)
+                                  .compare(std::string_view(b.category));
+              if (cat != 0) return cat < 0;
+              const int name =
+                  std::string_view(a.name).compare(std::string_view(b.name));
+              if (name != 0) return name < 0;
+              if (a.args != b.args) return a.args < b.args;
+              return a.ts_us < b.ts_us;
+            });
+  std::map<uint32_t, uint32_t> tid_remap;
+  for (TraceEvent& event : events) {
+    const auto [it, inserted] = tid_remap.emplace(
+        event.tid, static_cast<uint32_t>(tid_remap.size()));
+    event.tid = it->second;
+  }
+  return WriteTraceFile(path, events);
+}
+
+Span& Span::Arg(const char* key, double value) {
+  if (active_) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    AppendArg(key, buf);
+  }
+  return *this;
+}
+
+Span& Span::Arg(const char* key, const char* value) {
+  if (active_) {
+    std::string rendered = "\"";
+    AppendEscaped(rendered, value);
+    rendered += '"';
+    AppendArg(key, rendered);
+  }
+  return *this;
+}
+
+void Span::AppendArg(const char* key, std::string_view rendered) {
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  AppendEscaped(args_, key);
+  args_ += "\":";
+  args_ += rendered;
+}
+
+#else  // DOD_TRACING_DISABLED
+
+Status WriteChromeJson(const std::string& path) {
+  return WriteTraceFile(path, {});
+}
+
+#endif  // DOD_TRACING_DISABLED
+
+}  // namespace dod::trace

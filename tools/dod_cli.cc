@@ -24,6 +24,9 @@
 #include "io/binary.h"
 #include "io/csv.h"
 #include "kernels/kernel_mode.h"
+#include "observability/metrics.h"
+#include "observability/profile.h"
+#include "observability/trace.h"
 
 namespace {
 
@@ -77,6 +80,13 @@ Output:
   --out PATH             write outlier coordinates (.csv or .bin)
   --plan-out PATH        write the multi-tactic plan
   --verbose              per-stage and per-plan diagnostics
+
+Observability:
+  --trace_out PATH       write a Chrome trace of the run (one span per
+                         pipeline phase and per task attempt; open at
+                         chrome://tracing or ui.perfetto.dev)
+  --metrics_out PATH     write the metrics registry plus per-partition
+                         predicted-vs-measured cost snapshots as JSON
 )";
 
 int Fail(const std::string& message) {
@@ -309,15 +319,42 @@ int main(int argc, char** argv) {
   const bool verbose = flags.GetBoolOr("verbose", false);
   const std::string out_path = flags.GetStringOr("out", "");
   const std::string plan_path = flags.GetStringOr("plan-out", "");
+  const std::string trace_path = flags.GetStringOr("trace_out", "");
+  const std::string metrics_path = flags.GetStringOr("metrics_out", "");
   const std::vector<std::string> unused = flags.UnusedFlags();
   if (!unused.empty()) {
     return Fail("unknown flag --" + unused.front() + " (see --help)");
   }
 
+  if (!trace_path.empty()) dod::trace::Start();
   dod::DodPipeline pipeline(config.value());
   const dod::Result<dod::DodResult> run = pipeline.Run(data.value());
+  if (!trace_path.empty()) {
+    // Written even when the run failed: a trace of a failed run is the
+    // most useful one.
+    dod::trace::Stop();
+    const dod::Status status = dod::trace::WriteChromeJson(trace_path);
+    if (!status.ok()) return Fail(status.ToString());
+  }
   if (!run.ok()) return Fail(run.status().ToString());
   const dod::DodResult& result = run.value();
+  if (!trace_path.empty()) {
+    std::printf("wrote trace to %s\n", trace_path.c_str());
+  }
+
+  if (!metrics_path.empty()) {
+    const std::string json = dod::ObservabilityReportJson(
+        dod::MetricsRegistry::Global().Snapshot(),
+        result.detect_stats.partition_profiles);
+    std::FILE* file = std::fopen(metrics_path.c_str(), "w");
+    if (file == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), file) != json.size() ||
+        std::fputc('\n', file) == EOF || std::fclose(file) != 0) {
+      if (file != nullptr) std::fclose(file);
+      return Fail("cannot write metrics to " + metrics_path);
+    }
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
 
   std::fputs(
       dod::FormatRunReport(config.value(), result, data.value().size())

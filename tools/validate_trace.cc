@@ -1,0 +1,182 @@
+// Copyright 2026 The DOD Authors.
+//
+// validate_trace — schema checker for the observability artifacts dod_cli
+// emits (--trace_out / --metrics_out). Used by CI to assert that a faulted
+// multi-threaded run produced a Chrome-loadable trace with one span per
+// task attempt and a metrics dump with populated per-partition cost rows.
+//
+//   validate_trace --trace trace.json --metrics metrics.json
+//                  [--min_task_spans N] [--min_partitions N]
+//
+// Exits 0 when both documents validate, 1 with a diagnostic otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/flags.h"
+#include "observability/json.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "validate_trace: %s\n", message.c_str());
+  return EXIT_FAILURE;
+}
+
+dod::Result<dod::JsonValue> LoadJson(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return dod::Status::InvalidArgument("cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  dod::Result<dod::JsonValue> parsed = dod::JsonValue::Parse(text);
+  if (!parsed.ok()) {
+    return dod::Status::InvalidArgument(path + ": " +
+                                        parsed.status().message());
+  }
+  return parsed;
+}
+
+// Chrome trace event format: every complete ("ph":"X") event must carry
+// name/cat/ts/dur/pid/tid. https://chromium.org trace_event format doc.
+int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans) {
+  if (!doc.is_object()) return Fail("trace: top level is not an object");
+  if (!doc.Has("traceEvents") || !doc.Get("traceEvents").is_array()) {
+    return Fail("trace: missing traceEvents array");
+  }
+  const auto& events = doc.Get("traceEvents").array();
+  if (events.empty()) return Fail("trace: traceEvents is empty");
+
+  long long task_spans = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const dod::JsonValue& event = events[i];
+    const std::string where = "trace: event " + std::to_string(i);
+    if (!event.is_object()) return Fail(where + " is not an object");
+    for (const char* key : {"name", "cat", "ph"}) {
+      if (!event.Get(key).is_string()) {
+        return Fail(where + ": missing string field \"" + key + "\"");
+      }
+    }
+    if (event.Get("ph").string_value() != "X") {
+      return Fail(where + ": ph is not \"X\"");
+    }
+    for (const char* key : {"ts", "dur", "pid", "tid"}) {
+      if (!event.Get(key).is_number()) {
+        return Fail(where + ": missing numeric field \"" + key + "\"");
+      }
+    }
+    if (event.Get("ts").number_value() < 0 ||
+        event.Get("dur").number_value() < 0) {
+      return Fail(where + ": negative ts/dur");
+    }
+    if (event.Get("cat").string_value() == "task") ++task_spans;
+  }
+  if (task_spans < min_task_spans) {
+    return Fail("trace: " + std::to_string(task_spans) +
+                " task spans, expected >= " + std::to_string(min_task_spans));
+  }
+  std::printf("trace ok: %zu events, %lld task spans\n", events.size(),
+              task_spans);
+  return EXIT_SUCCESS;
+}
+
+int ValidateMetrics(const dod::JsonValue& doc, long long min_partitions) {
+  if (!doc.is_object()) return Fail("metrics: top level is not an object");
+  const dod::JsonValue& metrics = doc.Get("metrics");
+  if (!metrics.is_object()) return Fail("metrics: missing metrics object");
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    if (!metrics.Get(section).is_object()) {
+      return Fail(std::string("metrics: missing section \"") + section +
+                  "\"");
+    }
+  }
+  if (metrics.Get("counters").object().empty()) {
+    return Fail("metrics: no counters recorded");
+  }
+  for (const auto& [name, value] : metrics.Get("counters").object()) {
+    if (!value.is_number()) {
+      return Fail("metrics: counter \"" + name + "\" is not a number");
+    }
+  }
+  for (const auto& [name, value] : metrics.Get("histograms").object()) {
+    if (!value.Get("count").is_number() || !value.Get("sum").is_number() ||
+        !value.Get("buckets").is_array()) {
+      return Fail("metrics: histogram \"" + name + "\" malformed");
+    }
+  }
+
+  const dod::JsonValue& profiles = doc.Get("partition_profiles");
+  if (!profiles.is_array()) {
+    return Fail("metrics: missing partition_profiles array");
+  }
+  if (static_cast<long long>(profiles.array().size()) < min_partitions) {
+    return Fail("metrics: " + std::to_string(profiles.array().size()) +
+                " partition profiles, expected >= " +
+                std::to_string(min_partitions));
+  }
+  for (size_t i = 0; i < profiles.array().size(); ++i) {
+    const dod::JsonValue& profile = profiles.array()[i];
+    const std::string where = "metrics: profile " + std::to_string(i);
+    if (!profile.Get("algorithm").is_string()) {
+      return Fail(where + ": missing algorithm");
+    }
+    for (const char* key :
+         {"cell", "core_points", "support_points", "area", "density",
+          "predicted_cost", "measured_distance_evals", "measured_seconds"}) {
+      if (!profile.Get(key).is_number()) {
+        return Fail(where + ": missing numeric field \"" + key + "\"");
+      }
+    }
+    // "Populated" means the planner actually priced the partition and the
+    // reducer actually measured it; empty husks fail CI.
+    if (profile.Get("predicted_cost").number_value() <= 0.0) {
+      return Fail(where + ": predicted_cost not populated");
+    }
+  }
+  std::printf("metrics ok: %zu counters, %zu partition profiles\n",
+              metrics.Get("counters").object().size(),
+              profiles.array().size());
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dod::Result<dod::FlagParser> parsed =
+      dod::FlagParser::Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
+  const dod::FlagParser& flags = parsed.value();
+
+  const std::string trace_path = flags.GetStringOr("trace", "");
+  const std::string metrics_path = flags.GetStringOr("metrics", "");
+  const long long min_task_spans =
+      flags.GetInt("min_task_spans", 1).ValueOrDie();
+  const long long min_partitions =
+      flags.GetInt("min_partitions", 1).ValueOrDie();
+  if (trace_path.empty() && metrics_path.empty()) {
+    return Fail("nothing to do: pass --trace and/or --metrics");
+  }
+  const std::vector<std::string> unused = flags.UnusedFlags();
+  if (!unused.empty()) return Fail("unknown flag --" + unused.front());
+
+  if (!trace_path.empty()) {
+    const dod::Result<dod::JsonValue> doc = LoadJson(trace_path);
+    if (!doc.ok()) return Fail(doc.status().ToString());
+    if (ValidateTrace(doc.value(), min_task_spans) != EXIT_SUCCESS) {
+      return EXIT_FAILURE;
+    }
+  }
+  if (!metrics_path.empty()) {
+    const dod::Result<dod::JsonValue> doc = LoadJson(metrics_path);
+    if (!doc.ok()) return Fail(doc.status().ToString());
+    if (ValidateMetrics(doc.value(), min_partitions) != EXIT_SUCCESS) {
+      return EXIT_FAILURE;
+    }
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_allocation.dir/abl_allocation.cc.o"
+  "CMakeFiles/abl_allocation.dir/abl_allocation.cc.o.d"
+  "abl_allocation"
+  "abl_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_minibuckets.dir/abl_minibuckets.cc.o"
+  "CMakeFiles/abl_minibuckets.dir/abl_minibuckets.cc.o.d"
+  "abl_minibuckets"
+  "abl_minibuckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_minibuckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sampling_rate.dir/abl_sampling_rate.cc.o"
+  "CMakeFiles/abl_sampling_rate.dir/abl_sampling_rate.cc.o.d"
+  "abl_sampling_rate"
+  "abl_sampling_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sampling_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

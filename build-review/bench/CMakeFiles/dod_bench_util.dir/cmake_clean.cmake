@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dod_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/dod_bench_util.dir/bench_util.cc.o.d"
+  "libdod_bench_util.a"
+  "libdod_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dod_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

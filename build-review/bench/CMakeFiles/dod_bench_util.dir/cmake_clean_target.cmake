@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdod_bench_util.a"
+)

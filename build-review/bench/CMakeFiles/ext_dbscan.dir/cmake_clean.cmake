@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dbscan.dir/ext_dbscan.cc.o"
+  "CMakeFiles/ext_dbscan.dir/ext_dbscan.cc.o.d"
+  "ext_dbscan"
+  "ext_dbscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_density_sensitivity.dir/fig04_density_sensitivity.cc.o"
+  "CMakeFiles/fig04_density_sensitivity.dir/fig04_density_sensitivity.cc.o.d"
+  "fig04_density_sensitivity"
+  "fig04_density_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_density_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

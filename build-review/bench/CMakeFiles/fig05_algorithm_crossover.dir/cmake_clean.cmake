@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_algorithm_crossover.dir/fig05_algorithm_crossover.cc.o"
+  "CMakeFiles/fig05_algorithm_crossover.dir/fig05_algorithm_crossover.cc.o.d"
+  "fig05_algorithm_crossover"
+  "fig05_algorithm_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_algorithm_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

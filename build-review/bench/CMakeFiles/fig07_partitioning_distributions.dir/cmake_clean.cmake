@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_partitioning_distributions.dir/fig07_partitioning_distributions.cc.o"
+  "CMakeFiles/fig07_partitioning_distributions.dir/fig07_partitioning_distributions.cc.o.d"
+  "fig07_partitioning_distributions"
+  "fig07_partitioning_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_partitioning_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_partitioning_scalability.dir/fig08_partitioning_scalability.cc.o"
+  "CMakeFiles/fig08_partitioning_scalability.dir/fig08_partitioning_scalability.cc.o.d"
+  "fig08_partitioning_scalability"
+  "fig08_partitioning_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_partitioning_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

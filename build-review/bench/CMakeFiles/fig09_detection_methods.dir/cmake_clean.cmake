@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_detection_methods.dir/fig09_detection_methods.cc.o"
+  "CMakeFiles/fig09_detection_methods.dir/fig09_detection_methods.cc.o.d"
+  "fig09_detection_methods"
+  "fig09_detection_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_detection_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

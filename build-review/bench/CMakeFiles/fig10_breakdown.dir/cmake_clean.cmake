@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_breakdown.dir/fig10_breakdown.cc.o"
+  "CMakeFiles/fig10_breakdown.dir/fig10_breakdown.cc.o.d"
+  "fig10_breakdown"
+  "fig10_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_clustering.dir/density_clustering.cpp.o"
+  "CMakeFiles/density_clustering.dir/density_clustering.cpp.o.d"
+  "density_clustering"
+  "density_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/geo_anomalies.cpp" "examples/CMakeFiles/geo_anomalies.dir/geo_anomalies.cpp.o" "gcc" "examples/CMakeFiles/geo_anomalies.dir/geo_anomalies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/dod_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/dod_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/alloc/CMakeFiles/dod_alloc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dshc/CMakeFiles/dod_dshc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/extensions/CMakeFiles/dod_extensions.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/io/CMakeFiles/dod_io.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/partition/CMakeFiles/dod_partition.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/detection/CMakeFiles/dod_detection.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mapreduce/CMakeFiles/dod_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/dod_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernels/CMakeFiles/dod_kernels.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/observability/CMakeFiles/dod_observability.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/dod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_anomalies.dir/geo_anomalies.cpp.o"
+  "CMakeFiles/geo_anomalies.dir/geo_anomalies.cpp.o.d"
+  "geo_anomalies"
+  "geo_anomalies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intrusion_detection.dir/intrusion_detection.cpp.o"
+  "CMakeFiles/intrusion_detection.dir/intrusion_detection.cpp.o.d"
+  "intrusion_detection"
+  "intrusion_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intrusion_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("observability")
+subdirs("kernels")
+subdirs("runtime")
+subdirs("io")
+subdirs("mapreduce")
+subdirs("detection")
+subdirs("partition")
+subdirs("dshc")
+subdirs("alloc")
+subdirs("data")
+subdirs("core")
+subdirs("extensions")

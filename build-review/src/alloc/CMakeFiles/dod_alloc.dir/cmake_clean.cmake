@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dod_alloc.dir/bin_packing.cc.o"
+  "CMakeFiles/dod_alloc.dir/bin_packing.cc.o.d"
+  "libdod_alloc.a"
+  "libdod_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dod_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

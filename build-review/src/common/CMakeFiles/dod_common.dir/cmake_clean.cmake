@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dod_common.dir/bounds.cc.o"
+  "CMakeFiles/dod_common.dir/bounds.cc.o.d"
+  "CMakeFiles/dod_common.dir/dataset.cc.o"
+  "CMakeFiles/dod_common.dir/dataset.cc.o.d"
+  "CMakeFiles/dod_common.dir/flags.cc.o"
+  "CMakeFiles/dod_common.dir/flags.cc.o.d"
+  "CMakeFiles/dod_common.dir/logging.cc.o"
+  "CMakeFiles/dod_common.dir/logging.cc.o.d"
+  "CMakeFiles/dod_common.dir/point.cc.o"
+  "CMakeFiles/dod_common.dir/point.cc.o.d"
+  "CMakeFiles/dod_common.dir/random.cc.o"
+  "CMakeFiles/dod_common.dir/random.cc.o.d"
+  "CMakeFiles/dod_common.dir/stats.cc.o"
+  "CMakeFiles/dod_common.dir/stats.cc.o.d"
+  "CMakeFiles/dod_common.dir/status.cc.o"
+  "CMakeFiles/dod_common.dir/status.cc.o.d"
+  "libdod_common.a"
+  "libdod_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dod_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

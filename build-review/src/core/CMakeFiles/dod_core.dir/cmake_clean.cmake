@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dod_core.dir/config.cc.o"
+  "CMakeFiles/dod_core.dir/config.cc.o.d"
+  "CMakeFiles/dod_core.dir/evaluation.cc.o"
+  "CMakeFiles/dod_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/dod_core.dir/parameter_advisor.cc.o"
+  "CMakeFiles/dod_core.dir/parameter_advisor.cc.o.d"
+  "CMakeFiles/dod_core.dir/pipeline.cc.o"
+  "CMakeFiles/dod_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/dod_core.dir/plan.cc.o"
+  "CMakeFiles/dod_core.dir/plan.cc.o.d"
+  "CMakeFiles/dod_core.dir/plan_io.cc.o"
+  "CMakeFiles/dod_core.dir/plan_io.cc.o.d"
+  "CMakeFiles/dod_core.dir/report.cc.o"
+  "CMakeFiles/dod_core.dir/report.cc.o.d"
+  "libdod_core.a"
+  "libdod_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dod_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

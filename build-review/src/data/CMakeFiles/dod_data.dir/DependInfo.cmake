@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/distort.cc" "src/data/CMakeFiles/dod_data.dir/distort.cc.o" "gcc" "src/data/CMakeFiles/dod_data.dir/distort.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/data/CMakeFiles/dod_data.dir/generators.cc.o" "gcc" "src/data/CMakeFiles/dod_data.dir/generators.cc.o.d"
+  "/root/repo/src/data/geo_like.cc" "src/data/CMakeFiles/dod_data.dir/geo_like.cc.o" "gcc" "src/data/CMakeFiles/dod_data.dir/geo_like.cc.o.d"
+  "/root/repo/src/data/normalize.cc" "src/data/CMakeFiles/dod_data.dir/normalize.cc.o" "gcc" "src/data/CMakeFiles/dod_data.dir/normalize.cc.o.d"
+  "/root/repo/src/data/tiger_like.cc" "src/data/CMakeFiles/dod_data.dir/tiger_like.cc.o" "gcc" "src/data/CMakeFiles/dod_data.dir/tiger_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/dod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

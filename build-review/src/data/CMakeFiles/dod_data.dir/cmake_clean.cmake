@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dod_data.dir/distort.cc.o"
+  "CMakeFiles/dod_data.dir/distort.cc.o.d"
+  "CMakeFiles/dod_data.dir/generators.cc.o"
+  "CMakeFiles/dod_data.dir/generators.cc.o.d"
+  "CMakeFiles/dod_data.dir/geo_like.cc.o"
+  "CMakeFiles/dod_data.dir/geo_like.cc.o.d"
+  "CMakeFiles/dod_data.dir/normalize.cc.o"
+  "CMakeFiles/dod_data.dir/normalize.cc.o.d"
+  "CMakeFiles/dod_data.dir/tiger_like.cc.o"
+  "CMakeFiles/dod_data.dir/tiger_like.cc.o.d"
+  "libdod_data.a"
+  "libdod_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dod_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdod_data.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detection/brute_force.cc" "src/detection/CMakeFiles/dod_detection.dir/brute_force.cc.o" "gcc" "src/detection/CMakeFiles/dod_detection.dir/brute_force.cc.o.d"
+  "/root/repo/src/detection/cell_based.cc" "src/detection/CMakeFiles/dod_detection.dir/cell_based.cc.o" "gcc" "src/detection/CMakeFiles/dod_detection.dir/cell_based.cc.o.d"
+  "/root/repo/src/detection/cost_model.cc" "src/detection/CMakeFiles/dod_detection.dir/cost_model.cc.o" "gcc" "src/detection/CMakeFiles/dod_detection.dir/cost_model.cc.o.d"
+  "/root/repo/src/detection/detector.cc" "src/detection/CMakeFiles/dod_detection.dir/detector.cc.o" "gcc" "src/detection/CMakeFiles/dod_detection.dir/detector.cc.o.d"
+  "/root/repo/src/detection/grid.cc" "src/detection/CMakeFiles/dod_detection.dir/grid.cc.o" "gcc" "src/detection/CMakeFiles/dod_detection.dir/grid.cc.o.d"
+  "/root/repo/src/detection/nested_loop.cc" "src/detection/CMakeFiles/dod_detection.dir/nested_loop.cc.o" "gcc" "src/detection/CMakeFiles/dod_detection.dir/nested_loop.cc.o.d"
+  "/root/repo/src/detection/pivot.cc" "src/detection/CMakeFiles/dod_detection.dir/pivot.cc.o" "gcc" "src/detection/CMakeFiles/dod_detection.dir/pivot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/dod_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernels/CMakeFiles/dod_kernels.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mapreduce/CMakeFiles/dod_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/observability/CMakeFiles/dod_observability.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/dod_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

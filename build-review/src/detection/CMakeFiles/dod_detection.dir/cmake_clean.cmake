@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dod_detection.dir/brute_force.cc.o"
+  "CMakeFiles/dod_detection.dir/brute_force.cc.o.d"
+  "CMakeFiles/dod_detection.dir/cell_based.cc.o"
+  "CMakeFiles/dod_detection.dir/cell_based.cc.o.d"
+  "CMakeFiles/dod_detection.dir/cost_model.cc.o"
+  "CMakeFiles/dod_detection.dir/cost_model.cc.o.d"
+  "CMakeFiles/dod_detection.dir/detector.cc.o"
+  "CMakeFiles/dod_detection.dir/detector.cc.o.d"
+  "CMakeFiles/dod_detection.dir/grid.cc.o"
+  "CMakeFiles/dod_detection.dir/grid.cc.o.d"
+  "CMakeFiles/dod_detection.dir/nested_loop.cc.o"
+  "CMakeFiles/dod_detection.dir/nested_loop.cc.o.d"
+  "CMakeFiles/dod_detection.dir/pivot.cc.o"
+  "CMakeFiles/dod_detection.dir/pivot.cc.o.d"
+  "libdod_detection.a"
+  "libdod_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dod_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dshc/af_tree.cc" "src/dshc/CMakeFiles/dod_dshc.dir/af_tree.cc.o" "gcc" "src/dshc/CMakeFiles/dod_dshc.dir/af_tree.cc.o.d"
+  "/root/repo/src/dshc/aggregate_feature.cc" "src/dshc/CMakeFiles/dod_dshc.dir/aggregate_feature.cc.o" "gcc" "src/dshc/CMakeFiles/dod_dshc.dir/aggregate_feature.cc.o.d"
+  "/root/repo/src/dshc/dshc.cc" "src/dshc/CMakeFiles/dod_dshc.dir/dshc.cc.o" "gcc" "src/dshc/CMakeFiles/dod_dshc.dir/dshc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/dod_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/partition/CMakeFiles/dod_partition.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/detection/CMakeFiles/dod_detection.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernels/CMakeFiles/dod_kernels.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mapreduce/CMakeFiles/dod_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/observability/CMakeFiles/dod_observability.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/dod_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

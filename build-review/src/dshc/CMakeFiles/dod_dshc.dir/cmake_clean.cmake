@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dod_dshc.dir/af_tree.cc.o"
+  "CMakeFiles/dod_dshc.dir/af_tree.cc.o.d"
+  "CMakeFiles/dod_dshc.dir/aggregate_feature.cc.o"
+  "CMakeFiles/dod_dshc.dir/aggregate_feature.cc.o.d"
+  "CMakeFiles/dod_dshc.dir/dshc.cc.o"
+  "CMakeFiles/dod_dshc.dir/dshc.cc.o.d"
+  "libdod_dshc.a"
+  "libdod_dshc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dod_dshc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

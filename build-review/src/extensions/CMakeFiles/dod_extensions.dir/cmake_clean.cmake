@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dod_extensions.dir/dbscan.cc.o"
+  "CMakeFiles/dod_extensions.dir/dbscan.cc.o.d"
+  "CMakeFiles/dod_extensions.dir/knn_outliers.cc.o"
+  "CMakeFiles/dod_extensions.dir/knn_outliers.cc.o.d"
+  "libdod_extensions.a"
+  "libdod_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dod_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dod_io.dir/binary.cc.o"
+  "CMakeFiles/dod_io.dir/binary.cc.o.d"
+  "CMakeFiles/dod_io.dir/block_store.cc.o"
+  "CMakeFiles/dod_io.dir/block_store.cc.o.d"
+  "CMakeFiles/dod_io.dir/csv.cc.o"
+  "CMakeFiles/dod_io.dir/csv.cc.o.d"
+  "libdod_io.a"
+  "libdod_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dod_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/distance_kernels.cc" "src/kernels/CMakeFiles/dod_kernels.dir/distance_kernels.cc.o" "gcc" "src/kernels/CMakeFiles/dod_kernels.dir/distance_kernels.cc.o.d"
+  "/root/repo/src/kernels/distance_kernels_avx2.cc" "src/kernels/CMakeFiles/dod_kernels.dir/distance_kernels_avx2.cc.o" "gcc" "src/kernels/CMakeFiles/dod_kernels.dir/distance_kernels_avx2.cc.o.d"
+  "/root/repo/src/kernels/soa_block.cc" "src/kernels/CMakeFiles/dod_kernels.dir/soa_block.cc.o" "gcc" "src/kernels/CMakeFiles/dod_kernels.dir/soa_block.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/dod_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/observability/CMakeFiles/dod_observability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dod_kernels.dir/distance_kernels.cc.o"
+  "CMakeFiles/dod_kernels.dir/distance_kernels.cc.o.d"
+  "CMakeFiles/dod_kernels.dir/distance_kernels_avx2.cc.o"
+  "CMakeFiles/dod_kernels.dir/distance_kernels_avx2.cc.o.d"
+  "CMakeFiles/dod_kernels.dir/soa_block.cc.o"
+  "CMakeFiles/dod_kernels.dir/soa_block.cc.o.d"
+  "libdod_kernels.a"
+  "libdod_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dod_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/cluster.cc" "src/mapreduce/CMakeFiles/dod_mapreduce.dir/cluster.cc.o" "gcc" "src/mapreduce/CMakeFiles/dod_mapreduce.dir/cluster.cc.o.d"
+  "/root/repo/src/mapreduce/fault_injection.cc" "src/mapreduce/CMakeFiles/dod_mapreduce.dir/fault_injection.cc.o" "gcc" "src/mapreduce/CMakeFiles/dod_mapreduce.dir/fault_injection.cc.o.d"
+  "/root/repo/src/mapreduce/job_stats.cc" "src/mapreduce/CMakeFiles/dod_mapreduce.dir/job_stats.cc.o" "gcc" "src/mapreduce/CMakeFiles/dod_mapreduce.dir/job_stats.cc.o.d"
+  "/root/repo/src/mapreduce/task_runner.cc" "src/mapreduce/CMakeFiles/dod_mapreduce.dir/task_runner.cc.o" "gcc" "src/mapreduce/CMakeFiles/dod_mapreduce.dir/task_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/dod_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/observability/CMakeFiles/dod_observability.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/dod_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dod_mapreduce.dir/cluster.cc.o"
+  "CMakeFiles/dod_mapreduce.dir/cluster.cc.o.d"
+  "CMakeFiles/dod_mapreduce.dir/fault_injection.cc.o"
+  "CMakeFiles/dod_mapreduce.dir/fault_injection.cc.o.d"
+  "CMakeFiles/dod_mapreduce.dir/job_stats.cc.o"
+  "CMakeFiles/dod_mapreduce.dir/job_stats.cc.o.d"
+  "CMakeFiles/dod_mapreduce.dir/task_runner.cc.o"
+  "CMakeFiles/dod_mapreduce.dir/task_runner.cc.o.d"
+  "libdod_mapreduce.a"
+  "libdod_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dod_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/observability/json.cc" "src/observability/CMakeFiles/dod_observability.dir/json.cc.o" "gcc" "src/observability/CMakeFiles/dod_observability.dir/json.cc.o.d"
+  "/root/repo/src/observability/metrics.cc" "src/observability/CMakeFiles/dod_observability.dir/metrics.cc.o" "gcc" "src/observability/CMakeFiles/dod_observability.dir/metrics.cc.o.d"
+  "/root/repo/src/observability/profile.cc" "src/observability/CMakeFiles/dod_observability.dir/profile.cc.o" "gcc" "src/observability/CMakeFiles/dod_observability.dir/profile.cc.o.d"
+  "/root/repo/src/observability/trace.cc" "src/observability/CMakeFiles/dod_observability.dir/trace.cc.o" "gcc" "src/observability/CMakeFiles/dod_observability.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/dod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dod_observability.dir/json.cc.o"
+  "CMakeFiles/dod_observability.dir/json.cc.o.d"
+  "CMakeFiles/dod_observability.dir/metrics.cc.o"
+  "CMakeFiles/dod_observability.dir/metrics.cc.o.d"
+  "CMakeFiles/dod_observability.dir/profile.cc.o"
+  "CMakeFiles/dod_observability.dir/profile.cc.o.d"
+  "CMakeFiles/dod_observability.dir/trace.cc.o"
+  "CMakeFiles/dod_observability.dir/trace.cc.o.d"
+  "libdod_observability.a"
+  "libdod_observability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dod_observability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dod_partition.dir/bisect.cc.o"
+  "CMakeFiles/dod_partition.dir/bisect.cc.o.d"
+  "CMakeFiles/dod_partition.dir/minibucket.cc.o"
+  "CMakeFiles/dod_partition.dir/minibucket.cc.o.d"
+  "CMakeFiles/dod_partition.dir/partition_plan.cc.o"
+  "CMakeFiles/dod_partition.dir/partition_plan.cc.o.d"
+  "CMakeFiles/dod_partition.dir/sampler.cc.o"
+  "CMakeFiles/dod_partition.dir/sampler.cc.o.d"
+  "CMakeFiles/dod_partition.dir/strategies.cc.o"
+  "CMakeFiles/dod_partition.dir/strategies.cc.o.d"
+  "libdod_partition.a"
+  "libdod_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dod_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dod_runtime.dir/parallel_executor.cc.o"
+  "CMakeFiles/dod_runtime.dir/parallel_executor.cc.o.d"
+  "CMakeFiles/dod_runtime.dir/thread_pool.cc.o"
+  "CMakeFiles/dod_runtime.dir/thread_pool.cc.o.d"
+  "libdod_runtime.a"
+  "libdod_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dod_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

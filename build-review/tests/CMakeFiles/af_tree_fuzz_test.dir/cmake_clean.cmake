@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_tree_fuzz_test.dir/af_tree_fuzz_test.cc.o"
+  "CMakeFiles/af_tree_fuzz_test.dir/af_tree_fuzz_test.cc.o.d"
+  "af_tree_fuzz_test"
+  "af_tree_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_tree_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_feature_test.dir/aggregate_feature_test.cc.o"
+  "CMakeFiles/aggregate_feature_test.dir/aggregate_feature_test.cc.o.d"
+  "aggregate_feature_test"
+  "aggregate_feature_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_feature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bin_packing_test.dir/bin_packing_test.cc.o"
+  "CMakeFiles/bin_packing_test.dir/bin_packing_test.cc.o.d"
+  "bin_packing_test"
+  "bin_packing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bin_packing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisect_test.dir/bisect_test.cc.o"
+  "CMakeFiles/bisect_test.dir/bisect_test.cc.o.d"
+  "bisect_test"
+  "bisect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_smoke_test.dir/cli_smoke_test.cc.o"
+  "CMakeFiles/cli_smoke_test.dir/cli_smoke_test.cc.o.d"
+  "cli_smoke_test"
+  "cli_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dshc_test.dir/dshc_test.cc.o"
+  "CMakeFiles/dshc_test.dir/dshc_test.cc.o.d"
+  "dshc_test"
+  "dshc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dshc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

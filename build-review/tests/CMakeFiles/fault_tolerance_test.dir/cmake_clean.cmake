@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerance_test.dir/fault_tolerance_test.cc.o"
+  "CMakeFiles/fault_tolerance_test.dir/fault_tolerance_test.cc.o.d"
+  "fault_tolerance_test"
+  "fault_tolerance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

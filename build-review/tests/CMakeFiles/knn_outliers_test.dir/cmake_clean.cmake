@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_outliers_test.dir/knn_outliers_test.cc.o"
+  "CMakeFiles/knn_outliers_test.dir/knn_outliers_test.cc.o.d"
+  "knn_outliers_test"
+  "knn_outliers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_outliers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

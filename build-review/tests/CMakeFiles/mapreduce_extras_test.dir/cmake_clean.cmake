@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_extras_test.dir/mapreduce_extras_test.cc.o"
+  "CMakeFiles/mapreduce_extras_test.dir/mapreduce_extras_test.cc.o.d"
+  "mapreduce_extras_test"
+  "mapreduce_extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minibucket_test.dir/minibucket_test.cc.o"
+  "CMakeFiles/minibucket_test.dir/minibucket_test.cc.o.d"
+  "minibucket_test"
+  "minibucket_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minibucket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

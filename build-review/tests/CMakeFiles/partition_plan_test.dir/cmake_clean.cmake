@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_plan_test.dir/partition_plan_test.cc.o"
+  "CMakeFiles/partition_plan_test.dir/partition_plan_test.cc.o.d"
+  "partition_plan_test"
+  "partition_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

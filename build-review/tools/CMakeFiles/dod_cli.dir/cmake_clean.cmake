@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dod_cli.dir/dod_cli.cc.o"
+  "CMakeFiles/dod_cli.dir/dod_cli.cc.o.d"
+  "dod_cli"
+  "dod_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dod_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

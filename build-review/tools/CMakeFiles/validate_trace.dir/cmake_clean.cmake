@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_trace.dir/validate_trace.cc.o"
+  "CMakeFiles/validate_trace.dir/validate_trace.cc.o.d"
+  "validate_trace"
+  "validate_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -14,6 +14,7 @@
 #include "detection/cost_model.h"
 #include "dshc/dshc.h"
 #include "mapreduce/cluster.h"
+#include "mapreduce/shuffle.h"
 #include "mapreduce/task_runner.h"
 #include "partition/sampler.h"
 
@@ -65,6 +66,11 @@ struct DodConfig {
   // to the detection and verification MapReduce jobs.
   FaultSpec faults;
   RetryPolicy retry;
+
+  // Reduce-side grouping of the shuffled records. Both modes produce
+  // byte-identical results; kSorted is the escape hatch for the columnar
+  // counting-sort path (see mapreduce/shuffle.h).
+  ShuffleMode shuffle = ShuffleMode::kColumnar;
 
   uint64_t seed = 42;
 

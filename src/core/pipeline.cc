@@ -7,6 +7,9 @@
 #include "common/distance.h"
 #include "common/timer.h"
 #include "detection/brute_force.h"
+#include "detection/partition_view.h"
+#include "kernels/distance_kernels.h"
+#include "kernels/soa_block.h"
 #include "observability/metrics.h"
 #include "observability/profile.h"
 #include "observability/trace.h"
@@ -46,12 +49,32 @@ void RecordPartitionMetrics(const PartitionProfile& profile) {
   metrics.Observe(kSeconds, profile.measured_seconds);
 }
 
-// Shuffle record of the detection job: one point reference plus the core /
-// support tag of Fig. 3 ("0-p" / "1-p").
-struct TaggedPoint {
-  PointId id = 0;
-  bool support = false;
-};
+// Shuffle value of the detection job: one point reference with the core /
+// support tag of Fig. 3 ("0-p" / "1-p") bit-packed into a single word —
+// bit 31 carries the tag, the low 31 bits the point id. Half the in-memory
+// footprint of the old {id, bool} struct, and the whole (cell, value)
+// shuffle pair packs into 8 bytes.
+using TaggedWord = uint32_t;
+
+constexpr TaggedWord kSupportFlag = 0x80000000u;
+
+TaggedWord PackTagged(PointId id, bool support) {
+  DOD_CHECK((id & kSupportFlag) == 0);  // ids fit in 31 bits
+  return id | (support ? kSupportFlag : 0u);
+}
+PointId TaggedId(TaggedWord word) { return word & ~kSupportFlag; }
+bool TaggedSupport(TaggedWord word) { return (word & kSupportFlag) != 0; }
+
+// Per-cell deterministic seed for the detectors' randomized probe order.
+uint64_t CellSeed(uint64_t base, uint32_t cell) {
+  return base ^ (0x9E3779B97F4A7C15ULL * (cell + 1));
+}
+
+// The arena draws each cell's probe-segment permutation from a stream
+// salted with this constant: the detector draws its start offsets from
+// CellSeed directly, and starts drawn from the same stream that produced
+// the permutation would correlate with the slot order they index into.
+constexpr uint64_t kArenaSeedSalt = 0xA5C3D2E1F0B49687ULL;
 
 // Wire size of one shuffled record: coordinates + tag + cell id.
 size_t DetectRecordBytes(int dims) {
@@ -62,7 +85,7 @@ size_t DetectRecordBytes(int dims) {
 // of the split's block to its core cell and its supporting cells. Splits
 // run concurrently on one shared mapper instance, so routing scratch lives
 // on the stack of each Map call.
-class DetectMapper : public Mapper<uint32_t, TaggedPoint> {
+class DetectMapper : public Mapper<uint32_t, TaggedWord> {
  public:
   DetectMapper(const BlockStore& store, const PartitionPlan& plan,
                const PartitionRouter& router, bool emit_support)
@@ -71,17 +94,17 @@ class DetectMapper : public Mapper<uint32_t, TaggedPoint> {
         router_(router),
         emit_support_(emit_support) {}
 
-  void Map(size_t split_index, Emitter<uint32_t, TaggedPoint>& out) override {
+  void Map(size_t split_index, Emitter<uint32_t, TaggedWord>& out) override {
     const Dataset& data = store_.dataset();
     std::vector<uint32_t> support_cells;
     for (PointId id : store_.block(split_index)) {
       const double* p = data[id];
-      out.Emit(router_.RouteCore(p), TaggedPoint{id, false});
+      out.Emit(router_.RouteCore(p), PackTagged(id, false));
       if (emit_support_) {
         support_cells.clear();
         router_.RouteSupport(p, &support_cells);
         for (uint32_t cell : support_cells) {
-          out.Emit(cell, TaggedPoint{id, true});
+          out.Emit(cell, PackTagged(id, true));
         }
       }
     }
@@ -112,65 +135,90 @@ class DetectorSet {
 };
 
 // Reduce side when supporting areas are on: verdicts are final.
-class DetectReducer : public Reducer<uint32_t, TaggedPoint, PointId> {
+//
+// Task-at-a-time: every cell of the reduce task stages into one TaskArena
+// — ids first, then a single shared SoA probe build covering all cells —
+// and each cell is then detected through its zero-copy PartitionView. No
+// per-cell Dataset is materialized and no per-cell probe buffer is built;
+// the arena lives on this attempt's stack, keeping the reducer stateless
+// across concurrent tasks.
+class DetectReducer : public Reducer<uint32_t, TaggedWord, PointId> {
  public:
   DetectReducer(const Dataset& data, const MultiTacticPlan& plan,
                 const DetectionParams& params, PartitionProfiler* profiler)
       : data_(data), plan_(plan), params_(params), profiler_(profiler) {}
 
-  void Reduce(const uint32_t& cell, std::vector<TaggedPoint>& values,
-              std::vector<PointId>& out, Counters& counters) override {
-    // Assemble the partition: core points first, then support points.
-    Dataset partition(data_.dims());
-    partition.Reserve(values.size());
-    std::vector<PointId> ids;
-    ids.reserve(values.size());
-    for (const TaggedPoint& v : values) {
-      if (!v.support) {
-        partition.Append(data_[v.id]);
-        ids.push_back(v.id);
+  Status TryReduceTask(const GroupedView<uint32_t, TaggedWord>& groups,
+                       std::vector<PointId>& out,
+                       Counters& counters) override {
+    // Stage every cell's partition: core points first, then support points
+    // (the same local ordering the per-cell gathering used to produce).
+    TaskArena arena(data_);
+    arena.Reserve(groups.num_groups(), groups.num_records());
+    for (size_t g = 0; g < groups.num_groups(); ++g) {
+      const size_t group_size = groups.size(g);
+      arena.BeginCell();
+      size_t num_core = 0;
+      for (size_t i = 0; i < group_size; ++i) {
+        const TaggedWord record = groups.value(g, i);
+        if (!TaggedSupport(record)) {
+          arena.AddPoint(TaggedId(record));
+          ++num_core;
+        }
       }
+      for (size_t i = 0; i < group_size; ++i) {
+        const TaggedWord record = groups.value(g, i);
+        if (TaggedSupport(record)) arena.AddPoint(TaggedId(record));
+      }
+      arena.EndCell(num_core,
+                    CellSeed(params_.seed, groups.key(g)) ^ kArenaSeedSalt);
     }
-    const size_t num_core = ids.size();
-    for (const TaggedPoint& v : values) {
-      if (v.support) partition.Append(data_[v.id]);
-    }
+    arena.BuildProbes();
 
-    const AlgorithmKind algorithm = plan_.algorithm_plan[cell];
-    PartitionProfile profile;
-    profile.cell = cell;
-    profile.algorithm = AlgorithmKindName(algorithm);
-    profile.core_points = num_core;
-    profile.support_points = values.size() - num_core;
-    profile.area = plan_.partition_plan.cell(cell).bounds.Area();
-    profile.density =
-        profile.area > 0.0 ? static_cast<double>(num_core) / profile.area : 0.0;
-    profile.predicted_cost = cell < plan_.estimated_cost.size()
-                                 ? plan_.estimated_cost[cell]
-                                 : 0.0;
+    for (size_t g = 0; g < groups.num_groups(); ++g) {
+      const uint32_t cell = groups.key(g);
+      const PartitionView view = arena.View(g);
+      const size_t num_core = view.num_core();
 
-    if (num_core > 0) {
-      trace::Span span("detect", "cell");
-      span.Arg("cell", cell)
-          .Arg("algorithm", profile.algorithm.c_str())
-          .Arg("core", num_core)
-          .Arg("support", profile.support_points);
-      const char* eval_counter = EvalCounterName(algorithm);
-      const uint64_t evals_before = counters.Get(eval_counter);
-      StopWatch detect_watch;
-      const Detector& detector = detectors_.For(algorithm);
-      DetectionParams params = params_;
-      params.seed = params_.seed ^ (0x9E3779B97F4A7C15ULL * (cell + 1));
-      const std::vector<uint32_t> local =
-          detector.DetectOutliers(partition, num_core, params, &counters);
-      profile.measured_seconds = detect_watch.ElapsedSeconds();
-      profile.measured_distance_evals =
-          counters.Get(eval_counter) - evals_before;
-      for (uint32_t index : local) out.push_back(ids[index]);
-      counters.Increment(std::string("cells.") + AlgorithmKindName(algorithm));
+      const AlgorithmKind algorithm = plan_.algorithm_plan[cell];
+      PartitionProfile profile;
+      profile.cell = cell;
+      profile.algorithm = AlgorithmKindName(algorithm);
+      profile.core_points = num_core;
+      profile.support_points = view.size() - num_core;
+      profile.area = plan_.partition_plan.cell(cell).bounds.Area();
+      profile.density = profile.area > 0.0
+                            ? static_cast<double>(num_core) / profile.area
+                            : 0.0;
+      profile.predicted_cost = cell < plan_.estimated_cost.size()
+                                   ? plan_.estimated_cost[cell]
+                                   : 0.0;
+
+      if (num_core > 0) {
+        trace::Span span("detect", "cell");
+        span.Arg("cell", cell)
+            .Arg("algorithm", profile.algorithm.c_str())
+            .Arg("core", num_core)
+            .Arg("support", profile.support_points);
+        const char* eval_counter = EvalCounterName(algorithm);
+        const uint64_t evals_before = counters.Get(eval_counter);
+        StopWatch detect_watch;
+        const Detector& detector = detectors_.For(algorithm);
+        DetectionParams params = params_;
+        params.seed = CellSeed(params_.seed, cell);
+        const std::vector<uint32_t> local =
+            detector.DetectOutliers(view, params, &counters);
+        profile.measured_seconds = detect_watch.ElapsedSeconds();
+        profile.measured_distance_evals =
+            counters.Get(eval_counter) - evals_before;
+        for (uint32_t index : local) out.push_back(view.id(index));
+        counters.Increment(std::string("cells.") +
+                           AlgorithmKindName(algorithm));
+      }
+      if (profiler_ != nullptr) profiler_->Record(profile);
+      RecordPartitionMetrics(profile);
     }
-    if (profiler_ != nullptr) profiler_->Record(profile);
-    RecordPartitionMetrics(profile);
+    return Status::Ok();
   }
 
  private:
@@ -191,69 +239,81 @@ struct Candidate {
 
 // Reduce side without supporting areas (Domain baseline job 1): detect
 // locally; inlier verdicts are final, outliers become candidates carrying
-// their partial neighbor counts.
-class DomainDetectReducer : public Reducer<uint32_t, TaggedPoint, Candidate> {
+// their partial neighbor counts. Task-at-a-time like DetectReducer: one
+// shared probe arena per task, zero-copy views per cell, and the partial
+// neighbor counts come off the cell's probe segment with the kernels
+// (cap-free, so the counts stay exact).
+class DomainDetectReducer : public Reducer<uint32_t, TaggedWord, Candidate> {
  public:
   DomainDetectReducer(const Dataset& data, const MultiTacticPlan& plan,
                       const DetectionParams& params,
                       PartitionProfiler* profiler)
       : data_(data), plan_(plan), params_(params), profiler_(profiler) {}
 
-  void Reduce(const uint32_t& cell, std::vector<TaggedPoint>& values,
-              std::vector<Candidate>& out, Counters& counters) override {
-    Dataset partition(data_.dims());
-    partition.Reserve(values.size());
-    std::vector<PointId> ids;
-    ids.reserve(values.size());
-    for (const TaggedPoint& v : values) {
-      partition.Append(data_[v.id]);
-      ids.push_back(v.id);
-    }
-    const AlgorithmKind algorithm = plan_.algorithm_plan[cell];
-    PartitionProfile profile;
-    profile.cell = cell;
-    profile.algorithm = AlgorithmKindName(algorithm);
-    profile.core_points = partition.size();
-    profile.area = plan_.partition_plan.cell(cell).bounds.Area();
-    profile.density = profile.area > 0.0
-                          ? static_cast<double>(partition.size()) / profile.area
-                          : 0.0;
-    profile.predicted_cost = cell < plan_.estimated_cost.size()
-                                 ? plan_.estimated_cost[cell]
-                                 : 0.0;
-    trace::Span span("detect", "cell");
-    span.Arg("cell", cell)
-        .Arg("algorithm", profile.algorithm.c_str())
-        .Arg("core", partition.size());
-    const char* eval_counter = EvalCounterName(algorithm);
-    const uint64_t evals_before = counters.Get(eval_counter);
-    StopWatch detect_watch;
-    const Detector& detector = detectors_.For(algorithm);
-    DetectionParams params = params_;
-    params.seed = params_.seed ^ (0x9E3779B97F4A7C15ULL * (cell + 1));
-    const std::vector<uint32_t> local = detector.DetectOutliers(
-        partition, partition.size(), params, &counters);
-    profile.measured_seconds = detect_watch.ElapsedSeconds();
-    profile.measured_distance_evals =
-        counters.Get(eval_counter) - evals_before;
-    if (profiler_ != nullptr) profiler_->Record(profile);
-    RecordPartitionMetrics(profile);
-
-    // Exact partial neighbor count for each candidate (bounded by k).
-    const int dims = data_.dims();
-    const double sq_radius = params_.radius * params_.radius;
-    for (uint32_t index : local) {
-      const double* p = partition[index];
-      int32_t partial = 0;
-      for (uint32_t j = 0; j < partition.size(); ++j) {
-        if (j == index) continue;
-        if (WithinSquaredDistance(p, partition[j], dims, sq_radius)) {
-          ++partial;
-        }
+  Status TryReduceTask(const GroupedView<uint32_t, TaggedWord>& groups,
+                       std::vector<Candidate>& out,
+                       Counters& counters) override {
+    // Without supporting areas every shipped point is core.
+    TaskArena arena(data_);
+    arena.Reserve(groups.num_groups(), groups.num_records());
+    for (size_t g = 0; g < groups.num_groups(); ++g) {
+      const size_t group_size = groups.size(g);
+      arena.BeginCell();
+      for (size_t i = 0; i < group_size; ++i) {
+        arena.AddPoint(TaggedId(groups.value(g, i)));
       }
-      out.push_back(Candidate{ids[index], partial});
+      arena.EndCell(group_size,
+                    CellSeed(params_.seed, groups.key(g)) ^ kArenaSeedSalt);
     }
-    counters.Increment("domain.candidates", local.size());
+    arena.BuildProbes();
+
+    const double sq_radius = params_.radius * params_.radius;
+    const KernelOps& ops = GetKernelOps(params_.kernels);
+    for (size_t g = 0; g < groups.num_groups(); ++g) {
+      const uint32_t cell = groups.key(g);
+      const PartitionView view = arena.View(g);
+      const AlgorithmKind algorithm = plan_.algorithm_plan[cell];
+      PartitionProfile profile;
+      profile.cell = cell;
+      profile.algorithm = AlgorithmKindName(algorithm);
+      profile.core_points = view.size();
+      profile.area = plan_.partition_plan.cell(cell).bounds.Area();
+      profile.density = profile.area > 0.0
+                            ? static_cast<double>(view.size()) / profile.area
+                            : 0.0;
+      profile.predicted_cost = cell < plan_.estimated_cost.size()
+                                   ? plan_.estimated_cost[cell]
+                                   : 0.0;
+      trace::Span span("detect", "cell");
+      span.Arg("cell", cell)
+          .Arg("algorithm", profile.algorithm.c_str())
+          .Arg("core", view.size());
+      const char* eval_counter = EvalCounterName(algorithm);
+      const uint64_t evals_before = counters.Get(eval_counter);
+      StopWatch detect_watch;
+      const Detector& detector = detectors_.For(algorithm);
+      DetectionParams params = params_;
+      params.seed = CellSeed(params_.seed, cell);
+      const std::vector<uint32_t> local =
+          detector.DetectOutliers(view, params, &counters);
+      profile.measured_seconds = detect_watch.ElapsedSeconds();
+      profile.measured_distance_evals =
+          counters.Get(eval_counter) - evals_before;
+      if (profiler_ != nullptr) profiler_->Record(profile);
+      RecordPartitionMetrics(profile);
+
+      // Exact partial neighbor count for each candidate (bounded by k).
+      for (uint32_t index : local) {
+        uint64_t ignored = 0;
+        const int32_t partial = static_cast<int32_t>(ops.count_within_radius(
+            view.probes(), view.probe_begin(), view.probe_end(),
+            view.point(index), sq_radius, /*skip_id=*/index, /*cap=*/-1,
+            &ignored));
+        out.push_back(Candidate{view.id(index), partial});
+      }
+      counters.Increment("domain.candidates", local.size());
+    }
+    return Status::Ok();
   }
 
  private:
@@ -264,11 +324,12 @@ class DomainDetectReducer : public Reducer<uint32_t, TaggedPoint, Candidate> {
   DetectorSet detectors_;
 };
 
-// Shuffle record of the verification job.
+// Shuffle record of the verification job: point id and candidate flag
+// bit-packed into one word, plus the partial neighbor count candidates
+// carry (zero for border points).
 struct VerifyRecord {
-  PointId id = 0;
+  TaggedWord word = 0;
   int32_t partial = 0;
-  bool is_candidate = false;
 };
 
 // Wire size of one verification record: coordinates + cell id + candidate
@@ -276,7 +337,7 @@ struct VerifyRecord {
 // this is what the engine's per-record size callback accounts for.
 size_t VerifyRecordBytes(int dims, const VerifyRecord& record) {
   return sizeof(double) * static_cast<size_t>(dims) + sizeof(uint32_t) + 1 +
-         (record.is_candidate ? sizeof(int32_t) : 0);
+         (TaggedSupport(record.word) ? sizeof(int32_t) : 0);
 }
 
 // Prepends job context to a task failure bubbling out of RunMapReduce.
@@ -304,7 +365,8 @@ class VerifyMapper : public Mapper<uint32_t, VerifyRecord> {
     if (split_index == 0) {
       for (const Candidate& candidate : candidates_) {
         out.Emit(router_.RouteCore(data[candidate.id]),
-                 VerifyRecord{candidate.id, candidate.partial, true});
+                 VerifyRecord{PackTagged(candidate.id, true),
+                              candidate.partial});
       }
     }
     std::vector<uint32_t> support_cells;
@@ -313,7 +375,7 @@ class VerifyMapper : public Mapper<uint32_t, VerifyRecord> {
       support_cells.clear();
       router_.RouteSupport(p, &support_cells);
       for (uint32_t cell : support_cells) {
-        out.Emit(cell, VerifyRecord{id, 0, false});
+        out.Emit(cell, VerifyRecord{PackTagged(id, false), 0});
       }
     }
   }
@@ -325,32 +387,73 @@ class VerifyMapper : public Mapper<uint32_t, VerifyRecord> {
 };
 
 // Reduce side of the verification job: count the candidates' remaining
-// neighbors among the shipped border points.
+// neighbors among the shipped border points. The border points of every
+// cell in the task stage into one shared probe arena; each candidate then
+// takes a capped kernel count against its cell's segment (capped at the
+// verdict threshold — the verdict is identical to the per-pair scan with
+// early exit it replaces).
 class VerifyReducer : public Reducer<uint32_t, VerifyRecord, PointId> {
  public:
   VerifyReducer(const Dataset& data, const DetectionParams& params)
       : data_(data), params_(params) {}
 
-  void Reduce(const uint32_t& /*cell*/, std::vector<VerifyRecord>& values,
-              std::vector<PointId>& out, Counters& counters) override {
-    const int dims = data_.dims();
-    const double sq_radius = params_.radius * params_.radius;
-    for (const VerifyRecord& candidate : values) {
-      if (!candidate.is_candidate) continue;
-      const double* p = data_[candidate.id];
-      int neighbors = candidate.partial;
-      for (const VerifyRecord& other : values) {
-        if (other.is_candidate) continue;
-        if (WithinSquaredDistance(p, data_[other.id], dims, sq_radius)) {
-          if (++neighbors >= params_.min_neighbors) break;
+  Status TryReduceTask(const GroupedView<uint32_t, VerifyRecord>& groups,
+                       std::vector<PointId>& out,
+                       Counters& counters) override {
+    // Split each group into its candidates and its border points; only the
+    // border points go into the arena (they are the only probe targets).
+    TaskArena arena(data_);
+    arena.Reserve(groups.num_groups(), groups.num_records());
+    std::vector<Candidate> candidates;
+    std::vector<size_t> candidate_offsets;
+    candidate_offsets.reserve(groups.num_groups() + 1);
+    for (size_t g = 0; g < groups.num_groups(); ++g) {
+      candidate_offsets.push_back(candidates.size());
+      const size_t group_size = groups.size(g);
+      arena.BeginCell();
+      size_t border = 0;
+      for (size_t i = 0; i < group_size; ++i) {
+        const VerifyRecord& record = groups.value(g, i);
+        if (TaggedSupport(record.word)) {
+          candidates.push_back(
+              Candidate{TaggedId(record.word), record.partial});
+        } else {
+          arena.AddPoint(TaggedId(record.word));
+          ++border;
         }
       }
-      if (neighbors < params_.min_neighbors) {
-        out.push_back(candidate.id);
-      } else {
-        counters.Increment("domain.rescued_candidates");
+      arena.EndCell(border,
+                    CellSeed(params_.seed, groups.key(g)) ^ kArenaSeedSalt);
+    }
+    candidate_offsets.push_back(candidates.size());
+    arena.BuildProbes();
+
+    const double sq_radius = params_.radius * params_.radius;
+    const KernelOps& ops = GetKernelOps(params_.kernels);
+    for (size_t g = 0; g < groups.num_groups(); ++g) {
+      const PartitionView view = arena.View(g);
+      for (size_t c = candidate_offsets[g]; c < candidate_offsets[g + 1];
+           ++c) {
+        const Candidate& candidate = candidates[c];
+        int neighbors = candidate.partial;
+        if (neighbors < params_.min_neighbors && !view.empty()) {
+          uint64_t ignored = 0;
+          // A candidate never appears among its own cell's border points
+          // (support routing excludes the home cell), so no slot needs
+          // skipping.
+          neighbors += ops.count_within_radius(
+              view.probes(), view.probe_begin(), view.probe_end(),
+              data_[candidate.id], sq_radius, /*skip_id=*/kSoaInvalidId,
+              params_.min_neighbors - neighbors, &ignored);
+        }
+        if (neighbors < params_.min_neighbors) {
+          out.push_back(candidate.id);
+        } else {
+          counters.Increment("domain.rescued_candidates");
+        }
       }
     }
+    return Status::Ok();
   }
 
  private:
@@ -450,18 +553,24 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
   spec.cluster = config.cluster;
   spec.faults = config.faults;
   spec.retry = config.retry;
+  spec.shuffle = config.shuffle;
   spec.split_input_bytes.reserve(store.num_blocks());
+  spec.split_record_hints.reserve(store.num_blocks());
   for (size_t b = 0; b < store.num_blocks(); ++b) {
     spec.split_input_bytes.push_back(store.block(b).size() *
                                      store.BytesPerRecord());
+    // Emission estimate for bucket pre-sizing: one core record per point,
+    // plus a couple of support replicas when supporting areas are on.
+    spec.split_record_hints.push_back(
+        store.block(b).size() * (result.plan.uses_supporting_area ? 3 : 1));
   }
   const size_t record_bytes = DetectRecordBytes(data.dims());
   // Point records ship the point's coordinates, so their wire size depends
   // on the dataset — computed per record via the engine's size callback.
   const int dims = data.dims();
-  const std::function<size_t(const uint32_t&, const TaggedPoint&)>
+  const std::function<size_t(const uint32_t&, const TaggedWord&)>
       detect_record_size = [record_bytes](const uint32_t&,
-                                          const TaggedPoint&) {
+                                          const TaggedWord&) {
         return record_bytes;
       };
 
@@ -474,9 +583,9 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
     DetectMapper mapper(store, partition_plan, router, /*emit_support=*/true);
     DetectReducer reducer(data, result.plan, config.params, &profiler);
     Result<JobOutput<PointId>> job =
-        RunMapReduce<uint32_t, TaggedPoint, PointId>(
+        RunMapReduce<uint32_t, TaggedWord, PointId>(
             store.num_blocks(), mapper, reducer, partition_fn, spec,
-            record_bytes, detect_record_size);
+            record_bytes, detect_record_size, &allocation);
     if (!job.ok()) return AnnotateJobError("detection job", job.status());
     result.outliers = std::move(job.value().output);
     result.detect_stats = std::move(job.value().stats);
@@ -487,9 +596,9 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
     DetectMapper mapper(store, partition_plan, router, /*emit_support=*/false);
     DomainDetectReducer reducer(data, result.plan, config.params, &profiler);
     Result<JobOutput<Candidate>> job =
-        RunMapReduce<uint32_t, TaggedPoint, Candidate>(
+        RunMapReduce<uint32_t, TaggedWord, Candidate>(
             store.num_blocks(), mapper, reducer, partition_fn, spec,
-            record_bytes, detect_record_size);
+            record_bytes, detect_record_size, &allocation);
     if (!job.ok()) return AnnotateJobError("detection job", job.status());
     result.detect_stats = std::move(job.value().stats);
     result.breakdown.detect = result.detect_stats.stage_times;
@@ -503,7 +612,8 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
             spec, record_bytes,
             [dims](const uint32_t&, const VerifyRecord& record) {
               return VerifyRecordBytes(dims, record);
-            });
+            },
+            &allocation);
     if (!verify.ok()) {
       return AnnotateJobError("verification job", verify.status());
     }

@@ -20,6 +20,12 @@ class BruteForceDetector : public Detector {
   std::vector<uint32_t> DetectOutliers(const Dataset& points, size_t num_core,
                                        const DetectionParams& params,
                                        Counters* counters) const override;
+
+  // Zero-copy entry: counts against the view's shared probe segment when it
+  // has one (identity views keep the deterministic per-pair scan).
+  std::vector<uint32_t> DetectOutliers(const PartitionView& partition,
+                                       const DetectionParams& params,
+                                       Counters* counters) const override;
 };
 
 }  // namespace dod

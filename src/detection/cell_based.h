@@ -44,6 +44,12 @@ class CellBasedDetector : public Detector {
   std::vector<uint32_t> DetectOutliers(const Dataset& points, size_t num_core,
                                        const DetectionParams& params,
                                        Counters* counters) const override;
+
+  // Zero-copy entry: grids the view in place and probes undecided points
+  // against the view's shared probe segment.
+  std::vector<uint32_t> DetectOutliers(const PartitionView& partition,
+                                       const DetectionParams& params,
+                                       Counters* counters) const override;
 };
 
 }  // namespace dod

@@ -8,6 +8,17 @@
 
 namespace dod {
 
+std::vector<uint32_t> Detector::DetectOutliers(const PartitionView& partition,
+                                               const DetectionParams& params,
+                                               Counters* counters) const {
+  if (partition.identity()) {
+    return DetectOutliers(partition.data(), partition.num_core(), params,
+                          counters);
+  }
+  const Dataset gathered = partition.Gather();
+  return DetectOutliers(gathered, partition.num_core(), params, counters);
+}
+
 const char* AlgorithmKindName(AlgorithmKind kind) {
   switch (kind) {
     case AlgorithmKind::kNestedLoop:

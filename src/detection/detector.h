@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "detection/partition_view.h"
 #include "kernels/kernel_mode.h"
 #include "mapreduce/counters.h"
 
@@ -63,6 +64,15 @@ class Detector {
                                                size_t num_core,
                                                const DetectionParams& params,
                                                Counters* counters) const = 0;
+
+  // Zero-copy entry point: detects on a PartitionView (local indices into
+  // the view, all < view.num_core()). The built-in detectors read the
+  // view's shared probe segment directly when it has one; the base default
+  // materializes the view and delegates to the Dataset entry, so every
+  // Detector accepts views. Verdicts never depend on which entry is used.
+  virtual std::vector<uint32_t> DetectOutliers(const PartitionView& partition,
+                                               const DetectionParams& params,
+                                               Counters* counters) const;
 
   std::vector<uint32_t> DetectOutliers(const Dataset& points, size_t num_core,
                                        const DetectionParams& params) const {

@@ -8,6 +8,22 @@
 #include "observability/metrics.h"
 
 namespace dod {
+namespace {
+
+void RecordNestedLoop(Counters* counters, uint64_t distance_evals) {
+  if (counters != nullptr) {
+    counters->Increment("nested_loop.distance_evals", distance_evals);
+  }
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  static const uint32_t kCalls =
+      metrics.Id("detect.calls.nested_loop", MetricKind::kCounter);
+  static const uint32_t kPairs =
+      metrics.Id("detect.pairs.nested_loop", MetricKind::kCounter);
+  metrics.Increment(kCalls);
+  metrics.Increment(kPairs, distance_evals);
+}
+
+}  // namespace
 
 std::vector<uint32_t> NestedLoopDetector::DetectOutliers(
     const Dataset& points, size_t num_core, const DetectionParams& params,
@@ -52,18 +68,51 @@ std::vector<uint32_t> NestedLoopDetector::DetectOutliers(
     }
     if (neighbors < k) outliers.push_back(i);
   }
-  if (counters != nullptr) {
-    counters->Increment("nested_loop.distance_evals", distance_evals);
+  RecordNestedLoop(counters, distance_evals);
+  return outliers;
+}
+
+std::vector<uint32_t> NestedLoopDetector::DetectOutliers(
+    const PartitionView& partition, const DetectionParams& params,
+    Counters* counters) const {
+  if (!partition.has_probes()) {
+    // No shared probe segment to sweep: materialize and run the classic
+    // path (or, for identity views, run it directly with zero overhead).
+    return Detector::DetectOutliers(partition, params, counters);
   }
-  {
-    MetricsRegistry& metrics = MetricsRegistry::Global();
-    static const uint32_t kCalls =
-        metrics.Id("detect.calls.nested_loop", MetricKind::kCounter);
-    static const uint32_t kPairs =
-        metrics.Id("detect.pairs.nested_loop", MetricKind::kCounter);
-    metrics.Increment(kCalls);
-    metrics.Increment(kPairs, distance_evals);
+  const size_t n = partition.size();
+  const size_t num_core = partition.num_core();
+  std::vector<uint32_t> outliers;
+  if (n == 0) return outliers;
+
+  // The arena already laid this cell's points out in a random permutation
+  // (slot ids = local indices), so the per-point probe sequence is a linear
+  // sweep of the shared segment from a random start — same access pattern
+  // as the classic path, minus the private buffer build. Only the start
+  // offsets are drawn here; the permutation came from the arena's salted
+  // seed, keeping the two random streams independent.
+  Rng rng(params.seed);
+  const SoABlock& probes = partition.probes();
+  const size_t begin = partition.probe_begin();
+  const size_t end = partition.probe_end();
+  const double sq_radius = params.radius * params.radius;
+  const int k = params.min_neighbors;
+  const KernelOps& ops = GetKernelOps(params.kernels);
+  uint64_t distance_evals = 0;
+  for (uint32_t i = 0; i < num_core; ++i) {
+    const double* p = partition.point(i);
+    const size_t start = begin + rng.NextBounded(n);
+    int neighbors = ops.count_within_radius(probes, start, end, p, sq_radius,
+                                            /*skip_id=*/i, k,
+                                            &distance_evals);
+    if (neighbors < k) {
+      neighbors += ops.count_within_radius(probes, begin, start, p, sq_radius,
+                                           /*skip_id=*/i, k - neighbors,
+                                           &distance_evals);
+    }
+    if (neighbors < k) outliers.push_back(i);
   }
+  RecordNestedLoop(counters, distance_evals);
   return outliers;
 }
 

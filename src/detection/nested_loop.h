@@ -24,6 +24,12 @@ class NestedLoopDetector : public Detector {
   std::vector<uint32_t> DetectOutliers(const Dataset& points, size_t num_core,
                                        const DetectionParams& params,
                                        Counters* counters) const override;
+
+  // Zero-copy entry: sweeps the view's pre-permuted shared probe segment
+  // from a per-point random start instead of building a private buffer.
+  std::vector<uint32_t> DetectOutliers(const PartitionView& partition,
+                                       const DetectionParams& params,
+                                       Counters* counters) const override;
 };
 
 }  // namespace dod

@@ -70,6 +70,12 @@ class SoABlock {
   void AssignPermuted(const Dataset& points,
                       const std::vector<uint32_t>& order);
 
+  // Rounds size() up to the next block boundary; the skipped slots keep
+  // their pad coordinates/ids. Lets several independent point segments
+  // share one buffer with each segment starting on a block boundary
+  // (per-cell probe segments of a task arena).
+  void AlignToBlock() { size_ = num_blocks() * kSoaWidth; }
+
   // Coordinates of dimension `dim` for the kSoaWidth slots of `block`.
   const double* Lane(size_t block, int dim) const {
     return coords_.data() + (block * dims_ + static_cast<size_t>(dim)) *

@@ -49,6 +49,7 @@
 #include "mapreduce/counters.h"
 #include "mapreduce/fault_injection.h"
 #include "mapreduce/job_stats.h"
+#include "mapreduce/shuffle.h"
 #include "mapreduce/task_runner.h"
 #include "observability/metrics.h"
 #include "observability/trace.h"
@@ -112,6 +113,28 @@ class Reducer {
     Reduce(key, values, out, counters);
     return Status::Ok();
   }
+  // Task-at-a-time variant: one call per reduce-task attempt, receiving
+  // every key group of the task at once. Override to read group values in
+  // place (zero-copy) or to build per-task shared state (e.g. one probe
+  // arena serving all groups). The default adapts the per-group contract:
+  // each group's values are copied into scratch (the shuffle backing must
+  // survive an attempt retry) and handed to TryReduce, stopping at the
+  // first error. The same reentrancy rules apply — one call services one
+  // task, distinct tasks run concurrently.
+  virtual Status TryReduceTask(const GroupedView<K, V>& groups,
+                               std::vector<Out>& out, Counters& counters) {
+    std::vector<V> values;
+    for (size_t g = 0; g < groups.num_groups(); ++g) {
+      const size_t group_size = groups.size(g);
+      values.clear();
+      values.reserve(group_size);
+      for (size_t i = 0; i < group_size; ++i) {
+        values.push_back(groups.value(g, i));
+      }
+      DOD_RETURN_IF_ERROR(TryReduce(groups.key(g), values, out, counters));
+    }
+    return Status::Ok();
+  }
 };
 
 struct JobSpec {
@@ -125,6 +148,12 @@ struct JobSpec {
   // Input bytes of each split; charged as HDFS scan time against the
   // owning map task at cluster.disk_read_mbps_per_slot. Empty = no charge.
   std::vector<uint64_t> split_input_bytes;
+  // Expected records emitted per split (0 / absent = unknown); used to
+  // pre-size each map task's shuffle buckets so emission never regrows.
+  std::vector<uint64_t> split_record_hints;
+  // Reduce-side grouping strategy (see mapreduce/shuffle.h). Both modes
+  // commit byte-identical job output; kSorted is the escape hatch.
+  ShuffleMode shuffle = ShuffleMode::kColumnar;
   // Fault injection (disabled by default) and the task attempt policy.
   FaultSpec faults;
   RetryPolicy retry;
@@ -146,17 +175,21 @@ struct ShuffleAccounting {
 };
 
 // Buffers emitted records into per-reduce-task buckets (attempt staging).
+// When a dense partition table is supplied (integral keys routed by a
+// precomputed allocation plan), Emit resolves the reduce task with one
+// indexed load instead of a std::function call per record.
 template <typename K, typename V>
 class ShuffleEmitter : public Emitter<K, V> {
  public:
   using Buckets = std::vector<std::vector<std::pair<K, V>>>;
 
   ShuffleEmitter(Buckets& buckets, const std::function<int(const K&)>& part,
-                 size_t record_bytes,
+                 const std::vector<int>* dense_partition, size_t record_bytes,
                  const std::function<size_t(const K&, const V&)>& record_size,
                  ShuffleAccounting& accounting, ShuffleFaultFilter* filter)
       : buckets_(buckets),
         part_(part),
+        dense_partition_(dense_partition),
         record_bytes_(record_bytes),
         record_size_(record_size),
         accounting_(accounting),
@@ -170,7 +203,7 @@ class ShuffleEmitter : public Emitter<K, V> {
       // way the filter fails the attempt, so no faulty data ever commits.
       if (fault == FaultKind::kShuffleDrop) return;
     }
-    const int task = part_(key);
+    const int task = Partition(key);
     DOD_CHECK(task >= 0 && task < static_cast<int>(buckets_.size()));
     buckets_[static_cast<size_t>(task)].emplace_back(key, value);
     ++accounting_.records;
@@ -179,8 +212,20 @@ class ShuffleEmitter : public Emitter<K, V> {
   }
 
  private:
+  int Partition(const K& key) const {
+    if constexpr (std::is_integral_v<K>) {
+      if (dense_partition_ != nullptr) {
+        const size_t index = static_cast<size_t>(key);
+        DOD_CHECK(index < dense_partition_->size());
+        return (*dense_partition_)[index];
+      }
+    }
+    return part_(key);
+  }
+
   Buckets& buckets_;
   const std::function<int(const K&)>& part_;
+  const std::vector<int>* dense_partition_;
   size_t record_bytes_;
   const std::function<size_t(const K&, const V&)>& record_size_;
   ShuffleAccounting& accounting_;
@@ -193,10 +238,13 @@ class ShuffleEmitter : public Emitter<K, V> {
 //
 // `partition` routes a key to its reduce task — the hook through which DOD
 // injects its allocation plan (Fig. 6, Step 3); it is called concurrently
-// from map tasks and must be pure. `record_bytes` is the wire size charged
-// per shuffled record; pass `record_size` instead when record sizes vary
-// (heap-allocated payloads), in which case it overrides `record_bytes` per
-// record.
+// from map tasks and must be pure. When the plan is already a dense table
+// over an integral key space, pass it as `dense_partition` (entry k = the
+// reduce task of key k) and the emitter skips the std::function call per
+// record; `partition` is then only a fallback and may be empty.
+// `record_bytes` is the wire size charged per shuffled record; pass
+// `record_size` instead when record sizes vary (heap-allocated payloads),
+// in which case it overrides `record_bytes` per record.
 //
 // Returns the job output, or the structured error of the first task (by
 // task index) that exhausted its attempt budget (see
@@ -206,7 +254,8 @@ Result<JobOutput<Out>> RunMapReduce(
     size_t num_splits, Mapper<K, V>& mapper, Reducer<K, V, Out>& reducer,
     const std::function<int(const K&)>& partition, const JobSpec& spec,
     size_t record_bytes = sizeof(K) + sizeof(V),
-    const std::function<size_t(const K&, const V&)>& record_size = {}) {
+    const std::function<size_t(const K&, const V&)>& record_size = {},
+    const std::vector<int>* dense_partition = nullptr) {
   if (spec.num_reduce_tasks < 1) {
     return Status::InvalidArgument(
         "RunMapReduce: num_reduce_tasks must be >= 1");
@@ -247,6 +296,16 @@ Result<JobOutput<Out>> RunMapReduce(
       num_splits, [&](size_t split) -> Status {
         MapTaskState& task = map_tasks[split];
         task.staging.resize(num_reduce);
+        if (split < spec.split_record_hints.size() &&
+            spec.split_record_hints[split] > 0) {
+          // Pre-size buckets from the split's expected record count, with
+          // 50% headroom so a moderately skewed allocation still avoids
+          // regrowth. reserve() survives the per-attempt clear() below.
+          const uint64_t hint = spec.split_record_hints[split];
+          const size_t per_bucket = static_cast<size_t>(
+              hint / num_reduce + hint / (2 * num_reduce) + 1);
+          for (auto& bucket : task.staging) bucket.reserve(per_bucket);
+        }
         const double scan_seconds =
             split < spec.split_input_bytes.size()
                 ? static_cast<double>(spec.split_input_bytes[split]) /
@@ -260,8 +319,9 @@ Result<JobOutput<Out>> RunMapReduce(
               ShuffleFaultFilter filter(injector, TaskPhase::kMap,
                                         static_cast<int>(split), attempt);
               internal::ShuffleEmitter<K, V> emitter(
-                  task.staging, partition, record_bytes, record_size,
-                  task.accounting, injector.enabled() ? &filter : nullptr);
+                  task.staging, partition, dense_partition, record_bytes,
+                  record_size, task.accounting,
+                  injector.enabled() ? &filter : nullptr);
               const Status map_status = mapper.TryMap(split, emitter);
               task.stats.shuffle_records_dropped += filter.dropped();
               task.stats.shuffle_records_corrupted += filter.corrupted();
@@ -305,12 +365,14 @@ Result<JobOutput<Out>> RunMapReduce(
         .Arg("bytes", stats.bytes_shuffled);
   }
 
-  // ---- Reduce phase (sort + group + reduce, per task) -------------------
+  // ---- Reduce phase (group + reduce, per task) --------------------------
   struct ReduceTaskState {
     std::vector<Out> staged;
     std::vector<Out> committed;
     Counters counters;
     uint64_t groups = 0;
+    internal::GroupPath group_path = internal::GroupPath::kSorted;
+    double group_seconds = 0.0;
     JobStats stats;
     std::vector<double> slot_costs;
   };
@@ -319,7 +381,8 @@ Result<JobOutput<Out>> RunMapReduce(
   Status reduce_status;
   {
     trace::Span phase_span("phase", "reduce");
-    phase_span.Arg("tasks", static_cast<uint64_t>(buckets.size()));
+    phase_span.Arg("tasks", static_cast<uint64_t>(buckets.size()))
+        .Arg("shuffle", ShuffleModeName(spec.shuffle));
     reduce_status = executor.RunTasks(
       buckets.size(), [&](size_t index) -> Status {
         ReduceTaskState& task = reduce_tasks[index];
@@ -331,30 +394,20 @@ Result<JobOutput<Out>> RunMapReduce(
               task.staged.clear();
               task.counters = Counters();
               task.groups = 0;
-              // Hadoop sorts at the reducer; the sort is part of the task's
-              // cost (and idempotent, so re-running the attempt is safe).
-              std::stable_sort(
-                  bucket.begin(), bucket.end(),
-                  [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
-                    return a.first < b.first;
-                  });
-              size_t i = 0;
-              std::vector<V> values;
-              while (i < bucket.size()) {
-                size_t j = i;
-                values.clear();
-                while (j < bucket.size() &&
-                       !(bucket[i].first < bucket[j].first) &&
-                       !(bucket[j].first < bucket[i].first)) {
-                  // Copied, not moved: the bucket must survive a retry.
-                  values.push_back(bucket[j].second);
-                  ++j;
-                }
-                DOD_RETURN_IF_ERROR(reducer.TryReduce(
-                    bucket[i].first, values, task.staged, task.counters));
-                ++task.groups;
-                i = j;
-              }
+              // Grouping is part of the attempt's cost, like Hadoop's
+              // reducer-side sort, and idempotent: the sorted path's
+              // in-place stable sort and the columnar path's scratch
+              // rebuild both re-run safely after a failure. Both paths
+              // yield identical groups (see mapreduce/shuffle.h), so job
+              // output does not depend on the mode.
+              StopWatch group_watch;
+              internal::GroupScratch<K, V> scratch;
+              const GroupedView<K, V> groups = internal::GroupBucket(
+                  bucket, spec.shuffle, &scratch, &task.group_path);
+              task.group_seconds = group_watch.ElapsedSeconds();
+              DOD_RETURN_IF_ERROR(reducer.TryReduceTask(groups, task.staged,
+                                                        task.counters));
+              task.groups = groups.num_groups();
               return Status::Ok();
             },
             [&]() {
@@ -418,6 +471,14 @@ Result<JobOutput<Out>> RunMapReduce(
         metrics.Id("mr.bytes_shuffled", MetricKind::kCounter);
     static const uint32_t kGroups =
         metrics.Id("mr.groups_reduced", MetricKind::kCounter);
+    static const uint32_t kShuffleColumnar =
+        metrics.Id("mr.shuffle.columnar_tasks", MetricKind::kCounter);
+    static const uint32_t kShuffleSorted =
+        metrics.Id("mr.shuffle.sorted_tasks", MetricKind::kCounter);
+    static const uint32_t kShuffleFallback =
+        metrics.Id("mr.shuffle.fallback_tasks", MetricKind::kCounter);
+    static const uint32_t kShuffleGroupSeconds =
+        metrics.Id("mr.shuffle.group_seconds", MetricKind::kHistogram);
     static const uint32_t kThreads =
         metrics.Id("mr.threads_used", MetricKind::kGauge);
     static const uint32_t kMapSlot =
@@ -436,6 +497,20 @@ Result<JobOutput<Out>> RunMapReduce(
     metrics.Increment(kRecords, stats.records_shuffled);
     metrics.Increment(kBytes, stats.bytes_shuffled);
     metrics.Increment(kGroups, stats.groups_reduced);
+    for (const ReduceTaskState& task : reduce_tasks) {
+      switch (task.group_path) {
+        case internal::GroupPath::kColumnar:
+          metrics.Increment(kShuffleColumnar);
+          break;
+        case internal::GroupPath::kSorted:
+          metrics.Increment(kShuffleSorted);
+          break;
+        case internal::GroupPath::kSortedFallback:
+          metrics.Increment(kShuffleFallback);
+          break;
+      }
+      metrics.Observe(kShuffleGroupSeconds, task.group_seconds);
+    }
     metrics.SetMax(kThreads, static_cast<double>(stats.threads_used));
     for (double seconds : stats.map_task_seconds) {
       metrics.Observe(kMapSlot, seconds);

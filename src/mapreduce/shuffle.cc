@@ -1,0 +1,29 @@
+// Copyright 2026 The DOD Authors.
+
+#include "mapreduce/shuffle.h"
+
+namespace dod {
+
+const char* ShuffleModeName(ShuffleMode mode) {
+  switch (mode) {
+    case ShuffleMode::kSorted:
+      return "sorted";
+    case ShuffleMode::kColumnar:
+      return "columnar";
+  }
+  return "unknown";
+}
+
+bool ParseShuffleMode(std::string_view name, ShuffleMode* mode) {
+  if (name == "sorted") {
+    *mode = ShuffleMode::kSorted;
+    return true;
+  }
+  if (name == "columnar") {
+    *mode = ShuffleMode::kColumnar;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dod

@@ -1,0 +1,689 @@
+// Copyright 2026 The DOD Authors.
+//
+// Columnar zero-copy shuffle: the counting-sort grouping, arena-backed
+// partition views, and the shared probe blocks must be byte-identical to
+// the classic sorted shuffle — at the grouping layer, through the engine
+// (threads × fault schedules), and end-to-end through the pipeline
+// (strategies × kernel modes), including the Domain verification job.
+
+#include "mapreduce/shuffle.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/pipeline.h"
+#include "data/generators.h"
+#include "detection/brute_force.h"
+#include "detection/cell_based.h"
+#include "detection/nested_loop.h"
+#include "detection/partition_view.h"
+#include "mapreduce/job.h"
+#include "observability/metrics.h"
+
+namespace dod {
+namespace {
+
+using internal::GroupBucket;
+using internal::GroupPath;
+using internal::GroupScratch;
+
+// ---------------------------------------------------------------------------
+// Grouping layer: GroupBucket's two paths must be indistinguishable.
+
+// Buckets of (key, emission sequence) pairs: equal value sequences per
+// group prove stability, not just equal multisets.
+template <typename K>
+std::vector<std::pair<K, int>> SequencedBucket(const std::vector<K>& keys) {
+  std::vector<std::pair<K, int>> bucket;
+  bucket.reserve(keys.size());
+  int seq = 0;
+  for (const K& key : keys) bucket.emplace_back(key, seq++);
+  return bucket;
+}
+
+template <typename K>
+void ExpectSameGroups(const GroupedView<K, int>& a,
+                      const GroupedView<K, int>& b) {
+  ASSERT_EQ(a.num_groups(), b.num_groups());
+  ASSERT_EQ(a.num_records(), b.num_records());
+  for (size_t g = 0; g < a.num_groups(); ++g) {
+    EXPECT_EQ(a.key(g), b.key(g)) << "group " << g;
+    ASSERT_EQ(a.size(g), b.size(g)) << "group " << g;
+    for (size_t i = 0; i < a.size(g); ++i) {
+      EXPECT_EQ(a.value(g, i), b.value(g, i)) << "group " << g << " value "
+                                              << i;
+    }
+  }
+}
+
+TEST(ShuffleGroupingTest, ColumnarMatchesSortedOnRandomBuckets) {
+  Rng rng(2026);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<uint32_t> keys(500);
+    for (uint32_t& key : keys) {
+      key = static_cast<uint32_t>(rng.NextBounded(50));
+    }
+    std::vector<std::pair<uint32_t, int>> sorted_bucket =
+        SequencedBucket(keys);
+    std::vector<std::pair<uint32_t, int>> columnar_bucket = sorted_bucket;
+
+    GroupScratch<uint32_t, int> sorted_scratch;
+    GroupScratch<uint32_t, int> columnar_scratch;
+    GroupPath sorted_path;
+    GroupPath columnar_path;
+    const GroupedView<uint32_t, int> sorted = GroupBucket(
+        sorted_bucket, ShuffleMode::kSorted, &sorted_scratch, &sorted_path);
+    const GroupedView<uint32_t, int> columnar =
+        GroupBucket(columnar_bucket, ShuffleMode::kColumnar,
+                    &columnar_scratch, &columnar_path);
+
+    EXPECT_EQ(sorted_path, GroupPath::kSorted);
+    EXPECT_EQ(columnar_path, GroupPath::kColumnar);
+    ExpectSameGroups(columnar, sorted);
+    // The columnar path must not touch the bucket (attempt retries re-read
+    // it); record order is the emission order.
+    EXPECT_EQ(columnar_bucket, SequencedBucket(keys));
+  }
+}
+
+TEST(ShuffleGroupingTest, GroupsAscendingAndStableWithinGroup) {
+  std::vector<std::pair<uint32_t, int>> bucket =
+      SequencedBucket<uint32_t>({7, 3, 7, 0, 3, 7, 0, 9});
+  GroupScratch<uint32_t, int> scratch;
+  GroupPath path;
+  const GroupedView<uint32_t, int> groups =
+      GroupBucket(bucket, ShuffleMode::kColumnar, &scratch, &path);
+
+  ASSERT_EQ(groups.num_groups(), 4u);
+  EXPECT_EQ(groups.num_records(), 8u);
+  const std::vector<uint32_t> expected_keys = {0, 3, 7, 9};
+  for (size_t g = 0; g < groups.num_groups(); ++g) {
+    EXPECT_EQ(groups.key(g), expected_keys[g]);
+    // Values are emission sequence numbers, so stability means every
+    // group's values come out strictly increasing.
+    for (size_t i = 1; i < groups.size(g); ++i) {
+      EXPECT_LT(groups.value(g, i - 1), groups.value(g, i));
+    }
+  }
+  // Columnar grouping exposes each group as a contiguous value span.
+  const int* column = groups.column(2);
+  ASSERT_NE(column, nullptr);
+  EXPECT_EQ(column[0], 0);
+  EXPECT_EQ(column[1], 2);
+  EXPECT_EQ(column[2], 5);
+}
+
+TEST(ShuffleGroupingTest, SortedBackingHasNoColumn) {
+  std::vector<std::pair<uint32_t, int>> bucket =
+      SequencedBucket<uint32_t>({1, 1, 2});
+  GroupScratch<uint32_t, int> scratch;
+  GroupPath path;
+  const GroupedView<uint32_t, int> groups =
+      GroupBucket(bucket, ShuffleMode::kSorted, &scratch, &path);
+  EXPECT_EQ(groups.column(0), nullptr);
+  EXPECT_EQ(groups.value(0, 1), 1);
+}
+
+TEST(ShuffleGroupingTest, NegativeKeysGroupInAscendingOrder) {
+  std::vector<std::pair<int, int>> sorted_bucket =
+      SequencedBucket<int>({3, -5, 0, -5, 3, -1, 0});
+  std::vector<std::pair<int, int>> columnar_bucket = sorted_bucket;
+  GroupScratch<int, int> sorted_scratch;
+  GroupScratch<int, int> columnar_scratch;
+  GroupPath sorted_path;
+  GroupPath columnar_path;
+  const GroupedView<int, int> sorted = GroupBucket(
+      sorted_bucket, ShuffleMode::kSorted, &sorted_scratch, &sorted_path);
+  const GroupedView<int, int> columnar =
+      GroupBucket(columnar_bucket, ShuffleMode::kColumnar, &columnar_scratch,
+                  &columnar_path);
+
+  EXPECT_EQ(columnar_path, GroupPath::kColumnar);
+  ASSERT_EQ(columnar.num_groups(), 4u);
+  EXPECT_EQ(columnar.key(0), -5);
+  EXPECT_EQ(columnar.key(3), 3);
+  ExpectSameGroups(columnar, sorted);
+}
+
+TEST(ShuffleGroupingTest, SparseKeyRangeFallsBackToSorting) {
+  // Two records a million keys apart: a counting histogram would be
+  // absurd, so the columnar request lands on the sorted path.
+  std::vector<std::pair<uint32_t, int>> bucket =
+      SequencedBucket<uint32_t>({1000000, 0, 1000000});
+  GroupScratch<uint32_t, int> scratch;
+  GroupPath path;
+  const GroupedView<uint32_t, int> groups =
+      GroupBucket(bucket, ShuffleMode::kColumnar, &scratch, &path);
+
+  EXPECT_EQ(path, GroupPath::kSortedFallback);
+  ASSERT_EQ(groups.num_groups(), 2u);
+  EXPECT_EQ(groups.key(0), 0u);
+  EXPECT_EQ(groups.key(1), 1000000u);
+  EXPECT_EQ(groups.size(1), 2u);
+  EXPECT_EQ(groups.value(1, 0), 0);
+  EXPECT_EQ(groups.value(1, 1), 2);
+}
+
+TEST(ShuffleGroupingTest, EmptyAndSingleKeyBuckets) {
+  for (ShuffleMode mode : {ShuffleMode::kSorted, ShuffleMode::kColumnar}) {
+    std::vector<std::pair<uint32_t, int>> empty;
+    GroupScratch<uint32_t, int> scratch;
+    GroupPath path;
+    const GroupedView<uint32_t, int> none =
+        GroupBucket(empty, mode, &scratch, &path);
+    EXPECT_EQ(none.num_groups(), 0u);
+    EXPECT_EQ(none.num_records(), 0u);
+
+    std::vector<std::pair<uint32_t, int>> single =
+        SequencedBucket<uint32_t>({42, 42, 42});
+    const GroupedView<uint32_t, int> one =
+        GroupBucket(single, mode, &scratch, &path);
+    ASSERT_EQ(one.num_groups(), 1u);
+    EXPECT_EQ(one.key(0), 42u);
+    EXPECT_EQ(one.size(0), 3u);
+  }
+}
+
+TEST(ShuffleGroupingTest, ModeNamesRoundTrip) {
+  EXPECT_STREQ(ShuffleModeName(ShuffleMode::kSorted), "sorted");
+  EXPECT_STREQ(ShuffleModeName(ShuffleMode::kColumnar), "columnar");
+  ShuffleMode mode;
+  EXPECT_TRUE(ParseShuffleMode("sorted", &mode));
+  EXPECT_EQ(mode, ShuffleMode::kSorted);
+  EXPECT_TRUE(ParseShuffleMode("columnar", &mode));
+  EXPECT_EQ(mode, ShuffleMode::kColumnar);
+  EXPECT_FALSE(ParseShuffleMode("merge", &mode));
+}
+
+// ---------------------------------------------------------------------------
+// Engine layer: RunMapReduce output, counters, and shuffle accounting are
+// byte-identical across modes, thread counts, and fault schedules. The
+// reducer records every group's full value sequence, so any grouping or
+// stability difference shows up as an output mismatch.
+
+class SpreadMapper : public Mapper<int, int> {
+ public:
+  void Map(size_t split_index, Emitter<int, int>& out) override {
+    const int base = static_cast<int>(split_index) * 60;
+    for (int v = base; v < base + 60; ++v) out.Emit(v % 17, v);
+  }
+};
+
+struct GroupDigest {
+  int key;
+  std::vector<int> values;
+  bool operator==(const GroupDigest& other) const {
+    return key == other.key && values == other.values;
+  }
+};
+
+class DigestReducer : public Reducer<int, int, GroupDigest> {
+ public:
+  void Reduce(const int& key, std::vector<int>& values,
+              std::vector<GroupDigest>& out, Counters& counters) override {
+    out.push_back(GroupDigest{key, values});
+    counters.Increment("groups_seen");
+    counters.Increment("values_seen", values.size());
+  }
+};
+
+JobOutput<GroupDigest> RunDigestJob(const JobSpec& spec,
+                                    const std::vector<int>* dense = nullptr) {
+  SpreadMapper mapper;
+  DigestReducer reducer;
+  return RunMapReduce<int, int, GroupDigest>(
+             /*num_splits=*/7, mapper, reducer,
+             [](const int& key) { return key % 4; }, spec,
+             /*record_bytes=*/sizeof(int) + sizeof(int),
+             /*record_bytes_fn=*/{}, dense)
+      .ValueOrDie();
+}
+
+JobSpec DigestSpec(ShuffleMode mode, int threads, const FaultSpec& faults) {
+  JobSpec spec;
+  spec.num_reduce_tasks = 4;
+  spec.num_threads = threads;
+  spec.cluster = ClusterSpec::Local(4);
+  spec.shuffle = mode;
+  spec.faults = faults;
+  if (faults.enabled) spec.retry.max_task_attempts = 4;
+  return spec;
+}
+
+std::vector<FaultSpec> AllFaultKinds() {
+  std::vector<FaultSpec> kinds;
+  kinds.push_back(FaultSpec{});  // fault-free
+  FaultSpec crash;
+  crash.enabled = true;
+  crash.seed = 7;
+  crash.task_failure_prob = 1.0;
+  crash.max_faulty_attempts_per_task = 1;
+  kinds.push_back(crash);
+  FaultSpec straggle;
+  straggle.enabled = true;
+  straggle.seed = 7;
+  straggle.straggler_prob = 0.5;
+  kinds.push_back(straggle);
+  FaultSpec drop;
+  drop.enabled = true;
+  drop.seed = 7;
+  drop.shuffle_drop_prob = 0.01;
+  drop.max_faulty_attempts_per_task = 1;
+  kinds.push_back(drop);
+  FaultSpec corrupt;
+  corrupt.enabled = true;
+  corrupt.seed = 7;
+  corrupt.shuffle_corrupt_prob = 0.01;
+  corrupt.max_faulty_attempts_per_task = 1;
+  kinds.push_back(corrupt);
+  return kinds;
+}
+
+TEST(ShuffleEngineTest, ModesAgreeAcrossThreadsAndFaults) {
+  const JobOutput<GroupDigest> baseline =
+      RunDigestJob(DigestSpec(ShuffleMode::kSorted, 1, FaultSpec{}));
+  ASSERT_EQ(baseline.output.size(), 17u);
+
+  for (int threads : {1, 4, 8}) {
+    for (const FaultSpec& faults : AllFaultKinds()) {
+      const JobOutput<GroupDigest> sorted =
+          RunDigestJob(DigestSpec(ShuffleMode::kSorted, threads, faults));
+      const JobOutput<GroupDigest> columnar =
+          RunDigestJob(DigestSpec(ShuffleMode::kColumnar, threads, faults));
+      const std::string label =
+          "threads=" + std::to_string(threads) +
+          " faults=" + std::to_string(faults.enabled);
+
+      EXPECT_EQ(columnar.output, sorted.output) << label;
+      EXPECT_EQ(columnar.output, baseline.output) << label;
+      EXPECT_EQ(columnar.stats.counters.values(),
+                sorted.stats.counters.values())
+          << label;
+      EXPECT_EQ(columnar.stats.records_shuffled,
+                sorted.stats.records_shuffled)
+          << label;
+      EXPECT_EQ(columnar.stats.bytes_shuffled, sorted.stats.bytes_shuffled)
+          << label;
+      EXPECT_EQ(columnar.stats.groups_reduced, sorted.stats.groups_reduced)
+          << label;
+    }
+  }
+}
+
+TEST(ShuffleEngineTest, DensePartitionTableMatchesPartitionFunction) {
+  JobSpec spec = DigestSpec(ShuffleMode::kColumnar, 4, FaultSpec{});
+  spec.split_record_hints.assign(7, 60);  // exercise bucket pre-sizing too
+  std::vector<int> table(17);
+  for (int key = 0; key < 17; ++key) table[key] = key % 4;
+
+  const JobOutput<GroupDigest> via_function = RunDigestJob(spec);
+  const JobOutput<GroupDigest> via_table = RunDigestJob(spec, &table);
+
+  EXPECT_EQ(via_table.output, via_function.output);
+  EXPECT_EQ(via_table.stats.records_shuffled,
+            via_function.stats.records_shuffled);
+  EXPECT_EQ(via_table.stats.bytes_shuffled, via_function.stats.bytes_shuffled);
+}
+
+// ---------------------------------------------------------------------------
+// Partition views and the shared probe arena.
+
+Dataset ViewTestData(size_t n) {
+  return GenerateUniform(n, DomainForDensity(n, 0.05), /*seed=*/29);
+}
+
+TEST(PartitionViewTest, IdentityViewResolvesDirectly) {
+  const Dataset data = ViewTestData(64);
+  const PartitionView view(data, /*num_core=*/64);
+
+  EXPECT_TRUE(view.identity());
+  EXPECT_EQ(view.size(), data.size());
+  EXPECT_EQ(view.dims(), data.dims());
+  for (size_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(view.id(i), static_cast<PointId>(i));
+    EXPECT_EQ(view.point(i), data[static_cast<PointId>(i)]);
+  }
+  const Rect bounds = view.Bounds();
+  const Rect expected = data.Bounds();
+  for (int d = 0; d < data.dims(); ++d) {
+    EXPECT_EQ(bounds.min()[d], expected.min()[d]);
+    EXPECT_EQ(bounds.max()[d], expected.max()[d]);
+  }
+}
+
+TEST(PartitionViewTest, GatheredViewPreservesLocalOrder) {
+  const Dataset data = ViewTestData(64);
+  const std::vector<PointId> ids = {9, 3, 60, 3, 17};
+  const PartitionView view(data, ids.data(), ids.size(), /*num_core=*/2);
+
+  EXPECT_FALSE(view.identity());
+  EXPECT_EQ(view.num_core(), 2u);
+  const Dataset gathered = view.Gather();
+  ASSERT_EQ(gathered.size(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(view.id(i), ids[i]);
+    for (int d = 0; d < data.dims(); ++d) {
+      EXPECT_EQ(gathered[static_cast<PointId>(i)][d], data[ids[i]][d]);
+    }
+  }
+}
+
+TEST(PartitionViewTest, ArenaSegmentsAreAlignedPermutationsOfTheirCells) {
+  const Dataset data = ViewTestData(64);
+  TaskArena arena(data);
+
+  // Three staged cells: a normal one, an empty one, and one crossing a
+  // block boundary; plus an all-support cell (num_core = 0).
+  const std::vector<std::vector<PointId>> cells = {
+      {0, 1, 2, 3, 4}, {}, {10, 11, 12, 13, 14, 15, 16, 17, 18}, {20, 21}};
+  const std::vector<size_t> num_core = {3, 0, 9, 0};
+  for (size_t c = 0; c < cells.size(); ++c) {
+    arena.BeginCell();
+    for (PointId id : cells[c]) arena.AddPoint(id);
+    arena.EndCell(num_core[c], /*permutation_seed=*/1000 + c);
+  }
+  arena.BuildProbes();
+  ASSERT_EQ(arena.num_cells(), cells.size());
+
+  for (size_t c = 0; c < cells.size(); ++c) {
+    const PartitionView view = arena.View(c);
+    ASSERT_EQ(view.size(), cells[c].size()) << "cell " << c;
+    EXPECT_EQ(view.num_core(), num_core[c]) << "cell " << c;
+    if (view.empty()) continue;
+    ASSERT_TRUE(view.has_probes());
+    // Segments start on a block boundary so kernels never cross cells.
+    EXPECT_EQ(view.probe_begin() % kSoaWidth, 0u) << "cell " << c;
+
+    // The segment's slot ids are a permutation of the cell's local
+    // indices, and every slot's coordinates match the id it carries.
+    const SoABlock& probes = view.probes();
+    std::vector<uint32_t> seen;
+    for (size_t slot = view.probe_begin(); slot < view.probe_end(); ++slot) {
+      const uint32_t local = probes.IdAt(slot);
+      ASSERT_LT(local, view.size()) << "cell " << c;
+      seen.push_back(local);
+      const double* expected = view.point(local);
+      const size_t block = slot / kSoaWidth;
+      const size_t lane_slot = slot % kSoaWidth;
+      for (int d = 0; d < view.dims(); ++d) {
+        EXPECT_EQ(probes.Lane(block, d)[lane_slot], expected[d])
+            << "cell " << c << " slot " << slot;
+      }
+    }
+    std::sort(seen.begin(), seen.end());
+    for (uint32_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+  }
+}
+
+TEST(PartitionViewTest, ArenaClearSupportsAttemptRetries) {
+  const Dataset data = ViewTestData(32);
+  TaskArena arena(data);
+
+  std::vector<std::vector<uint32_t>> first_orders;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    arena.Clear();
+    arena.BeginCell();
+    for (PointId id = 0; id < 12; ++id) arena.AddPoint(id);
+    arena.EndCell(/*num_core=*/12, /*permutation_seed=*/77);
+    arena.BuildProbes();
+
+    const PartitionView view = arena.View(0);
+    std::vector<uint32_t> order;
+    for (size_t s = view.probe_begin(); s < view.probe_end(); ++s) {
+      order.push_back(view.probes().IdAt(s));
+    }
+    first_orders.push_back(std::move(order));
+  }
+  // Identical seeds rebuild the identical permutation: retries of a
+  // reduce-task attempt cannot diverge.
+  EXPECT_EQ(first_orders[0], first_orders[1]);
+}
+
+TEST(PartitionViewTest, AllSupportCellYieldsNoOutliers) {
+  const Dataset data = ViewTestData(32);
+  TaskArena arena(data);
+  arena.BeginCell();
+  for (PointId id = 0; id < 8; ++id) arena.AddPoint(id);
+  arena.EndCell(/*num_core=*/0, /*permutation_seed=*/5);
+  arena.BuildProbes();
+
+  DetectionParams params{/*radius=*/5.0, /*min_neighbors=*/4};
+  const BruteForceDetector detector;
+  EXPECT_TRUE(detector.DetectOutliers(arena.View(0), params, nullptr).empty());
+}
+
+// Every detector must return the same verdict through the arena view as
+// through its legacy Dataset entry point, in both kernel modes.
+class DetectorViewEquivalence
+    : public testing::TestWithParam<std::tuple<AlgorithmKind, KernelMode>> {};
+
+TEST_P(DetectorViewEquivalence, ViewPathMatchesDatasetPath) {
+  const auto [kind, kernels] = GetParam();
+  const Dataset data = ViewTestData(400);
+
+  // One cell: an arbitrary scatter of core points plus support points.
+  TaskArena arena(data);
+  arena.BeginCell();
+  Rng rng(99);
+  std::vector<PointId> ids;
+  for (PointId id = 0; id < 400; id += 2) ids.push_back(id);  // core
+  Shuffle(ids, rng);
+  const size_t num_core = ids.size();
+  for (PointId id = 1; id < 400; id += 4) ids.push_back(id);  // support
+  for (PointId id : ids) arena.AddPoint(id);
+  arena.EndCell(num_core, /*permutation_seed=*/123);
+  arena.BuildProbes();
+  const PartitionView view = arena.View(0);
+
+  DetectionParams params{/*radius=*/5.0, /*min_neighbors=*/4};
+  params.kernels = kernels;
+  params.seed = 4242;
+
+  const std::unique_ptr<Detector> detector = MakeDetector(kind);
+  Counters dataset_counters;
+  Counters view_counters;
+  std::vector<uint32_t> via_dataset = detector->DetectOutliers(
+      view.Gather(), num_core, params, &dataset_counters);
+  std::vector<uint32_t> via_view =
+      detector->DetectOutliers(view, params, &view_counters);
+
+  std::sort(via_dataset.begin(), via_dataset.end());
+  std::sort(via_view.begin(), via_view.end());
+  EXPECT_EQ(via_view, via_dataset) << AlgorithmKindName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDetectors, DetectorViewEquivalence,
+    testing::Combine(testing::Values(AlgorithmKind::kNestedLoop,
+                                     AlgorithmKind::kCellBased,
+                                     AlgorithmKind::kBruteForce),
+                     testing::Values(KernelMode::kScalar, KernelMode::kAuto)),
+    [](const testing::TestParamInfo<std::tuple<AlgorithmKind, KernelMode>>&
+           info) {
+      std::string name =
+          std::string(AlgorithmKindName(std::get<0>(info.param))) + "_" +
+          KernelModeName(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Pipeline layer: --shuffle is invisible end to end.
+
+const Dataset& PipelineData() {
+  static const Dataset data =
+      GenerateUniform(2000, DomainForDensity(2000, 0.05), /*seed=*/7);
+  return data;
+}
+
+std::vector<PointId> PipelineGroundTruth() {
+  DetectionParams params{/*radius=*/5.0, /*min_neighbors=*/4};
+  BruteForceDetector oracle;
+  const Dataset& data = PipelineData();
+  std::vector<uint32_t> local =
+      oracle.DetectOutliers(data, data.size(), params, nullptr);
+  return std::vector<PointId>(local.begin(), local.end());
+}
+
+DodConfig PipelineConfig(StrategyKind strategy, ShuffleMode shuffle,
+                         int threads, KernelMode kernels,
+                         const FaultSpec& faults) {
+  DetectionParams params{/*radius=*/5.0, /*min_neighbors=*/4};
+  params.kernels = kernels;
+  DodConfig config =
+      strategy == StrategyKind::kDmt
+          ? DodConfig::Dmt(params)
+          : DodConfig::Baseline(params, strategy, AlgorithmKind::kCellBased);
+  config.target_partitions = 16;
+  config.num_reduce_tasks = 5;
+  config.num_blocks = 7;
+  config.num_threads = threads;
+  config.sampler.rate = 0.2;
+  config.sampler.buckets_per_dim = 16;
+  config.shuffle = shuffle;
+  config.faults = faults;
+  if (faults.enabled) config.retry.max_task_attempts = 4;
+  return config;
+}
+
+void ExpectSameRun(const DodResult& columnar, const DodResult& sorted,
+                   const std::string& label) {
+  EXPECT_EQ(columnar.outliers, sorted.outliers) << label;
+  EXPECT_EQ(columnar.detect_stats.counters.values(),
+            sorted.detect_stats.counters.values())
+      << label;
+  EXPECT_EQ(columnar.detect_stats.records_shuffled,
+            sorted.detect_stats.records_shuffled)
+      << label;
+  EXPECT_EQ(columnar.detect_stats.bytes_shuffled,
+            sorted.detect_stats.bytes_shuffled)
+      << label;
+  EXPECT_EQ(columnar.detect_stats.groups_reduced,
+            sorted.detect_stats.groups_reduced)
+      << label;
+  EXPECT_EQ(columnar.verify_stats.counters.values(),
+            sorted.verify_stats.counters.values())
+      << label;
+  EXPECT_EQ(columnar.verify_stats.records_shuffled,
+            sorted.verify_stats.records_shuffled)
+      << label;
+  EXPECT_EQ(columnar.verify_stats.bytes_shuffled,
+            sorted.verify_stats.bytes_shuffled)
+      << label;
+}
+
+TEST(PipelineShuffleEquivalence, DmtAcrossThreadsAndKernels) {
+  const std::vector<PointId> truth = PipelineGroundTruth();
+  for (int threads : {1, 4, 8}) {
+    for (KernelMode kernels : {KernelMode::kScalar, KernelMode::kAuto}) {
+      const std::string label = "threads=" + std::to_string(threads) +
+                                " kernels=" + KernelModeName(kernels);
+      const DodResult sorted =
+          DodPipeline(PipelineConfig(StrategyKind::kDmt, ShuffleMode::kSorted,
+                                     threads, kernels, FaultSpec{}))
+              .RunOrDie(PipelineData());
+      const DodResult columnar =
+          DodPipeline(PipelineConfig(StrategyKind::kDmt,
+                                     ShuffleMode::kColumnar, threads, kernels,
+                                     FaultSpec{}))
+              .RunOrDie(PipelineData());
+      ExpectSameRun(columnar, sorted, label);
+      EXPECT_EQ(columnar.outliers, truth) << label;
+    }
+  }
+}
+
+TEST(PipelineShuffleEquivalence, DomainVerificationJob) {
+  // The Domain baseline runs the second (verification) MapReduce job, whose
+  // reducer counts candidate neighbors against arena-built border probes.
+  const std::vector<PointId> truth = PipelineGroundTruth();
+  for (int threads : {1, 4}) {
+    const std::string label = "domain threads=" + std::to_string(threads);
+    const DodResult sorted =
+        DodPipeline(PipelineConfig(StrategyKind::kDomain,
+                                   ShuffleMode::kSorted, threads,
+                                   KernelMode::kAuto, FaultSpec{}))
+            .RunOrDie(PipelineData());
+    const DodResult columnar =
+        DodPipeline(PipelineConfig(StrategyKind::kDomain,
+                                   ShuffleMode::kColumnar, threads,
+                                   KernelMode::kAuto, FaultSpec{}))
+            .RunOrDie(PipelineData());
+    ExpectSameRun(columnar, sorted, label);
+    EXPECT_EQ(columnar.outliers, truth) << label;
+    EXPECT_GT(columnar.verify_stats.records_shuffled, 0u) << label;
+  }
+}
+
+TEST(PipelineShuffleEquivalence, FaultSchedulesCannotTellModesApart) {
+  const std::vector<PointId> truth = PipelineGroundTruth();
+  for (const FaultSpec& faults : AllFaultKinds()) {
+    if (!faults.enabled) continue;
+    const std::string label =
+        std::string("fault-kind drop=") +
+        std::to_string(faults.shuffle_drop_prob) +
+        " corrupt=" + std::to_string(faults.shuffle_corrupt_prob) +
+        " crash=" + std::to_string(faults.task_failure_prob) +
+        " straggle=" + std::to_string(faults.straggler_prob);
+    const DodResult sorted =
+        DodPipeline(PipelineConfig(StrategyKind::kDmt, ShuffleMode::kSorted,
+                                   4, KernelMode::kAuto, faults))
+            .RunOrDie(PipelineData());
+    const DodResult columnar =
+        DodPipeline(PipelineConfig(StrategyKind::kDmt, ShuffleMode::kColumnar,
+                                   4, KernelMode::kAuto, faults))
+            .RunOrDie(PipelineData());
+    ExpectSameRun(columnar, sorted, label);
+    EXPECT_EQ(columnar.outliers, truth) << label;
+  }
+}
+
+uint64_t MetricCount(const std::vector<MetricSnapshot>& snapshots,
+                     const std::string& name) {
+  for (const MetricSnapshot& m : snapshots) {
+    if (m.name == name) return m.count;
+  }
+  return 0;
+}
+
+TEST(PipelineShuffleEquivalence, MetricsRecordGroupPathAndArenaReuse) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+
+  metrics.Reset();
+  DodPipeline(PipelineConfig(StrategyKind::kDmt, ShuffleMode::kColumnar, 1,
+                             KernelMode::kAuto, FaultSpec{}))
+      .RunOrDie(PipelineData());
+  const std::vector<MetricSnapshot> columnar = metrics.Snapshot();
+  EXPECT_GT(MetricCount(columnar, "mr.shuffle.columnar_tasks"), 0u);
+  EXPECT_EQ(MetricCount(columnar, "mr.shuffle.sorted_tasks"), 0u);
+  // Cell-id key spaces are dense; the sparsity guard must never trip here.
+  EXPECT_EQ(MetricCount(columnar, "mr.shuffle.fallback_tasks"), 0u);
+  // Shared probe arenas: one build per task serves all its cells.
+  const uint64_t arenas = MetricCount(columnar, "kernels.soa_reuse.arenas");
+  const uint64_t cells = MetricCount(columnar, "kernels.soa_reuse.cells");
+  EXPECT_GT(arenas, 0u);
+  EXPECT_GE(cells, arenas);
+  EXPECT_EQ(MetricCount(columnar, "kernels.soa_reuse.saved_builds"),
+            cells - arenas);
+
+  metrics.Reset();
+  DodPipeline(PipelineConfig(StrategyKind::kDmt, ShuffleMode::kSorted, 1,
+                             KernelMode::kAuto, FaultSpec{}))
+      .RunOrDie(PipelineData());
+  const std::vector<MetricSnapshot> sorted = metrics.Snapshot();
+  EXPECT_GT(MetricCount(sorted, "mr.shuffle.sorted_tasks"), 0u);
+  EXPECT_EQ(MetricCount(sorted, "mr.shuffle.columnar_tasks"), 0u);
+}
+
+}  // namespace
+}  // namespace dod

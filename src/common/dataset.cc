@@ -2,6 +2,9 @@
 
 #include "common/dataset.h"
 
+#include <cmath>
+#include <string>
+
 namespace dod {
 
 void Dataset::AppendAll(const Dataset& other) {
@@ -14,6 +17,21 @@ Rect Dataset::Bounds() const {
   BoundsAccumulator acc(dims_);
   for (size_t i = 0; i < size(); ++i) acc.Add((*this)[static_cast<PointId>(i)]);
   return acc.bounds();
+}
+
+Status Dataset::Validate() const {
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) {
+    const double* p = (*this)[static_cast<PointId>(i)];
+    for (int d = 0; d < dims_; ++d) {
+      if (!std::isfinite(p[d])) {
+        return Status::InvalidArgument(
+            "non-finite coordinate at point " + std::to_string(i) +
+            ", dimension " + std::to_string(d) + ": " + std::to_string(p[d]));
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 Dataset Dataset::Subset(const std::vector<PointId>& ids) const {

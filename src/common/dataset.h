@@ -13,6 +13,7 @@
 
 #include "common/bounds.h"
 #include "common/point.h"
+#include "common/status.h"
 
 namespace dod {
 
@@ -55,6 +56,13 @@ class Dataset {
 
   // New dataset containing the points whose ids are listed in `ids`.
   Dataset Subset(const std::vector<PointId>& ids) const;
+
+  // Rejects non-finite coordinates (NaN, ±inf) with kInvalidArgument naming
+  // the first offending point and dimension. Grid partitioning and the
+  // distance kernels assume finite coordinates; a NaN smuggled in through
+  // I/O would silently poison cell assignment and neighbor counts, so the
+  // loaders validate every dataset they return.
+  Status Validate() const;
 
   // Raw storage access (used by I/O and the MapReduce serializer).
   const std::vector<double>& raw() const { return coords_; }

@@ -29,6 +29,8 @@ enum class StatusCode {
   kIoError,
   kUnavailable,        // transient failure; retrying may succeed
   kDeadlineExceeded,   // operation exceeded its time budget
+  kCancelled,          // caller asked the operation to stop
+  kResourceExhausted,  // a memory/resource budget was exceeded
 };
 
 // Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -74,6 +76,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

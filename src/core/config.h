@@ -8,11 +8,13 @@
 #ifndef DOD_CORE_CONFIG_H_
 #define DOD_CORE_CONFIG_H_
 
+#include <cstdint>
 #include <string>
 
 #include "alloc/bin_packing.h"
 #include "detection/cost_model.h"
 #include "dshc/dshc.h"
+#include "durability/run_control.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/shuffle.h"
 #include "mapreduce/task_runner.h"
@@ -73,6 +75,29 @@ struct DodConfig {
   ShuffleMode shuffle = ShuffleMode::kColumnar;
 
   uint64_t seed = 42;
+
+  // ---- Durable execution (src/durability/) ------------------------------
+  //
+  // When `checkpoint_dir` is set, the detection and verification jobs write
+  // a per-task checkpoint after every commit under
+  // `<checkpoint_dir>/detect` and `<checkpoint_dir>/verify`; with `resume`
+  // a rerun of the same configuration skips the committed tasks and
+  // produces byte-identical output. Empty = no checkpointing.
+  std::string checkpoint_dir;
+  bool resume = false;
+  // Wall-clock budget for the whole run, measured from DodPipeline::Run
+  // entry; <= 0 disables. Exceeding it aborts between tasks / cells with
+  // kDeadlineExceeded and partial-progress stats.
+  double deadline_seconds = 0.0;
+  // Memory ceiling for arena and shuffle-scratch allocations; 0 = no
+  // limit. The columnar shuffle degrades to the sorted path when its
+  // scratch alone would not fit (result-identical, counter-visible), and
+  // arena reservations that exceed the budget fail the run with
+  // kResourceExhausted.
+  uint64_t memory_budget_mb = 0;
+  // Cooperative cancellation; callers keep a copy and Cancel() from any
+  // thread. A default-constructed token never fires.
+  CancellationToken cancel_token;
 
   // The full multi-tactic configuration (DMT partitioning + per-partition
   // algorithm + cost-based allocation).

@@ -3,11 +3,17 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <memory>
 
 #include "common/distance.h"
 #include "common/timer.h"
 #include "detection/brute_force.h"
 #include "detection/partition_view.h"
+#include "durability/checkpoint.h"
+#include "durability/memory_budget.h"
+#include "durability/payload.h"
+#include "durability/run_control.h"
 #include "kernels/distance_kernels.h"
 #include "kernels/soa_block.h"
 #include "observability/metrics.h"
@@ -144,17 +150,26 @@ class DetectorSet {
 // across concurrent tasks.
 class DetectReducer : public Reducer<uint32_t, TaggedWord, PointId> {
  public:
+  // `control` / `memory` (optional, borrowed): per-cell deadline and
+  // cancellation checks, and the budget the task arena charges against.
   DetectReducer(const Dataset& data, const MultiTacticPlan& plan,
-                const DetectionParams& params, PartitionProfiler* profiler)
-      : data_(data), plan_(plan), params_(params), profiler_(profiler) {}
+                const DetectionParams& params, PartitionProfiler* profiler,
+                const RunControl* control, MemoryBudget* memory)
+      : data_(data),
+        plan_(plan),
+        params_(params),
+        profiler_(profiler),
+        control_(control),
+        memory_(memory) {}
 
   Status TryReduceTask(const GroupedView<uint32_t, TaggedWord>& groups,
                        std::vector<PointId>& out,
                        Counters& counters) override {
     // Stage every cell's partition: core points first, then support points
     // (the same local ordering the per-cell gathering used to produce).
-    TaskArena arena(data_);
-    arena.Reserve(groups.num_groups(), groups.num_records());
+    TaskArena arena(data_, memory_);
+    DOD_RETURN_IF_ERROR(
+        arena.TryReserve(groups.num_groups(), groups.num_records()));
     for (size_t g = 0; g < groups.num_groups(); ++g) {
       const size_t group_size = groups.size(g);
       arena.BeginCell();
@@ -173,9 +188,12 @@ class DetectReducer : public Reducer<uint32_t, TaggedWord, PointId> {
       arena.EndCell(num_core,
                     CellSeed(params_.seed, groups.key(g)) ^ kArenaSeedSalt);
     }
-    arena.BuildProbes();
+    DOD_RETURN_IF_ERROR(arena.TryBuildProbes());
 
     for (size_t g = 0; g < groups.num_groups(); ++g) {
+      // Cell granularity: a fired deadline or cancellation stops between
+      // cells, not mid-kernel, so the abort latency is one cell's work.
+      if (control_ != nullptr) DOD_RETURN_IF_ERROR(control_->Check());
       const uint32_t cell = groups.key(g);
       const PartitionView view = arena.View(g);
       const size_t num_core = view.num_core();
@@ -226,6 +244,8 @@ class DetectReducer : public Reducer<uint32_t, TaggedWord, PointId> {
   const MultiTacticPlan& plan_;
   const DetectionParams& params_;
   PartitionProfiler* profiler_;
+  const RunControl* control_;
+  MemoryBudget* memory_;
   DetectorSet detectors_;
 };
 
@@ -247,15 +267,22 @@ class DomainDetectReducer : public Reducer<uint32_t, TaggedWord, Candidate> {
  public:
   DomainDetectReducer(const Dataset& data, const MultiTacticPlan& plan,
                       const DetectionParams& params,
-                      PartitionProfiler* profiler)
-      : data_(data), plan_(plan), params_(params), profiler_(profiler) {}
+                      PartitionProfiler* profiler, const RunControl* control,
+                      MemoryBudget* memory)
+      : data_(data),
+        plan_(plan),
+        params_(params),
+        profiler_(profiler),
+        control_(control),
+        memory_(memory) {}
 
   Status TryReduceTask(const GroupedView<uint32_t, TaggedWord>& groups,
                        std::vector<Candidate>& out,
                        Counters& counters) override {
     // Without supporting areas every shipped point is core.
-    TaskArena arena(data_);
-    arena.Reserve(groups.num_groups(), groups.num_records());
+    TaskArena arena(data_, memory_);
+    DOD_RETURN_IF_ERROR(
+        arena.TryReserve(groups.num_groups(), groups.num_records()));
     for (size_t g = 0; g < groups.num_groups(); ++g) {
       const size_t group_size = groups.size(g);
       arena.BeginCell();
@@ -265,11 +292,12 @@ class DomainDetectReducer : public Reducer<uint32_t, TaggedWord, Candidate> {
       arena.EndCell(group_size,
                     CellSeed(params_.seed, groups.key(g)) ^ kArenaSeedSalt);
     }
-    arena.BuildProbes();
+    DOD_RETURN_IF_ERROR(arena.TryBuildProbes());
 
     const double sq_radius = params_.radius * params_.radius;
     const KernelOps& ops = GetKernelOps(params_.kernels);
     for (size_t g = 0; g < groups.num_groups(); ++g) {
+      if (control_ != nullptr) DOD_RETURN_IF_ERROR(control_->Check());
       const uint32_t cell = groups.key(g);
       const PartitionView view = arena.View(g);
       const AlgorithmKind algorithm = plan_.algorithm_plan[cell];
@@ -321,6 +349,8 @@ class DomainDetectReducer : public Reducer<uint32_t, TaggedWord, Candidate> {
   const MultiTacticPlan& plan_;
   const DetectionParams& params_;
   PartitionProfiler* profiler_;
+  const RunControl* control_;
+  MemoryBudget* memory_;
   DetectorSet detectors_;
 };
 
@@ -343,6 +373,60 @@ size_t VerifyRecordBytes(int dims, const VerifyRecord& record) {
 // Prepends job context to a task failure bubbling out of RunMapReduce.
 Status AnnotateJobError(const char* job, const Status& status) {
   return Status(status.code(), std::string(job) + ": " + status.message());
+}
+
+// Profile rows ride the reduce-task checkpoints: a resumed run skips the
+// committed tasks entirely, so the per-partition profiles those tasks
+// recorded (part of JobStats::partition_profiles, i.e. of the output) can
+// only come back from the payload.
+void WriteProfile(const PartitionProfile& profile, PayloadWriter& writer) {
+  writer.U32(profile.cell);
+  writer.String(profile.algorithm);
+  writer.U64(profile.core_points);
+  writer.U64(profile.support_points);
+  writer.F64(profile.area);
+  writer.F64(profile.density);
+  writer.F64(profile.predicted_cost);
+  writer.U64(profile.measured_distance_evals);
+  writer.F64(profile.measured_seconds);
+}
+
+Status ReadProfile(PayloadReader& reader, PartitionProfile* profile) {
+  DOD_RETURN_IF_ERROR(reader.U32(&profile->cell));
+  DOD_RETURN_IF_ERROR(reader.String(&profile->algorithm));
+  DOD_RETURN_IF_ERROR(reader.U64(&profile->core_points));
+  DOD_RETURN_IF_ERROR(reader.U64(&profile->support_points));
+  DOD_RETURN_IF_ERROR(reader.F64(&profile->area));
+  DOD_RETURN_IF_ERROR(reader.F64(&profile->density));
+  DOD_RETURN_IF_ERROR(reader.F64(&profile->predicted_cost));
+  DOD_RETURN_IF_ERROR(reader.U64(&profile->measured_distance_evals));
+  DOD_RETURN_IF_ERROR(reader.F64(&profile->measured_seconds));
+  return Status::Ok();
+}
+
+// Job key guarding resume: checkpoints written under a different
+// configuration or dataset shape must be refused, or the engine would
+// splice incompatible partial outputs. Everything that shapes the task
+// outputs goes in; num_threads deliberately stays out (resuming on a
+// different thread count is supported and byte-identical), and so does the
+// fault spec (the resumed run typically disables the crash that created
+// the checkpoints).
+std::string ConfigFingerprint(const DodConfig& config, const Dataset& data) {
+  PayloadWriter w;
+  w.String(config.Label());
+  w.F64(config.params.radius);
+  w.U64(static_cast<uint64_t>(config.params.min_neighbors));
+  w.U64(config.seed);
+  w.U64(static_cast<uint64_t>(config.shuffle));
+  w.U64(static_cast<uint64_t>(config.num_reduce_tasks));
+  w.U64(config.num_blocks);
+  w.U64(config.target_partitions);
+  w.U64(data.size());
+  w.U64(static_cast<uint64_t>(data.dims()));
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(w.str())));
+  return std::string("dod-") + hex;
 }
 
 // Map side of the verification job: every point is shipped to the
@@ -394,16 +478,18 @@ class VerifyMapper : public Mapper<uint32_t, VerifyRecord> {
 // early exit it replaces).
 class VerifyReducer : public Reducer<uint32_t, VerifyRecord, PointId> {
  public:
-  VerifyReducer(const Dataset& data, const DetectionParams& params)
-      : data_(data), params_(params) {}
+  VerifyReducer(const Dataset& data, const DetectionParams& params,
+                const RunControl* control, MemoryBudget* memory)
+      : data_(data), params_(params), control_(control), memory_(memory) {}
 
   Status TryReduceTask(const GroupedView<uint32_t, VerifyRecord>& groups,
                        std::vector<PointId>& out,
                        Counters& counters) override {
     // Split each group into its candidates and its border points; only the
     // border points go into the arena (they are the only probe targets).
-    TaskArena arena(data_);
-    arena.Reserve(groups.num_groups(), groups.num_records());
+    TaskArena arena(data_, memory_);
+    DOD_RETURN_IF_ERROR(
+        arena.TryReserve(groups.num_groups(), groups.num_records()));
     std::vector<Candidate> candidates;
     std::vector<size_t> candidate_offsets;
     candidate_offsets.reserve(groups.num_groups() + 1);
@@ -426,11 +512,12 @@ class VerifyReducer : public Reducer<uint32_t, VerifyRecord, PointId> {
                     CellSeed(params_.seed, groups.key(g)) ^ kArenaSeedSalt);
     }
     candidate_offsets.push_back(candidates.size());
-    arena.BuildProbes();
+    DOD_RETURN_IF_ERROR(arena.TryBuildProbes());
 
     const double sq_radius = params_.radius * params_.radius;
     const KernelOps& ops = GetKernelOps(params_.kernels);
     for (size_t g = 0; g < groups.num_groups(); ++g) {
+      if (control_ != nullptr) DOD_RETURN_IF_ERROR(control_->Check());
       const PartitionView view = arena.View(g);
       for (size_t c = candidate_offsets[g]; c < candidate_offsets[g + 1];
            ++c) {
@@ -459,11 +546,18 @@ class VerifyReducer : public Reducer<uint32_t, VerifyRecord, PointId> {
  private:
   const Dataset& data_;
   const DetectionParams& params_;
+  const RunControl* control_;
+  MemoryBudget* memory_;
 };
 
 }  // namespace
 
 Result<DodResult> DodPipeline::Run(const Dataset& data) const {
+  return Run(data, nullptr);
+}
+
+Result<DodResult> DodPipeline::Run(const Dataset& data,
+                                   RunDiagnostics* diagnostics) const {
   if (data.empty()) {
     return Status::InvalidArgument(
         "DodPipeline::Run: dataset is empty — nothing to detect on");
@@ -474,6 +568,14 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
   trace::Span run_span("pipeline", "run");
   run_span.Arg("config", config.Label().c_str())
       .Arg("points", static_cast<uint64_t>(data.size()));
+
+  // The deadline clock starts here and covers preprocessing and every job;
+  // the budget bounds arena and shuffle-scratch allocations across both
+  // jobs (0 = unlimited, accounting still feeds the peak gauge).
+  const RunControl control =
+      RunControl::WithDeadline(config.deadline_seconds, config.cancel_token);
+  MemoryBudget memory(config.memory_budget_mb * (1024ull * 1024ull));
+  const RunControl* control_ptr = control.active() ? &control : nullptr;
 
   // ---- Preprocessing job -------------------------------------------------
   // Distribution estimation (sampling map tasks) + plan generation (single
@@ -503,6 +605,7 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
     std::vector<double> sample_task_seconds;
     Rng sample_rng(config.sampler.seed ^ config.seed);
     for (size_t b = 0; b < store.num_blocks(); ++b) {
+      if (control_ptr != nullptr) DOD_RETURN_IF_ERROR(control_ptr->Check());
       StopWatch task;
       sketch.sample_size += SampleBlockInto(data, store.block(b),
                                             sampling_rate, sample_rng,
@@ -541,11 +644,35 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
     metrics.Observe(kPreprocess, preprocess_seconds);
   }
 
+  // Plan generation can be slow on large sketches; give the deadline a
+  // checkpoint between preprocessing and the jobs.
+  if (control_ptr != nullptr) DOD_RETURN_IF_ERROR(control_ptr->Check());
+
   const PartitionPlan& partition_plan = result.plan.partition_plan;
   PartitionRouter router(partition_plan);
   const std::vector<int>& allocation = result.plan.allocation;
   const std::function<int(const uint32_t&)> partition_fn =
       [&allocation](const uint32_t& cell) { return allocation[cell]; };
+
+  // One checkpoint store per job: the detection and verification jobs use
+  // the same task indices, so their records must not share a directory.
+  // The fingerprint refuses resume across configurations (see
+  // ConfigFingerprint).
+  std::unique_ptr<CheckpointStore> detect_store;
+  std::unique_ptr<CheckpointStore> verify_store;
+  if (!config.checkpoint_dir.empty()) {
+    const std::string job_key = ConfigFingerprint(config, data);
+    DOD_ASSIGN_OR_RETURN(
+        detect_store,
+        CheckpointStore::Open(config.checkpoint_dir + "/detect", job_key,
+                              config.resume));
+    if (!result.plan.uses_supporting_area) {
+      DOD_ASSIGN_OR_RETURN(
+          verify_store,
+          CheckpointStore::Open(config.checkpoint_dir + "/verify", job_key,
+                                config.resume));
+    }
+  }
 
   JobSpec spec;
   spec.num_reduce_tasks = config.num_reduce_tasks;
@@ -554,6 +681,9 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
   spec.faults = config.faults;
   spec.retry = config.retry;
   spec.shuffle = config.shuffle;
+  spec.resume = config.resume;
+  spec.control = control_ptr;
+  spec.memory = &memory;
   spec.split_input_bytes.reserve(store.num_blocks());
   spec.split_record_hints.reserve(store.num_blocks());
   for (size_t b = 0; b < store.num_blocks(); ++b) {
@@ -578,13 +708,56 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
   // The reducers record one predicted-vs-measured profile per reduced cell;
   // keyed by cell, so retried attempts overwrite instead of duplicating.
   PartitionProfiler profiler;
+
+  // The detection job's checkpoint payloads carry the profile rows of the
+  // task's cells alongside the engine-owned output (the rows feed
+  // JobStats::partition_profiles, so a resumed run must recover them). The
+  // cells of reduce task `index` are exactly the ones the allocation plan
+  // assigned to it.
+  JobSpec detect_spec = spec;
+  detect_spec.checkpoint = detect_store.get();
+  if (diagnostics != nullptr) {
+    detect_spec.partial_stats = &diagnostics->detect_stats;
+  }
+  detect_spec.checkpoint_extra = [&profiler, &allocation](
+                                     TaskPhase phase, int index,
+                                     PayloadWriter& writer) {
+    if (phase != TaskPhase::kReduce) return;  // map tasks record no profiles
+    std::vector<PartitionProfile> rows;
+    for (uint32_t cell = 0; cell < allocation.size(); ++cell) {
+      PartitionProfile profile;
+      if (allocation[cell] == index && profiler.Get(cell, &profile)) {
+        rows.push_back(std::move(profile));
+      }
+    }
+    writer.U64(rows.size());
+    for (const PartitionProfile& row : rows) WriteProfile(row, writer);
+  };
+  detect_spec.restore_extra = [&profiler](TaskPhase phase, int /*index*/,
+                                          PayloadReader& reader) -> Status {
+    if (phase != TaskPhase::kReduce) return Status::Ok();
+    uint64_t count = 0;
+    DOD_RETURN_IF_ERROR(reader.U64(&count));
+    for (uint64_t i = 0; i < count; ++i) {
+      PartitionProfile profile;
+      DOD_RETURN_IF_ERROR(ReadProfile(reader, &profile));
+      // Re-observing the registry histograms keeps the metric totals
+      // consistent with a run that executed the task (the profiles are
+      // output; the histograms are their observability mirror).
+      RecordPartitionMetrics(profile);
+      profiler.Record(profile);
+    }
+    return Status::Ok();
+  };
+
   if (result.plan.uses_supporting_area) {
     trace::Span job_span("pipeline", "detect_job");
     DetectMapper mapper(store, partition_plan, router, /*emit_support=*/true);
-    DetectReducer reducer(data, result.plan, config.params, &profiler);
+    DetectReducer reducer(data, result.plan, config.params, &profiler,
+                          control_ptr, &memory);
     Result<JobOutput<PointId>> job =
         RunMapReduce<uint32_t, TaggedWord, PointId>(
-            store.num_blocks(), mapper, reducer, partition_fn, spec,
+            store.num_blocks(), mapper, reducer, partition_fn, detect_spec,
             record_bytes, detect_record_size, &allocation);
     if (!job.ok()) return AnnotateJobError("detection job", job.status());
     result.outliers = std::move(job.value().output);
@@ -594,22 +767,28 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
     // Domain baseline: job 1 detects locally, job 2 verifies candidates.
     trace::Span job_span("pipeline", "detect_job");
     DetectMapper mapper(store, partition_plan, router, /*emit_support=*/false);
-    DomainDetectReducer reducer(data, result.plan, config.params, &profiler);
+    DomainDetectReducer reducer(data, result.plan, config.params, &profiler,
+                                control_ptr, &memory);
     Result<JobOutput<Candidate>> job =
         RunMapReduce<uint32_t, TaggedWord, Candidate>(
-            store.num_blocks(), mapper, reducer, partition_fn, spec,
+            store.num_blocks(), mapper, reducer, partition_fn, detect_spec,
             record_bytes, detect_record_size, &allocation);
     if (!job.ok()) return AnnotateJobError("detection job", job.status());
     result.detect_stats = std::move(job.value().stats);
     result.breakdown.detect = result.detect_stats.stage_times;
 
     trace::Span verify_span("pipeline", "verify_job");
+    JobSpec verify_spec = spec;
+    verify_spec.checkpoint = verify_store.get();
+    if (diagnostics != nullptr) {
+      verify_spec.partial_stats = &diagnostics->verify_stats;
+    }
     VerifyMapper verify_mapper(store, router, job.value().output);
-    VerifyReducer verify_reducer(data, config.params);
+    VerifyReducer verify_reducer(data, config.params, control_ptr, &memory);
     Result<JobOutput<PointId>> verify =
         RunMapReduce<uint32_t, VerifyRecord, PointId>(
             store.num_blocks(), verify_mapper, verify_reducer, partition_fn,
-            spec, record_bytes,
+            verify_spec, record_bytes,
             [dims](const uint32_t&, const VerifyRecord& record) {
               return VerifyRecordBytes(dims, record);
             },
@@ -622,6 +801,13 @@ Result<DodResult> DodPipeline::Run(const Dataset& data) const {
     result.breakdown.verify = result.verify_stats.stage_times;
   }
   result.detect_stats.partition_profiles = profiler.Sorted();
+  if (diagnostics != nullptr) {
+    // On success the diagnostics mirror the result's stats (on failure the
+    // engine filled them with the partial-progress deltas before
+    // returning).
+    diagnostics->detect_stats = result.detect_stats;
+    diagnostics->verify_stats = result.verify_stats;
+  }
 
   std::sort(result.outliers.begin(), result.outliers.end());
   result.wall_seconds = wall.ElapsedSeconds();

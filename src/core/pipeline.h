@@ -57,6 +57,16 @@ struct DodResult {
   double wall_seconds = 0.0;
 };
 
+// Out-parameter of Run() that survives failure. A run aborted by a
+// deadline, cancellation, or an exhausted memory budget returns only a
+// Status; the per-job stats accumulated up to the abort point land here so
+// callers can report partial progress. On success it mirrors the stats in
+// DodResult.
+struct RunDiagnostics {
+  JobStats detect_stats;
+  JobStats verify_stats;
+};
+
 class DodPipeline {
  public:
   explicit DodPipeline(DodConfig config) : config_(std::move(config)) {}
@@ -67,7 +77,16 @@ class DodPipeline {
   // dataset, and propagates the structured error of any MapReduce task
   // that exhausted its retry budget (config().retry / config().faults);
   // the process never aborts on task failure.
+  //
+  // Durable execution (config().checkpoint_dir / resume / deadline_seconds
+  // / memory_budget_mb / cancel_token, see config.h) applies to the
+  // detection and verification jobs; a resumed run skips the tasks whose
+  // checkpoints committed and produces byte-identical output. A run
+  // stopped by deadline, cancellation, or memory budget returns
+  // kDeadlineExceeded / kCancelled / kResourceExhausted; pass
+  // `diagnostics` to receive the partial-progress stats of such a run.
   Result<DodResult> Run(const Dataset& data) const;
+  Result<DodResult> Run(const Dataset& data, RunDiagnostics* diagnostics) const;
 
   // Convenience for callers that treat failure as fatal (tests, benches):
   // Run() with a CHECK on the status.

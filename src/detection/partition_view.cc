@@ -2,6 +2,8 @@
 
 #include "detection/partition_view.h"
 
+#include <new>
+
 #include "common/random.h"
 #include "observability/metrics.h"
 #include "observability/trace.h"
@@ -45,14 +47,39 @@ Dataset PartitionView::Gather() const {
   return gathered;
 }
 
-TaskArena::TaskArena(const Dataset& data)
-    : data_(data), probes_(data.dims()) {}
+TaskArena::TaskArena(const Dataset& data, MemoryBudget* budget)
+    : data_(data), budget_(budget), probes_(data.dims()) {}
+
+Status TaskArena::TryReserve(size_t num_cells, size_t num_points) {
+  // Block alignment can pad each cell up to a full block.
+  const size_t slots = num_points + num_cells * kSoaWidth;
+  const uint64_t stage_bytes =
+      static_cast<uint64_t>(num_points) * sizeof(PointId) +
+      static_cast<uint64_t>(num_cells) * sizeof(CellSlot);
+  const uint64_t probe_bytes =
+      static_cast<uint64_t>(slots) *
+      (static_cast<uint64_t>(data_.dims()) * sizeof(double) +
+       sizeof(uint32_t));
+  DOD_RETURN_IF_ERROR(
+      stage_charge_.Acquire(budget_, stage_bytes, "task arena id staging"));
+  DOD_RETURN_IF_ERROR(
+      probe_charge_.Acquire(budget_, probe_bytes, "task arena probe buffer"));
+  try {
+    cells_.reserve(num_cells);
+    ids_.reserve(num_points);
+    probes_.Reserve(slots);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        "task arena reservation for " + std::to_string(num_points) +
+        " points across " + std::to_string(num_cells) +
+        " cells failed to allocate (std::bad_alloc)");
+  }
+  return Status::Ok();
+}
 
 void TaskArena::Reserve(size_t num_cells, size_t num_points) {
-  cells_.reserve(num_cells);
-  ids_.reserve(num_points);
-  // Block alignment can pad each cell up to a full block.
-  probes_.Reserve(num_points + num_cells * kSoaWidth);
+  const Status status = TryReserve(num_cells, num_points);
+  DOD_CHECK(status.ok());
 }
 
 void TaskArena::BeginCell() {
@@ -94,6 +121,16 @@ void TaskArena::BuildProbes() {
   span.Arg("cells", static_cast<uint64_t>(cells_.size()))
       .Arg("points", static_cast<uint64_t>(points));
   RecordArenaBuild(cells_.size(), points);
+}
+
+Status TaskArena::TryBuildProbes() {
+  try {
+    BuildProbes();
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        "task arena probe build failed to allocate (std::bad_alloc)");
+  }
+  return Status::Ok();
 }
 
 PartitionView TaskArena::View(size_t index) const {

@@ -32,6 +32,7 @@
 #include "common/bounds.h"
 #include "common/dataset.h"
 #include "common/point.h"
+#include "durability/memory_budget.h"
 #include "kernels/soa_block.h"
 
 namespace dod {
@@ -119,15 +120,27 @@ class PartitionView {
 // it), and records the kernels.soa_reuse.* metrics.
 class TaskArena {
  public:
-  explicit TaskArena(const Dataset& data);
+  // `budget` (optional, borrowed) bounds the arena's reservations: the id
+  // staging and the probe buffer are charged before allocation and the
+  // charges are held for the arena's lifetime (Clear() keeps capacity, so
+  // it keeps the charges too).
+  explicit TaskArena(const Dataset& data, MemoryBudget* budget = nullptr);
 
-  // Optional pre-sizing with the task's totals.
+  // Optional pre-sizing with the task's totals. The Try variant charges the
+  // estimated bytes against the budget and converts denial or a failed
+  // allocation into kResourceExhausted; the void variant is the legacy
+  // budget-free path and aborts on failure.
+  Status TryReserve(size_t num_cells, size_t num_points);
   void Reserve(size_t num_cells, size_t num_points);
 
   void BeginCell();
   void AddPoint(PointId id) { ids_.push_back(id); }
   void EndCell(size_t num_core, uint64_t permutation_seed);
 
+  // TryBuildProbes converts std::bad_alloc from the probe layout into
+  // kResourceExhausted (reservation estimates cover the common case, but
+  // staging past the reserved sizes can still grow the buffers).
+  Status TryBuildProbes();
   void BuildProbes();
 
   size_t num_cells() const { return cells_.size(); }
@@ -149,6 +162,9 @@ class TaskArena {
   };
 
   const Dataset& data_;
+  MemoryBudget* budget_;
+  MemoryCharge stage_charge_;
+  MemoryCharge probe_charge_;
   std::vector<PointId> ids_;
   std::vector<CellSlot> cells_;
   SoABlock probes_;

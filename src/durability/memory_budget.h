@@ -1,0 +1,136 @@
+// Copyright 2026 The DOD Authors.
+//
+// Cooperative memory budgeting for large transient allocations.
+//
+// A `MemoryBudget` tracks bytes charged against a caller-set limit. Two
+// distinct questions are answered, and keeping them separate is what makes
+// budget-driven decisions reproducible:
+//
+//  - `FitsAlone(bytes)`: would this allocation, by itself, fit the limit?
+//    This is a pure function of (bytes, limit) — independent of what other
+//    threads have charged — so decisions made on it (e.g. degrading the
+//    columnar shuffle to the sorted path) are deterministic across thread
+//    counts and interleavings, keeping outputs byte-identical.
+//
+//  - `TryCharge(bytes)`: account the allocation against current usage.
+//    This is the real concurrent bookkeeping; it feeds the peak gauge and
+//    turns genuine overcommit into structured kResourceExhausted errors.
+//
+// A zero limit means unlimited: every check passes, accounting still runs
+// so peak usage is observable. Charges must be paired with releases; the
+// RAII `MemoryCharge` does that, and also converts `std::bad_alloc` thrown
+// by the guarded allocation into kResourceExhausted at its call sites.
+
+#ifndef DOD_DURABILITY_MEMORY_BUDGET_H_
+#define DOD_DURABILITY_MEMORY_BUDGET_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace dod {
+
+class MemoryBudget {
+ public:
+  // `limit_bytes` == 0 disables enforcement (accounting still runs).
+  explicit MemoryBudget(uint64_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  uint64_t limit_bytes() const { return limit_; }
+  uint64_t used_bytes() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+
+  // Deterministic admission check: true iff an allocation of `bytes` fits
+  // the limit on its own. Use for decisions that must not depend on
+  // concurrent usage (see file comment).
+  bool FitsAlone(uint64_t bytes) const {
+    return limit_ == 0 || bytes <= limit_;
+  }
+
+  // Charges `bytes` against current usage; false when the charge would
+  // push usage past the limit (nothing is charged in that case).
+  bool TryCharge(uint64_t bytes) {
+    uint64_t used = used_.load(std::memory_order_relaxed);
+    do {
+      if (limit_ != 0 && (used >= limit_ || bytes > limit_ - used)) {
+        return false;
+      }
+    } while (!used_.compare_exchange_weak(used, used + bytes,
+                                          std::memory_order_relaxed));
+    UpdatePeak(used + bytes);
+    return true;
+  }
+
+  void Release(uint64_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+ private:
+  void UpdatePeak(uint64_t candidate) {
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (candidate > peak &&
+           !peak_.compare_exchange_weak(peak, candidate,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t limit_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+// RAII charge against an optional budget. Usage:
+//
+//   MemoryCharge charge;
+//   DOD_RETURN_IF_ERROR(charge.Acquire(budget, bytes, "shuffle bucket"));
+//   ... allocate ...
+//
+// A null budget makes Acquire a no-op that always succeeds. The charge is
+// released on destruction (or explicit Release()).
+class MemoryCharge {
+ public:
+  MemoryCharge() = default;
+  ~MemoryCharge() { Release(); }
+
+  MemoryCharge(const MemoryCharge&) = delete;
+  MemoryCharge& operator=(const MemoryCharge&) = delete;
+  MemoryCharge(MemoryCharge&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+
+  Status Acquire(MemoryBudget* budget, uint64_t bytes, const char* what) {
+    Release();
+    if (budget == nullptr || bytes == 0) return Status::Ok();
+    if (!budget->TryCharge(bytes)) {
+      return Status::ResourceExhausted(
+          std::string(what) + " needs " + std::to_string(bytes) +
+          " bytes but only " +
+          std::to_string(budget->limit_bytes() -
+                         std::min(budget->limit_bytes(),
+                                  budget->used_bytes())) +
+          " of the " + std::to_string(budget->limit_bytes()) +
+          "-byte budget remain");
+    }
+    budget_ = budget;
+    bytes_ = bytes;
+    return Status::Ok();
+  }
+
+  void Release() {
+    if (budget_ != nullptr) budget_->Release(bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+  }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace dod
+
+#endif  // DOD_DURABILITY_MEMORY_BUDGET_H_

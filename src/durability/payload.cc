@@ -1,0 +1,66 @@
+// Copyright 2026 The DOD Authors.
+
+#include "durability/payload.h"
+
+namespace dod {
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+Status PayloadReader::Fixed(void* out, size_t size, const char* what) {
+  if (failed_ || size > remaining()) {
+    failed_ = true;
+    return Status::IoError(std::string("payload truncated reading ") + what +
+                           " at offset " + std::to_string(cursor_));
+  }
+  if (size > 0) std::memcpy(out, bytes_.data() + cursor_, size);
+  cursor_ += size;
+  return Status::Ok();
+}
+
+Status PayloadReader::Raw(void* out, size_t size) {
+  return Fixed(out, size, "raw bytes");
+}
+
+Status PayloadReader::String(std::string* out) {
+  uint32_t length = 0;
+  DOD_RETURN_IF_ERROR(U32(&length));
+  if (length > remaining()) {
+    failed_ = true;
+    return Status::IoError("payload truncated: string of " +
+                           std::to_string(length) + " bytes at offset " +
+                           std::to_string(cursor_) + " overruns payload");
+  }
+  out->assign(bytes_.data() + cursor_, length);
+  cursor_ += length;
+  return Status::Ok();
+}
+
+Status PayloadReader::F64Vec(std::vector<double>* out) {
+  uint64_t count = 0;
+  DOD_RETURN_IF_ERROR(U64(&count));
+  if (count > remaining() / sizeof(double)) {
+    failed_ = true;
+    return Status::IoError("payload truncated: double vector of " +
+                           std::to_string(count) + " entries overruns payload");
+  }
+  out->resize(static_cast<size_t>(count));
+  return Raw(out->data(), static_cast<size_t>(count) * sizeof(double));
+}
+
+Status PayloadReader::ExpectDone() const {
+  if (failed_) return Status::IoError("payload reader is in a failed state");
+  if (remaining() != 0) {
+    return Status::IoError("payload has " + std::to_string(remaining()) +
+                           " trailing bytes");
+  }
+  return Status::Ok();
+}
+
+}  // namespace dod

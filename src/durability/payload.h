@@ -1,0 +1,103 @@
+// Copyright 2026 The DOD Authors.
+//
+// Binary payload codec for checkpoint records.
+//
+// Checkpoint payloads are flat little-endian byte streams written by
+// PayloadWriter and read back by PayloadReader. The format is deliberately
+// dumb — fixed-width scalars, length-prefixed strings and vectors, no
+// self-description — because every payload is paired with a manifest entry
+// carrying its byte length and checksum (durability/checkpoint.h), and the
+// writer and reader are always the same binary on the same machine
+// (machine-local artifacts, like io/binary.h's datasets).
+//
+// PayloadReader never trusts its input: every read is bounds-checked and
+// returns a structured Status on truncation or length-prefix overflow, so
+// a corrupted or version-skewed payload degrades into an error the caller
+// can handle (typically: discard the record and re-run the task), never
+// into undefined behavior. The checkpoint fuzz tests drive this contract.
+
+#ifndef DOD_DURABILITY_PAYLOAD_H_
+#define DOD_DURABILITY_PAYLOAD_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dod {
+
+// FNV-1a 64-bit hash; the manifest's payload checksum.
+uint64_t Fnv1a64(std::string_view bytes);
+
+// Appends fixed-width scalars and length-prefixed containers to a byte
+// buffer. Never fails; the result is taken with str().
+class PayloadWriter {
+ public:
+  void U8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+
+  void Raw(const void* bytes, size_t size) {
+    if (size == 0) return;  // empty vectors hand out a null data()
+    buffer_.append(static_cast<const char*>(bytes), size);
+  }
+
+  // Length-prefixed string (u32 length + bytes).
+  void String(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+
+  // Length-prefixed vector of doubles (u64 count + raw values).
+  void F64Vec(const std::vector<double>& v) {
+    U64(v.size());
+    Raw(v.data(), v.size() * sizeof(double));
+  }
+
+  size_t size() const { return buffer_.size(); }
+  const std::string& str() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+// Bounds-checked sequential reader over a payload byte view. The view must
+// outlive the reader. All reads advance the cursor; a failed read leaves
+// the reader in an error state (subsequent reads keep failing).
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Status U8(uint8_t* out) { return Fixed(out, sizeof(*out), "u8"); }
+  Status U32(uint32_t* out) { return Fixed(out, sizeof(*out), "u32"); }
+  Status U64(uint64_t* out) { return Fixed(out, sizeof(*out), "u64"); }
+  Status F64(double* out) { return Fixed(out, sizeof(*out), "f64"); }
+
+  Status Raw(void* out, size_t size);
+
+  Status String(std::string* out);
+  Status F64Vec(std::vector<double>* out);
+
+  // Bytes left to read.
+  size_t remaining() const { return bytes_.size() - cursor_; }
+
+  // OK when the payload was consumed exactly; trailing bytes indicate a
+  // writer/reader mismatch and fail like truncation does.
+  Status ExpectDone() const;
+
+ private:
+  Status Fixed(void* out, size_t size, const char* what);
+
+  std::string_view bytes_;
+  size_t cursor_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace dod
+
+#endif  // DOD_DURABILITY_PAYLOAD_H_

@@ -1,0 +1,84 @@
+// Copyright 2026 The DOD Authors.
+//
+// Deadline and cancellation propagation for long-running jobs.
+//
+// A `CancellationToken` is a cheap copyable handle to a shared flag the
+// caller can flip from any thread (e.g. a signal handler trampoline or a
+// supervising thread). A `RunControl` bundles an optional token with an
+// optional absolute deadline; code on the hot path calls `Check()` at
+// natural preemption points (task boundaries, per-cell loops) and
+// propagates the structured kCancelled / kDeadlineExceeded status it
+// returns. Both checks are wait-free reads, so sprinkling them inside
+// inner loops is safe.
+
+#ifndef DOD_DURABILITY_RUN_CONTROL_H_
+#define DOD_DURABILITY_RUN_CONTROL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/status.h"
+
+namespace dod {
+
+// Copyable handle to a shared cancellation flag. A default-constructed
+// token is live (not cancelled) and can be cancelled later; all copies
+// observe the same flag.
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() const { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+// Immutable per-run bundle of stop conditions, checked cooperatively.
+class RunControl {
+ public:
+  RunControl() = default;
+
+  // `deadline_seconds` <= 0 means no deadline; the deadline clock starts
+  // at the call, so construct the control right before the run begins.
+  static RunControl WithDeadline(double deadline_seconds,
+                                 CancellationToken token) {
+    RunControl control;
+    control.token_ = std::move(token);
+    control.has_token_ = true;
+    if (deadline_seconds > 0.0) {
+      control.deadline_ = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(deadline_seconds));
+      control.has_deadline_ = true;
+    }
+    return control;
+  }
+
+  // OK while the run may continue; kCancelled / kDeadlineExceeded once a
+  // stop condition fired. Cancellation wins when both have fired.
+  Status Check() const {
+    if (has_token_ && token_.cancelled()) {
+      return Status::Cancelled("run cancelled by caller");
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      return Status::DeadlineExceeded("run exceeded its deadline");
+    }
+    return Status::Ok();
+  }
+
+  bool active() const { return has_token_ || has_deadline_; }
+
+ private:
+  CancellationToken token_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_token_ = false;
+  bool has_deadline_ = false;
+};
+
+}  // namespace dod
+
+#endif  // DOD_DURABILITY_RUN_CONTROL_H_

@@ -62,6 +62,10 @@ Result<Dataset> ReadBinary(const std::string& path) {
   if (!in.eof()) {
     return Status::InvalidArgument("trailing bytes in " + path);
   }
+  // The payload is raw doubles; bit patterns for NaN/inf round-trip
+  // perfectly through the format, so corruption (or a hostile writer) must
+  // be caught by value, not by parse failure.
+  DOD_RETURN_IF_ERROR(dataset.Validate());
   return dataset;
 }
 

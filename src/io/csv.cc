@@ -112,6 +112,9 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
     }
     dataset.Append(p);
   }
+  // strtod happily parses "nan" and "inf"; reject them here so a poisoned
+  // CSV fails loudly instead of corrupting cell assignment downstream.
+  DOD_RETURN_IF_ERROR(dataset.Validate());
   return dataset;
 }
 

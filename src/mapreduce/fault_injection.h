@@ -65,6 +65,18 @@ struct FaultSpec {
   // injected fault transient once the retry budget exceeds it. The default
   // leaves faults unrestricted (a task can fail its whole budget).
   int max_faulty_attempts_per_task = std::numeric_limits<int>::max();
+
+  // Crash injection for durability testing: kill the *job* right after the
+  // task (crash_phase, crash_at_task) commits — and, when checkpointing is
+  // on, after its checkpoint is durably recorded. With `crash_exit` the
+  // whole process dies via _Exit(42), simulating a kill -9 for the
+  // crash-recovery CI leg; otherwise the job returns a structured
+  // kUnavailable error. -1 disables. Unlike the probabilistic rates above,
+  // the crash fires regardless of `enabled` (it is an engine-level switch,
+  // not an injector decision).
+  int crash_at_task = -1;
+  TaskPhase crash_phase = TaskPhase::kReduce;
+  bool crash_exit = false;
 };
 
 // Stateless decision oracle over a FaultSpec. Const and cheap; one instance

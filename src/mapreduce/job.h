@@ -38,13 +38,22 @@
 #define DOD_MAPREDUCE_JOB_H_
 
 #include <algorithm>
+#include <cstdlib>
 #include <functional>
 #include <iterator>
+#include <new>
+#include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/status.h"
 #include "common/timer.h"
+#include "durability/checkpoint.h"
+#include "durability/memory_budget.h"
+#include "durability/payload.h"
+#include "durability/run_control.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/fault_injection.h"
@@ -157,6 +166,40 @@ struct JobSpec {
   // Fault injection (disabled by default) and the task attempt policy.
   FaultSpec faults;
   RetryPolicy retry;
+
+  // ---- Durable execution (all optional; pointers are borrowed and must
+  // outlive the job) -----------------------------------------------------
+
+  // Committed-task checkpoint store. When set, every map/reduce task's
+  // committed output (plus its stats delta and slot costs) is durably
+  // recorded right after commit; with `resume` also set, tasks already
+  // recorded are restored instead of re-executed, and the job's output and
+  // stats come out byte-identical to an uninterrupted run. Requires
+  // trivially copyable K/V/Out (enforced with a structured error); a
+  // checkpoint that fails to load is logged, counted, and the task simply
+  // re-runs.
+  CheckpointStore* checkpoint = nullptr;
+  bool resume = false;
+  // Deadline/cancellation control, checked before every task attempt and
+  // between phases; a fired condition aborts with kDeadlineExceeded /
+  // kCancelled (see `partial_stats`).
+  const RunControl* control = nullptr;
+  // Memory budget. Deterministically degrades the columnar shuffle to the
+  // sorted path when its scratch would not fit (result-identical, counted
+  // in mr.shuffle.budget_fallback_tasks), skips shuffle-bucket
+  // pre-reserves that would not fit, and turns allocation failures inside
+  // attempts into kResourceExhausted.
+  MemoryBudget* memory = nullptr;
+  // When set, a failing job merges the stats of all work that did complete
+  // into *partial_stats before returning its error — partial-progress
+  // reporting for deadline, cancellation, and budget aborts.
+  JobStats* partial_stats = nullptr;
+  // Optional hooks appending / restoring caller-owned per-task durable
+  // state on the checkpoint payloads (e.g. the detection pipeline's
+  // partition-profile records, which otherwise live outside JobStats
+  // deltas and would be lost across a resume).
+  std::function<void(TaskPhase, int, PayloadWriter&)> checkpoint_extra;
+  std::function<Status(TaskPhase, int, PayloadReader&)> restore_extra;
 };
 
 template <typename Out>
@@ -260,17 +303,110 @@ Result<JobOutput<Out>> RunMapReduce(
     return Status::InvalidArgument(
         "RunMapReduce: num_reduce_tasks must be >= 1");
   }
+  // Checkpoint payloads store records and outputs as raw bytes; that is
+  // only sound for trivially copyable types. Jobs with richer types can
+  // still run — they just cannot checkpoint. The check is on K and V, not
+  // on pair<K, V>: pair's user-provided assignment operator makes the pair
+  // formally non-trivially-copyable even when its representation — all
+  // that the byte copy touches — is two trivially copyable members.
+  constexpr bool kCheckpointable = std::is_trivially_copyable_v<K> &&
+                                   std::is_trivially_copyable_v<V> &&
+                                   std::is_trivially_copyable_v<Out>;
+  if constexpr (!kCheckpointable) {
+    if (spec.checkpoint != nullptr) {
+      return Status::Unimplemented(
+          "RunMapReduce: checkpointing requires trivially copyable "
+          "key/value/output types");
+    }
+  }
   JobOutput<Out> result;
   JobStats& stats = result.stats;
   StopWatch wall;
 
   const FaultInjector injector(spec.faults);
-  TaskRunner runner(spec.retry, injector, spec.cluster);
+  TaskRunner runner(spec.retry, injector, spec.cluster, spec.control);
   ParallelExecutor executor(spec.num_threads);
   stats.threads_used = executor.num_threads();
 
   const size_t num_reduce = static_cast<size_t>(spec.num_reduce_tasks);
   using Buckets = typename internal::ShuffleEmitter<K, V>::Buckets;
+
+  // ---- Durability plumbing ---------------------------------------------
+  // Registered unconditionally so the durability.* schema is always
+  // present in metrics dumps; Id() is idempotent across instantiations.
+  MetricsRegistry& dmetrics = MetricsRegistry::Global();
+  static const uint32_t kCkptTasksWritten = dmetrics.Id(
+      "durability.checkpoint.tasks_written", MetricKind::kCounter);
+  [[maybe_unused]] static const uint32_t kCkptTasksResumed = dmetrics.Id(
+      "durability.checkpoint.tasks_resumed", MetricKind::kCounter);
+  static const uint32_t kCkptBytesWritten = dmetrics.Id(
+      "durability.checkpoint.bytes_written", MetricKind::kCounter);
+  static const uint32_t kCkptWriteSeconds = dmetrics.Id(
+      "durability.checkpoint.write_seconds", MetricKind::kHistogram);
+  [[maybe_unused]] static const uint32_t kCkptLoadFailures = dmetrics.Id(
+      "durability.checkpoint.load_failures", MetricKind::kCounter);
+  static const uint32_t kControlAborts =
+      dmetrics.Id("durability.control.aborts", MetricKind::kCounter);
+  static const uint32_t kBudgetShuffleFallbacks = dmetrics.Id(
+      "durability.memory.shuffle_budget_fallbacks", MetricKind::kCounter);
+  static const uint32_t kBudgetReserveSkipped = dmetrics.Id(
+      "durability.memory.reserve_skipped", MetricKind::kCounter);
+  static const uint32_t kBudgetPeakBytes =
+      dmetrics.Id("durability.memory.peak_bytes", MetricKind::kGauge);
+
+  // Durably records one committed task. Best-effort: a failed write only
+  // costs resumability, never the job.
+  auto persist_checkpoint = [&](TaskPhase phase, int index,
+                                const PayloadWriter& payload) {
+    trace::Span span("durability", "checkpoint_commit");
+    span.Arg("phase", TaskPhaseName(phase))
+        .Arg("task", index)
+        .Arg("bytes", static_cast<uint64_t>(payload.size()));
+    StopWatch watch;
+    const Status status = spec.checkpoint->CommitTask(TaskPhaseName(phase),
+                                                      index, payload.str());
+    if (!status.ok()) {
+      span.Arg("status", "failed");
+      DOD_LOG(Warning) << "checkpoint write for " << TaskPhaseName(phase)
+                       << " task " << index
+                       << " failed: " << status.ToString();
+      return;
+    }
+    span.Arg("status", "ok");
+    dmetrics.Increment(kCkptTasksWritten);
+    dmetrics.Increment(kCkptBytesWritten, payload.size());
+    dmetrics.Observe(kCkptWriteSeconds, watch.ElapsedSeconds());
+  };
+
+  // Fires the configured crash after task (phase, index) committed (and,
+  // when checkpointing, after its record is durable) — see FaultSpec.
+  auto maybe_crash = [&](TaskPhase phase, int index) -> Status {
+    if (spec.faults.crash_at_task != index ||
+        spec.faults.crash_phase != phase) {
+      return Status::Ok();
+    }
+    if (spec.faults.crash_exit) {
+      // Simulated kill -9: no destructors, no stream flushes. Only the
+      // durably committed checkpoints survive — which is the point.
+      std::_Exit(42);
+    }
+    return Status::Unavailable(std::string("injected crash after ") +
+                               TaskPhaseName(phase) + " task " +
+                               std::to_string(index) + " committed");
+  };
+
+  // Merges the completed work's accounting into *spec.partial_stats (when
+  // requested) before a failing job returns `failure`.
+  auto fail_job = [&](Status failure) -> Status {
+    if (IsTerminalTaskStatus(failure.code())) {
+      dmetrics.Increment(kControlAborts);
+    }
+    if (spec.partial_stats != nullptr) {
+      stats.wall_seconds = wall.ElapsedSeconds();
+      *spec.partial_stats = stats;
+    }
+    return failure;
+  };
 
   // ---- Map phase -------------------------------------------------------
   // Every map task stages into private buckets; the winning attempt's
@@ -295,6 +431,63 @@ Result<JobOutput<Out>> RunMapReduce(
     map_status = executor.RunTasks(
       num_splits, [&](size_t split) -> Status {
         MapTaskState& task = map_tasks[split];
+        if constexpr (kCheckpointable) {
+          if (spec.checkpoint != nullptr && spec.resume &&
+              spec.checkpoint->HasTask("map", static_cast<int>(split))) {
+            trace::Span span("durability", "checkpoint_restore");
+            span.Arg("phase", "map").Arg("task",
+                                         static_cast<uint64_t>(split));
+            Status restored = [&]() -> Status {
+              DOD_ASSIGN_OR_RETURN(
+                  std::string payload,
+                  spec.checkpoint->LoadTask("map", static_cast<int>(split)));
+              PayloadReader reader(payload);
+              DOD_RETURN_IF_ERROR(
+                  DeserializeJobStatsDelta(&reader, &task.stats));
+              DOD_RETURN_IF_ERROR(reader.F64Vec(&task.slot_costs));
+              uint64_t num_buckets = 0;
+              DOD_RETURN_IF_ERROR(reader.U64(&num_buckets));
+              if (num_buckets != num_reduce) {
+                return Status::IoError(
+                    "map checkpoint bucket count mismatch");
+              }
+              task.committed.assign(num_reduce,
+                                    typename Buckets::value_type());
+              for (auto& bucket : task.committed) {
+                uint64_t count = 0;
+                DOD_RETURN_IF_ERROR(reader.U64(&count));
+                if (count > reader.remaining() / sizeof(std::pair<K, V>)) {
+                  return Status::IoError(
+                      "map checkpoint bucket overruns payload");
+                }
+                bucket.resize(static_cast<size_t>(count));
+                DOD_RETURN_IF_ERROR(reader.Raw(
+                    bucket.data(),
+                    static_cast<size_t>(count) * sizeof(std::pair<K, V>)));
+              }
+              if (spec.restore_extra) {
+                DOD_RETURN_IF_ERROR(spec.restore_extra(
+                    TaskPhase::kMap, static_cast<int>(split), reader));
+              }
+              return reader.ExpectDone();
+            }();
+            if (restored.ok()) {
+              span.Arg("status", "ok");
+              dmetrics.Increment(kCkptTasksResumed);
+              return Status::Ok();
+            }
+            // Self-healing: a record that fails validation is discarded
+            // and the task re-runs from scratch.
+            span.Arg("status", "failed");
+            dmetrics.Increment(kCkptLoadFailures);
+            DOD_LOG(Warning)
+                << "map task " << split << " checkpoint unusable ("
+                << restored.ToString() << "); re-running";
+            task.stats = JobStats();
+            task.slot_costs.clear();
+            task.committed = Buckets();
+          }
+        }
         task.staging.resize(num_reduce);
         if (split < spec.split_record_hints.size() &&
             spec.split_record_hints[split] > 0) {
@@ -304,14 +497,24 @@ Result<JobOutput<Out>> RunMapReduce(
           const uint64_t hint = spec.split_record_hints[split];
           const size_t per_bucket = static_cast<size_t>(
               hint / num_reduce + hint / (2 * num_reduce) + 1);
-          for (auto& bucket : task.staging) bucket.reserve(per_bucket);
+          const uint64_t reserve_bytes = static_cast<uint64_t>(per_bucket) *
+                                         num_reduce *
+                                         sizeof(std::pair<K, V>);
+          if (spec.memory != nullptr &&
+              !spec.memory->FitsAlone(reserve_bytes)) {
+            // Deterministic degrade: emit into un-presized buckets (slower,
+            // identical records) instead of reserving past the budget.
+            dmetrics.Increment(kBudgetReserveSkipped);
+          } else {
+            for (auto& bucket : task.staging) bucket.reserve(per_bucket);
+          }
         }
         const double scan_seconds =
             split < spec.split_input_bytes.size()
                 ? static_cast<double>(spec.split_input_bytes[split]) /
                       read_bytes_per_second
                 : 0.0;
-        return runner.RunTask(
+        const Status run_status = runner.RunTask(
             TaskPhase::kMap, static_cast<int>(split), scan_seconds,
             [&](int attempt) -> Status {
               for (auto& bucket : task.staging) bucket.clear();
@@ -334,9 +537,41 @@ Result<JobOutput<Out>> RunMapReduce(
               task.stats.bytes_shuffled += task.accounting.bytes;
             },
             task.stats, task.slot_costs);
+        if (!run_status.ok()) return run_status;
+        if constexpr (kCheckpointable) {
+          if (spec.checkpoint != nullptr) {
+            PayloadWriter payload;
+            SerializeJobStatsDelta(task.stats, &payload);
+            payload.F64Vec(task.slot_costs);
+            payload.U64(task.committed.size());
+            for (const auto& bucket : task.committed) {
+              payload.U64(bucket.size());
+              payload.Raw(bucket.data(),
+                          bucket.size() * sizeof(std::pair<K, V>));
+            }
+            if (spec.checkpoint_extra) {
+              spec.checkpoint_extra(TaskPhase::kMap, static_cast<int>(split),
+                                    payload);
+            }
+            persist_checkpoint(TaskPhase::kMap, static_cast<int>(split),
+                               payload);
+          }
+        }
+        return maybe_crash(TaskPhase::kMap, static_cast<int>(split));
       });
   }
-  if (!map_status.ok()) return map_status;
+  if (!map_status.ok()) {
+    // Fold the completed tasks' accounting in so partial-progress stats
+    // are available to the caller.
+    stats.map_wall_seconds = map_wall.ElapsedSeconds();
+    for (MapTaskState& task : map_tasks) {
+      stats.MergeFrom(task.stats);
+      stats.map_task_seconds.insert(stats.map_task_seconds.end(),
+                                    task.slot_costs.begin(),
+                                    task.slot_costs.end());
+    }
+    return fail_job(map_status);
+  }
   stats.map_wall_seconds = map_wall.ElapsedSeconds();
 
   // Deterministic shuffle merge: split order, then bucket order.
@@ -344,25 +579,37 @@ Result<JobOutput<Out>> RunMapReduce(
   {
     trace::Span shuffle_span("phase", "shuffle");
     stats.map_task_seconds.reserve(num_splits);
-    for (MapTaskState& task : map_tasks) {
-      stats.MergeFrom(task.stats);
-      stats.map_task_seconds.insert(stats.map_task_seconds.end(),
-                                    task.slot_costs.begin(),
-                                    task.slot_costs.end());
-      for (size_t r = 0; r < task.committed.size(); ++r) {
-        auto& committed = buckets[r];
-        auto& staged = task.committed[r];
-        committed.insert(committed.end(),
-                         std::make_move_iterator(staged.begin()),
-                         std::make_move_iterator(staged.end()));
+    try {
+      for (MapTaskState& task : map_tasks) {
+        stats.MergeFrom(task.stats);
+        stats.map_task_seconds.insert(stats.map_task_seconds.end(),
+                                      task.slot_costs.begin(),
+                                      task.slot_costs.end());
+        for (size_t r = 0; r < task.committed.size(); ++r) {
+          auto& committed = buckets[r];
+          auto& staged = task.committed[r];
+          committed.insert(committed.end(),
+                           std::make_move_iterator(staged.begin()),
+                           std::make_move_iterator(staged.end()));
+        }
+        // Free the per-task buffers eagerly; the shuffle now owns the data.
+        task.committed = Buckets();
+        task.staging = Buckets();
       }
-      // Free the per-task buffers eagerly; the shuffle now owns the data.
-      task.committed = Buckets();
-      task.staging = Buckets();
+    } catch (const std::bad_alloc&) {
+      return fail_job(Status::ResourceExhausted(
+          "shuffle merge failed to allocate the merged buckets"));
     }
     stats.records_mapped = stats.records_shuffled;
     shuffle_span.Arg("records", stats.records_shuffled)
         .Arg("bytes", stats.bytes_shuffled);
+  }
+
+  // Stop-condition check at the phase boundary: don't start reducing work
+  // that a fired deadline or cancellation has already doomed.
+  if (spec.control != nullptr) {
+    Status control_status = spec.control->Check();
+    if (!control_status.ok()) return fail_job(std::move(control_status));
   }
 
   // ---- Reduce phase (group + reduce, per task) --------------------------
@@ -387,7 +634,61 @@ Result<JobOutput<Out>> RunMapReduce(
       buckets.size(), [&](size_t index) -> Status {
         ReduceTaskState& task = reduce_tasks[index];
         auto& bucket = buckets[index];
-        return runner.RunTask(
+        if constexpr (kCheckpointable) {
+          if (spec.checkpoint != nullptr && spec.resume &&
+              spec.checkpoint->HasTask("reduce", static_cast<int>(index))) {
+            trace::Span span("durability", "checkpoint_restore");
+            span.Arg("phase", "reduce")
+                .Arg("task", static_cast<uint64_t>(index));
+            Status restored = [&]() -> Status {
+              DOD_ASSIGN_OR_RETURN(std::string payload,
+                                   spec.checkpoint->LoadTask(
+                                       "reduce", static_cast<int>(index)));
+              PayloadReader reader(payload);
+              DOD_RETURN_IF_ERROR(
+                  DeserializeJobStatsDelta(&reader, &task.stats));
+              DOD_RETURN_IF_ERROR(reader.F64Vec(&task.slot_costs));
+              uint8_t path = 0;
+              DOD_RETURN_IF_ERROR(reader.U8(&path));
+              if (path > static_cast<uint8_t>(
+                             internal::GroupPath::kSortedBudget)) {
+                return Status::IoError(
+                    "reduce checkpoint has unknown group path");
+              }
+              task.group_path = static_cast<internal::GroupPath>(path);
+              DOD_RETURN_IF_ERROR(reader.F64(&task.group_seconds));
+              uint64_t count = 0;
+              DOD_RETURN_IF_ERROR(reader.U64(&count));
+              if (count > reader.remaining() / sizeof(Out)) {
+                return Status::IoError(
+                    "reduce checkpoint output overruns payload");
+              }
+              task.committed.resize(static_cast<size_t>(count));
+              DOD_RETURN_IF_ERROR(
+                  reader.Raw(task.committed.data(),
+                             static_cast<size_t>(count) * sizeof(Out)));
+              if (spec.restore_extra) {
+                DOD_RETURN_IF_ERROR(spec.restore_extra(
+                    TaskPhase::kReduce, static_cast<int>(index), reader));
+              }
+              return reader.ExpectDone();
+            }();
+            if (restored.ok()) {
+              span.Arg("status", "ok");
+              dmetrics.Increment(kCkptTasksResumed);
+              return Status::Ok();
+            }
+            span.Arg("status", "failed");
+            dmetrics.Increment(kCkptLoadFailures);
+            DOD_LOG(Warning)
+                << "reduce task " << index << " checkpoint unusable ("
+                << restored.ToString() << "); re-running";
+            task.stats = JobStats();
+            task.slot_costs.clear();
+            task.committed = std::vector<Out>();
+          }
+        }
+        const Status run_status = runner.RunTask(
             TaskPhase::kReduce, static_cast<int>(index),
             /*extra_seconds=*/0.0,
             [&](int /*attempt*/) -> Status {
@@ -403,7 +704,8 @@ Result<JobOutput<Out>> RunMapReduce(
               StopWatch group_watch;
               internal::GroupScratch<K, V> scratch;
               const GroupedView<K, V> groups = internal::GroupBucket(
-                  bucket, spec.shuffle, &scratch, &task.group_path);
+                  bucket, spec.shuffle, &scratch, &task.group_path,
+                  spec.memory);
               task.group_seconds = group_watch.ElapsedSeconds();
               DOD_RETURN_IF_ERROR(reducer.TryReduceTask(groups, task.staged,
                                                         task.counters));
@@ -416,9 +718,38 @@ Result<JobOutput<Out>> RunMapReduce(
               task.stats.groups_reduced += task.groups;
             },
             task.stats, task.slot_costs);
+        if (!run_status.ok()) return run_status;
+        if constexpr (kCheckpointable) {
+          if (spec.checkpoint != nullptr) {
+            PayloadWriter payload;
+            SerializeJobStatsDelta(task.stats, &payload);
+            payload.F64Vec(task.slot_costs);
+            payload.U8(static_cast<uint8_t>(task.group_path));
+            payload.F64(task.group_seconds);
+            payload.U64(task.committed.size());
+            payload.Raw(task.committed.data(),
+                        task.committed.size() * sizeof(Out));
+            if (spec.checkpoint_extra) {
+              spec.checkpoint_extra(TaskPhase::kReduce,
+                                    static_cast<int>(index), payload);
+            }
+            persist_checkpoint(TaskPhase::kReduce, static_cast<int>(index),
+                               payload);
+          }
+        }
+        return maybe_crash(TaskPhase::kReduce, static_cast<int>(index));
       });
   }
-  if (!reduce_status.ok()) return reduce_status;
+  if (!reduce_status.ok()) {
+    stats.reduce_wall_seconds = reduce_wall.ElapsedSeconds();
+    for (ReduceTaskState& task : reduce_tasks) {
+      stats.MergeFrom(task.stats);
+      stats.reduce_task_seconds.insert(stats.reduce_task_seconds.end(),
+                                       task.slot_costs.begin(),
+                                       task.slot_costs.end());
+    }
+    return fail_job(reduce_status);
+  }
   stats.reduce_wall_seconds = reduce_wall.ElapsedSeconds();
 
   // Deterministic output commit: reduce-task index order.
@@ -477,6 +808,8 @@ Result<JobOutput<Out>> RunMapReduce(
         metrics.Id("mr.shuffle.sorted_tasks", MetricKind::kCounter);
     static const uint32_t kShuffleFallback =
         metrics.Id("mr.shuffle.fallback_tasks", MetricKind::kCounter);
+    static const uint32_t kShuffleBudgetFallback =
+        metrics.Id("mr.shuffle.budget_fallback_tasks", MetricKind::kCounter);
     static const uint32_t kShuffleGroupSeconds =
         metrics.Id("mr.shuffle.group_seconds", MetricKind::kHistogram);
     static const uint32_t kThreads =
@@ -508,6 +841,10 @@ Result<JobOutput<Out>> RunMapReduce(
         case internal::GroupPath::kSortedFallback:
           metrics.Increment(kShuffleFallback);
           break;
+        case internal::GroupPath::kSortedBudget:
+          metrics.Increment(kShuffleBudgetFallback);
+          metrics.Increment(kBudgetShuffleFallbacks);
+          break;
       }
       metrics.Observe(kShuffleGroupSeconds, task.group_seconds);
     }
@@ -519,6 +856,10 @@ Result<JobOutput<Out>> RunMapReduce(
       metrics.Observe(kReduceSlot, seconds);
     }
     metrics.Observe(kJobWall, stats.wall_seconds);
+    if (spec.memory != nullptr) {
+      metrics.SetMax(kBudgetPeakBytes,
+                     static_cast<double>(spec.memory->peak_bytes()));
+    }
   }
   return result;
 }

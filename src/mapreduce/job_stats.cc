@@ -69,4 +69,51 @@ std::string JobStats::ToString() const {
   return out;
 }
 
+void SerializeJobStatsDelta(const JobStats& stats, PayloadWriter* out) {
+  out->U64(stats.records_mapped);
+  out->U64(stats.records_shuffled);
+  out->U64(stats.bytes_shuffled);
+  out->U64(stats.groups_reduced);
+  out->U64(stats.task_attempts);
+  out->U64(stats.task_failures);
+  out->U64(stats.task_retries);
+  out->U64(stats.speculative_attempts);
+  out->U64(stats.speculative_wins);
+  out->U64(stats.shuffle_records_dropped);
+  out->U64(stats.shuffle_records_corrupted);
+  out->F64(stats.backoff_seconds);
+  const auto& counters = stats.counters.values();
+  out->U64(counters.size());
+  for (const auto& [name, value] : counters) {
+    out->String(name);
+    out->U64(value);
+  }
+}
+
+Status DeserializeJobStatsDelta(PayloadReader* in, JobStats* stats) {
+  *stats = JobStats();
+  DOD_RETURN_IF_ERROR(in->U64(&stats->records_mapped));
+  DOD_RETURN_IF_ERROR(in->U64(&stats->records_shuffled));
+  DOD_RETURN_IF_ERROR(in->U64(&stats->bytes_shuffled));
+  DOD_RETURN_IF_ERROR(in->U64(&stats->groups_reduced));
+  DOD_RETURN_IF_ERROR(in->U64(&stats->task_attempts));
+  DOD_RETURN_IF_ERROR(in->U64(&stats->task_failures));
+  DOD_RETURN_IF_ERROR(in->U64(&stats->task_retries));
+  DOD_RETURN_IF_ERROR(in->U64(&stats->speculative_attempts));
+  DOD_RETURN_IF_ERROR(in->U64(&stats->speculative_wins));
+  DOD_RETURN_IF_ERROR(in->U64(&stats->shuffle_records_dropped));
+  DOD_RETURN_IF_ERROR(in->U64(&stats->shuffle_records_corrupted));
+  DOD_RETURN_IF_ERROR(in->F64(&stats->backoff_seconds));
+  uint64_t num_counters = 0;
+  DOD_RETURN_IF_ERROR(in->U64(&num_counters));
+  for (uint64_t i = 0; i < num_counters; ++i) {
+    std::string name;
+    uint64_t value = 0;
+    DOD_RETURN_IF_ERROR(in->String(&name));
+    DOD_RETURN_IF_ERROR(in->U64(&value));
+    stats->counters.Increment(name, value);
+  }
+  return Status::Ok();
+}
+
 }  // namespace dod

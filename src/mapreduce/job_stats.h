@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+#include "durability/payload.h"
 #include "mapreduce/counters.h"
 #include "observability/profile.h"
 
@@ -90,6 +92,16 @@ struct JobStats {
   // One-line summary for logs/benches.
   std::string ToString() const;
 };
+
+// Checkpoint codec for a per-task JobStats *delta* (the accounting one
+// task contributes before the engine's MergeFrom). Only the fields a task
+// delta actually carries are serialized: the data-flow and fault-tolerance
+// counts, backoff, and the counters map. Global/gauge fields (stage times,
+// wall clocks, threads, blacklisted nodes, per-slot vectors, partition
+// profiles) are derived or restored through other channels and are left at
+// their defaults by Deserialize.
+void SerializeJobStatsDelta(const JobStats& stats, PayloadWriter* out);
+Status DeserializeJobStatsDelta(PayloadReader* in, JobStats* stats);
 
 }  // namespace dod
 

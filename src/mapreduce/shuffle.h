@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "durability/memory_budget.h"
 
 namespace dod {
 
@@ -133,13 +134,29 @@ namespace internal {
 inline constexpr uint64_t kDenseRangeSlack = 1024;
 inline constexpr uint64_t kDenseRangePerRecord = 4;
 
+// Bytes of scratch the columnar path would allocate for `records` records
+// over a key `range`: histogram + value column + worst-case keys/offsets.
+// A pure function of the bucket contents, so budget decisions built on it
+// are deterministic (see GroupBucket).
+inline uint64_t ColumnarScratchBytes(uint64_t records, uint64_t range,
+                                     size_t key_bytes, size_t value_bytes) {
+  const uint64_t groups = std::min(records, range);
+  return range * sizeof(size_t) + records * value_bytes +
+         groups * key_bytes + (groups + 1) * sizeof(size_t);
+}
+
 // Groups `bucket` by key with a stable two-pass counting sort; the caller
 // guarantees K is integral and the bucket is non-empty. Returns false —
 // leaving `scratch` untouched — when the key range fails the density
-// guard.
+// guard, or when `budget` (optional) cannot admit the scratch the sort
+// would allocate (`*budget_denied` distinguishes the latter). The budget
+// check uses MemoryBudget::FitsAlone, a pure function of (estimate,
+// limit), so the chosen path never depends on concurrent allocations.
 template <typename K, typename V>
 bool CountingSortGroups(const std::vector<std::pair<K, V>>& bucket,
-                        GroupScratch<K, V>* scratch) {
+                        GroupScratch<K, V>* scratch,
+                        const MemoryBudget* budget = nullptr,
+                        bool* budget_denied = nullptr) {
   static_assert(std::is_integral_v<K>,
                 "counting sort requires integral keys");
   using U = std::make_unsigned_t<K>;
@@ -156,6 +173,12 @@ bool CountingSortGroups(const std::vector<std::pair<K, V>>& bucket,
                             static_cast<U>(min_key)) + 1;
   if (range > kDenseRangeSlack +
                   kDenseRangePerRecord * static_cast<uint64_t>(bucket.size())) {
+    return false;
+  }
+  if (budget != nullptr &&
+      !budget->FitsAlone(ColumnarScratchBytes(bucket.size(), range, sizeof(K),
+                                              sizeof(V)))) {
+    if (budget_denied != nullptr) *budget_denied = true;
     return false;
   }
 
@@ -218,26 +241,34 @@ enum class GroupPath {
   kColumnar,        // counting sort
   kSorted,          // stable sort, as requested
   kSortedFallback,  // columnar requested but unavailable (key type/range)
+  kSortedBudget,    // columnar requested but its scratch exceeds the
+                    // memory budget — degraded to the sorted path
 };
 
 // Groups one reduce-task bucket under `mode`. The sorted path mutates the
 // bucket (in-place stable sort — idempotent, so attempt retries are safe);
 // the columnar path leaves it untouched and stages into `scratch`. Both
-// yield identical groups.
+// yield identical groups. A `budget` may veto the columnar path's scratch
+// allocation, degrading to the (in-place, allocation-light) sorted path;
+// the veto is deterministic and both paths group identically, so results
+// never change — only `*path` and the engine's fallback counters do.
 template <typename K, typename V>
 GroupedView<K, V> GroupBucket(std::vector<std::pair<K, V>>& bucket,
                               ShuffleMode mode,
                               GroupScratch<K, V>* scratch,
-                              GroupPath* path) {
+                              GroupPath* path,
+                              const MemoryBudget* budget = nullptr) {
   if (mode == ShuffleMode::kColumnar && !bucket.empty()) {
+    bool budget_denied = false;
     if constexpr (std::is_integral_v<K>) {
-      if (CountingSortGroups(bucket, scratch)) {
+      if (CountingSortGroups(bucket, scratch, budget, &budget_denied)) {
         *path = GroupPath::kColumnar;
         return GroupedView<K, V>(scratch->keys, scratch->values,
                                  scratch->offsets);
       }
     }
-    *path = GroupPath::kSortedFallback;
+    *path = budget_denied ? GroupPath::kSortedBudget
+                          : GroupPath::kSortedFallback;
   } else {
     *path = mode == ShuffleMode::kColumnar ? GroupPath::kColumnar
                                            : GroupPath::kSorted;

@@ -3,6 +3,7 @@
 #include "mapreduce/task_runner.h"
 
 #include <cmath>
+#include <new>
 #include <string>
 
 #include "common/logging.h"
@@ -12,9 +13,10 @@
 namespace dod {
 
 TaskRunner::TaskRunner(const RetryPolicy& policy, const FaultInjector& injector,
-                       const ClusterSpec& cluster)
+                       const ClusterSpec& cluster, const RunControl* control)
     : policy_(policy),
       injector_(injector),
+      control_(control),
       num_nodes_(cluster.num_nodes),
       node_failures_(static_cast<size_t>(cluster.num_nodes), 0),
       node_blacklisted_(static_cast<size_t>(cluster.num_nodes), false) {
@@ -63,6 +65,17 @@ Status TaskRunner::RunTask(TaskPhase phase, int task_index,
   FaultKind last_fault = FaultKind::kNone;
   int attempts = 0;
   for (int attempt = 0; attempt < policy_.max_task_attempts; ++attempt) {
+    if (control_ != nullptr) {
+      // A fired stop condition aborts the task before the attempt starts:
+      // no attempt accounting, no node blame — the task simply did not run.
+      Status control_status = control_->Check();
+      if (!control_status.ok()) {
+        return Status(control_status.code(),
+                      std::string(TaskPhaseName(phase)) + " task " +
+                          std::to_string(task_index) + " not started: " +
+                          control_status.message());
+      }
+    }
     // Retries wait out an exponential backoff before occupying a slot; the
     // wait is simulated (charged, not slept).
     double backoff = 0.0;
@@ -86,7 +99,18 @@ Status TaskRunner::RunTask(TaskPhase phase, int task_index,
                                                       : "reduce_attempt");
     span.Arg("task", task_index).Arg("attempt", attempt);
     StopWatch watch;
-    Status status = attempt_body(attempt);
+    Status status;
+    try {
+      status = attempt_body(attempt);
+    } catch (const std::bad_alloc&) {
+      // Project code is exception-free, but the standard library's
+      // allocators are not; surface allocation failure as the structured
+      // budget error instead of tearing down the process.
+      status = Status::ResourceExhausted(
+          std::string(TaskPhaseName(phase)) + " task " +
+          std::to_string(task_index) + " attempt " + std::to_string(attempt) +
+          " failed to allocate (std::bad_alloc)");
+    }
     const double measured = watch.ElapsedSeconds();
 
     if (status.ok() && fault == FaultKind::kTaskFailure) {
@@ -94,6 +118,14 @@ Status TaskRunner::RunTask(TaskPhase phase, int task_index,
     }
     if (fault != FaultKind::kNone) span.Arg("fault", FaultKindName(fault));
     span.Arg("status", status.ok() ? "ok" : "failed");
+    if (!status.ok() && IsTerminalTaskStatus(status.code())) {
+      // Not a task fault: a run-level stop condition or an exhausted
+      // budget that a retry would only hit again. Charge the spent slot
+      // time and propagate immediately — no node blame, no retries.
+      slot_costs.push_back(measured + extra_seconds + backoff);
+      ++task_stats.task_failures;
+      return status;
+    }
     if (!status.ok()) {
       // The attempt did its work before dying; its slot time is spent.
       slot_costs.push_back(measured + extra_seconds + backoff);

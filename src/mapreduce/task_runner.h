@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "durability/run_control.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/fault_injection.h"
 #include "mapreduce/job_stats.h"
@@ -67,13 +68,27 @@ struct RetryPolicy {
   int node_failure_quota = 3;
 };
 
+// True for status codes that must not be retried: the failure is not a
+// task fault but a run-level stop condition (deadline, cancellation) or a
+// resource budget that a retry would only hit again. The runner returns
+// these immediately, and the engine propagates them with partial-progress
+// stats instead of burning the attempt budget.
+inline bool IsTerminalTaskStatus(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kCancelled ||
+         code == StatusCode::kResourceExhausted;
+}
+
 // Runs logical tasks as retried attempts for one job. Owns the per-node
 // failure ledger; safe to call from concurrent worker threads for
 // distinct tasks.
 class TaskRunner {
  public:
+  // `control` (optional, borrowed) is consulted before every attempt;
+  // a fired deadline or cancellation aborts the task with the structured
+  // status instead of starting the attempt.
   TaskRunner(const RetryPolicy& policy, const FaultInjector& injector,
-             const ClusterSpec& cluster);
+             const ClusterSpec& cluster, const RunControl* control = nullptr);
 
   // Executes one logical task. `attempt_body(attempt)` runs the user code
   // into attempt-local staging and reports its status; `commit` publishes
@@ -102,6 +117,7 @@ class TaskRunner {
 
   const RetryPolicy& policy_;
   const FaultInjector& injector_;
+  const RunControl* control_;
   int num_nodes_;
   // Guards the node ledger below — the only state shared across
   // concurrently running tasks.

@@ -51,6 +51,17 @@ class PartitionProfiler {
     profiles_[profile.cell] = profile;
   }
 
+  // Copies the profile recorded for `cell` into `*out`; false when the
+  // cell has none. The checkpoint hooks use this to persist exactly the
+  // profiles a committed reduce task produced.
+  bool Get(uint32_t cell, PartitionProfile* out) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = profiles_.find(cell);
+    if (it == profiles_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
   // All recorded profiles in cell order.
   std::vector<PartitionProfile> Sorted() const {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "data/generators.h"
 
@@ -72,6 +73,18 @@ TEST_F(BinaryIoTest, RejectsTrailingGarbage) {
   out << "extra";
   out.close();
   EXPECT_FALSE(ReadBinary(path_).ok());
+}
+
+TEST_F(BinaryIoTest, RejectsNonFinitePayloadValues) {
+  // NaN bit patterns round-trip perfectly through the raw-double payload,
+  // so the reader has to reject them by value.
+  Dataset poisoned(2);
+  poisoned.Append(Point{1.0, 2.0});
+  poisoned.Append(Point{std::numeric_limits<double>::quiet_NaN(), 0.0});
+  ASSERT_TRUE(WriteBinary(poisoned, path_).ok());
+  const Result<Dataset> read = ReadBinary(path_);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(BinaryIoTest, MissingFileIsIoError) {

@@ -104,6 +104,17 @@ TEST_F(CsvTest, CustomDelimiter) {
   EXPECT_EQ(read.value().dims(), 2);
 }
 
+TEST_F(CsvTest, RejectsNonFiniteCoordinates) {
+  // strtod parses "nan" and "inf" happily; the loader must not let them
+  // through into the pipeline.
+  for (const char* bad : {"1.0,2.0\nnan,3.0\n", "1.0,inf\n", "-inf,0\n"}) {
+    WriteFile(bad);
+    const Result<Dataset> read = ReadCsv(path_);
+    ASSERT_FALSE(read.ok()) << bad;
+    EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
 TEST_F(CsvTest, SkipsEmptyLines) {
   WriteFile("1.0,2.0\n\n3.0,4.0\n");
   Result<Dataset> read = ReadCsv(path_);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace dod {
 namespace {
 
@@ -69,6 +71,35 @@ TEST(DatasetTest, RawStorageIsRowMajor) {
   data.Append(Point{1.0, 2.0});
   data.Append(Point{3.0, 4.0});
   EXPECT_EQ(data.raw(), (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(DatasetValidateTest, AcceptsFiniteCoordinates) {
+  Dataset data(3);
+  data.Append(Point{1.0, -2.5, 0.0});
+  data.Append(Point{1e300, -1e300, 4.25});
+  EXPECT_TRUE(data.Validate().ok());
+  EXPECT_TRUE(Dataset(2).Validate().ok());  // empty is vacuously valid
+}
+
+TEST(DatasetValidateTest, RejectsNaNNamingPointAndDimension) {
+  Dataset data(2);
+  data.Append(Point{1.0, 2.0});
+  data.Append(Point{3.0, std::numeric_limits<double>::quiet_NaN()});
+  const Status status = data.Validate();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("point 1"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("dimension 1"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(DatasetValidateTest, RejectsInfinities) {
+  for (const double bad : {std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()}) {
+    Dataset data(2);
+    data.Append(Point{bad, 0.0});
+    EXPECT_EQ(data.Validate().code(), StatusCode::kInvalidArgument);
+  }
 }
 
 }  // namespace

@@ -193,9 +193,10 @@ TEST(ObservabilityDeterminism, SameSeedRunsProduceIdenticalMetrics) {
   for (const auto& [name, snapshot] : first) {
     ASSERT_TRUE(second.count(name)) << name;
     const MetricSnapshot& other = second.at(name);
-    if (IsTimingMetric(name)) {
+    if (IsTimingMetric(name) || name == "durability.memory.peak_bytes") {
       // Timing metrics: the observation *count* is deterministic, the
-      // measured values are not.
+      // measured values are not. The memory peak gauge likewise tracks
+      // real concurrent usage, which depends on task interleaving.
       EXPECT_EQ(snapshot.count, other.count) << name;
       continue;
     }

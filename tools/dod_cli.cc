@@ -78,6 +78,25 @@ Fault tolerance (simulation):
   --fault_drop_prob P    injected shuffle-record drop probability
   --fault_corrupt_prob P injected shuffle-record corruption probability
                          (injection is enabled when any probability > 0)
+  --fault_crash_task N   crash right after task N of --fault_crash_phase
+                         commits (checkpoint already durable); -1 = off
+  --fault_crash_phase P  map | reduce (default reduce)
+  --fault_crash_exit     hard-exit (code 42, no flushes — simulated
+                         kill -9) instead of a structured job error
+
+Durable execution:
+  --checkpoint_dir DIR   write a per-task checkpoint after every commit
+                         under DIR/detect (and DIR/verify for --strategy
+                         domain)
+  --resume               skip tasks whose checkpoints committed; with the
+                         same configuration the output is byte-identical
+                         to an uninterrupted run
+  --deadline_ms N        abort with DeadlineExceeded after N wall-clock ms
+                         (checked between tasks and between cells)
+  --memory_budget_mb N   cap arena / shuffle-scratch memory; the columnar
+                         shuffle degrades to the sorted path when its
+                         scratch alone would not fit (results identical),
+                         genuine overcommit aborts with ResourceExhausted
 
 Output:
   --out PATH             write outlier coordinates (.csv or .bin)
@@ -302,6 +321,38 @@ dod::Result<dod::DodConfig> BuildConfig(const dod::FlagParser& flags,
                           config.faults.straggler_prob > 0.0 ||
                           config.faults.shuffle_drop_prob > 0.0 ||
                           config.faults.shuffle_corrupt_prob > 0.0;
+
+  // Crash injection fires regardless of `faults.enabled` (it is not a
+  // probabilistic fault; see FaultSpec).
+  auto crash_task = flags.GetInt("fault_crash_task", -1);
+  if (!crash_task.ok()) return crash_task.status();
+  config.faults.crash_at_task = static_cast<int>(crash_task.value());
+  const std::string crash_phase = flags.GetStringOr("fault_crash_phase",
+                                                    "reduce");
+  if (crash_phase == "map") {
+    config.faults.crash_phase = dod::TaskPhase::kMap;
+  } else if (crash_phase == "reduce") {
+    config.faults.crash_phase = dod::TaskPhase::kReduce;
+  } else {
+    return dod::Status::InvalidArgument(
+        "--fault_crash_phase must be map or reduce");
+  }
+  config.faults.crash_exit = flags.GetBoolOr("fault_crash_exit", false);
+
+  config.checkpoint_dir = flags.GetStringOr("checkpoint_dir", "");
+  config.resume = flags.GetBoolOr("resume", false);
+  if (config.resume && config.checkpoint_dir.empty()) {
+    return dod::Status::InvalidArgument("--resume requires --checkpoint_dir");
+  }
+  auto deadline_ms = flags.GetInt("deadline_ms", 0);
+  if (!deadline_ms.ok()) return deadline_ms.status();
+  config.deadline_seconds = static_cast<double>(deadline_ms.value()) / 1000.0;
+  auto budget_mb = flags.GetInt("memory_budget_mb", 0);
+  if (!budget_mb.ok()) return budget_mb.status();
+  if (budget_mb.value() < 0) {
+    return dod::Status::InvalidArgument("--memory_budget_mb must be >= 0");
+  }
+  config.memory_budget_mb = static_cast<uint64_t>(budget_mb.value());
   return config;
 }
 

@@ -7,6 +7,12 @@
 //
 //   validate_trace --trace trace.json --metrics metrics.json
 //                  [--min_task_spans N] [--min_partitions N]
+//                  [--require_durability]
+//
+// With --require_durability the run must have been checkpointed: the trace
+// must hold at least one "durability"-category span and the metrics dump
+// must carry the full durability.* schema (checkpoint counters + write
+// histogram + memory gauge) with at least one task written or resumed.
 //
 // Exits 0 when both documents validate, 1 with a diagnostic otherwise.
 
@@ -44,7 +50,8 @@ dod::Result<dod::JsonValue> LoadJson(const std::string& path) {
 
 // Chrome trace event format: every complete ("ph":"X") event must carry
 // name/cat/ts/dur/pid/tid. https://chromium.org trace_event format doc.
-int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans) {
+int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans,
+                  bool require_durability) {
   if (!doc.is_object()) return Fail("trace: top level is not an object");
   if (!doc.Has("traceEvents") || !doc.Get("traceEvents").is_array()) {
     return Fail("trace: missing traceEvents array");
@@ -53,6 +60,7 @@ int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans) {
   if (events.empty()) return Fail("trace: traceEvents is empty");
 
   long long task_spans = 0;
+  long long durability_spans = 0;
   for (size_t i = 0; i < events.size(); ++i) {
     const dod::JsonValue& event = events[i];
     const std::string where = "trace: event " + std::to_string(i);
@@ -75,17 +83,67 @@ int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans) {
       return Fail(where + ": negative ts/dur");
     }
     if (event.Get("cat").string_value() == "task") ++task_spans;
+    if (event.Get("cat").string_value() == "durability") ++durability_spans;
   }
   if (task_spans < min_task_spans) {
     return Fail("trace: " + std::to_string(task_spans) +
                 " task spans, expected >= " + std::to_string(min_task_spans));
   }
-  std::printf("trace ok: %zu events, %lld task spans\n", events.size(),
-              task_spans);
+  if (require_durability && durability_spans == 0) {
+    return Fail("trace: no durability spans (checkpoint_commit / "
+                "checkpoint_restore) in a run that required them");
+  }
+  std::printf("trace ok: %zu events, %lld task spans, %lld durability spans\n",
+              events.size(), task_spans, durability_spans);
   return EXIT_SUCCESS;
 }
 
-int ValidateMetrics(const dod::JsonValue& doc, long long min_partitions) {
+// The durability.* names the engine registers unconditionally; a metrics
+// dump from a checkpointed run must carry every one of them, and must show
+// actual checkpoint traffic (tasks written or resumed).
+int ValidateDurabilityMetrics(const dod::JsonValue& metrics) {
+  const dod::JsonValue& counters = metrics.Get("counters");
+  for (const char* name :
+       {"durability.checkpoint.tasks_written",
+        "durability.checkpoint.tasks_resumed",
+        "durability.checkpoint.bytes_written",
+        "durability.checkpoint.load_failures", "durability.control.aborts",
+        "durability.memory.shuffle_budget_fallbacks",
+        "durability.memory.reserve_skipped"}) {
+    if (!counters.Get(name).is_number()) {
+      return Fail(std::string("metrics: missing durability counter \"") +
+                  name + "\"");
+    }
+  }
+  const dod::JsonValue& peak =
+      metrics.Get("gauges").Get("durability.memory.peak_bytes");
+  if (!peak.Get("count").is_number() || !peak.Get("max").is_number()) {
+    return Fail("metrics: missing gauge \"durability.memory.peak_bytes\"");
+  }
+  const dod::JsonValue& write_seconds =
+      metrics.Get("histograms").Get("durability.checkpoint.write_seconds");
+  if (!write_seconds.Get("count").is_number() ||
+      !write_seconds.Get("sum").is_number() ||
+      !write_seconds.Get("buckets").is_array()) {
+    return Fail(
+        "metrics: histogram \"durability.checkpoint.write_seconds\" "
+        "malformed");
+  }
+  const double written =
+      counters.Get("durability.checkpoint.tasks_written").number_value();
+  const double resumed =
+      counters.Get("durability.checkpoint.tasks_resumed").number_value();
+  if (written + resumed <= 0.0) {
+    return Fail("metrics: no checkpoint traffic (tasks_written + "
+                "tasks_resumed == 0) in a run that required durability");
+  }
+  std::printf("durability ok: %.0f tasks written, %.0f resumed\n", written,
+              resumed);
+  return EXIT_SUCCESS;
+}
+
+int ValidateMetrics(const dod::JsonValue& doc, long long min_partitions,
+                    bool require_durability) {
   if (!doc.is_object()) return Fail("metrics: top level is not an object");
   const dod::JsonValue& metrics = doc.Get("metrics");
   if (!metrics.is_object()) return Fail("metrics: missing metrics object");
@@ -138,6 +196,10 @@ int ValidateMetrics(const dod::JsonValue& doc, long long min_partitions) {
       return Fail(where + ": predicted_cost not populated");
     }
   }
+  if (require_durability &&
+      ValidateDurabilityMetrics(metrics) != EXIT_SUCCESS) {
+    return EXIT_FAILURE;
+  }
   std::printf("metrics ok: %zu counters, %zu partition profiles\n",
               metrics.Get("counters").object().size(),
               profiles.array().size());
@@ -158,6 +220,8 @@ int main(int argc, char** argv) {
       flags.GetInt("min_task_spans", 1).ValueOrDie();
   const long long min_partitions =
       flags.GetInt("min_partitions", 1).ValueOrDie();
+  const bool require_durability =
+      flags.GetBoolOr("require_durability", false);
   if (trace_path.empty() && metrics_path.empty()) {
     return Fail("nothing to do: pass --trace and/or --metrics");
   }
@@ -167,14 +231,16 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) {
     const dod::Result<dod::JsonValue> doc = LoadJson(trace_path);
     if (!doc.ok()) return Fail(doc.status().ToString());
-    if (ValidateTrace(doc.value(), min_task_spans) != EXIT_SUCCESS) {
+    if (ValidateTrace(doc.value(), min_task_spans, require_durability) !=
+        EXIT_SUCCESS) {
       return EXIT_FAILURE;
     }
   }
   if (!metrics_path.empty()) {
     const dod::Result<dod::JsonValue> doc = LoadJson(metrics_path);
     if (!doc.ok()) return Fail(doc.status().ToString());
-    if (ValidateMetrics(doc.value(), min_partitions) != EXIT_SUCCESS) {
+    if (ValidateMetrics(doc.value(), min_partitions, require_durability) !=
+        EXIT_SUCCESS) {
       return EXIT_FAILURE;
     }
   }

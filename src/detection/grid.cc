@@ -13,12 +13,9 @@ SparseGrid::SparseGrid(Point origin, double side)
 }
 
 CellCoord SparseGrid::CoordOf(const double* p) const {
-  CellCoord coord;
-  coord.dims = dims();
-  for (int i = 0; i < dims(); ++i) {
-    coord.c[i] = static_cast<int32_t>(std::floor((p[i] - origin_[i]) / side_));
-  }
-  return coord;
+  // One formula for every grid in the system (see detection/cell_key.h);
+  // the streaming dirty-cell tracker keys cells through the same helper.
+  return UniformCellKey(p, dims(), origin_.data(), side_);
 }
 
 void SparseGrid::Insert(const double* p, uint32_t id) {

@@ -15,34 +15,9 @@
 
 #include "common/point.h"
 #include "common/status.h"
+#include "detection/cell_key.h"
 
 namespace dod {
-
-// Integer cell address. Only the first `dims` entries are meaningful.
-struct CellCoord {
-  int32_t c[kMaxDimensions] = {0};
-  int dims = 0;
-
-  bool operator==(const CellCoord& other) const {
-    if (dims != other.dims) return false;
-    for (int i = 0; i < dims; ++i) {
-      if (c[i] != other.c[i]) return false;
-    }
-    return true;
-  }
-};
-
-struct CellCoordHash {
-  size_t operator()(const CellCoord& coord) const {
-    // FNV-1a over the used coordinates.
-    uint64_t h = 1469598103934665603ULL;
-    for (int i = 0; i < coord.dims; ++i) {
-      h ^= static_cast<uint32_t>(coord.c[i]);
-      h *= 1099511628211ULL;
-    }
-    return static_cast<size_t>(h);
-  }
-};
 
 class SparseGrid {
  public:

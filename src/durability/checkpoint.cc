@@ -108,6 +108,16 @@ Result<uint64_t> GetU64Field(const JsonValue& obj, const std::string& key,
   return static_cast<uint64_t>(v);
 }
 
+bool ValidPhaseName(const std::string& phase) {
+  if (phase.empty() || phase.size() > 32) return false;
+  for (char c : phase) {
+    const bool ok =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 // Validates one task-record object (a `tasks` entry or a journal line).
 Result<CheckpointRecord> ParseRecordObject(const JsonValue& entry) {
   if (!entry.is_object()) {
@@ -118,8 +128,11 @@ Result<CheckpointRecord> ParseRecordObject(const JsonValue& entry) {
     return Status::InvalidArgument("manifest task entry is missing phase");
   }
   record.phase = entry.Get("phase").string_value();
-  if (record.phase != "map" && record.phase != "reduce") {
-    return Status::InvalidArgument("manifest task entry has unknown phase " +
+  // Phase names are lowercase identifiers ("map", "reduce", "stream",
+  // "latest", ...); the syntactic check keeps rejecting corrupted records
+  // without a whitelist every new subsystem would have to extend.
+  if (!ValidPhaseName(record.phase)) {
+    return Status::InvalidArgument("manifest task entry has invalid phase " +
                                    record.phase);
   }
   DOD_ASSIGN_OR_RETURN(uint64_t index,

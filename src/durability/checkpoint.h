@@ -66,7 +66,7 @@ namespace dod {
 
 // One committed-task record as stored in the manifest.
 struct CheckpointRecord {
-  std::string phase;  // "map" or "reduce"
+  std::string phase;  // lowercase identifier: "map", "reduce", "stream", ...
   int index = 0;
   std::string file;     // payload segment, e.g. "DATA.log"
   uint64_t offset = 0;  // payload byte offset within the segment

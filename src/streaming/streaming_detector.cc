@@ -1,0 +1,556 @@
+// Copyright 2026 The DOD Authors.
+
+#include "streaming/streaming_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+#include <utility>
+
+#include "common/timer.h"
+#include "detection/partition_view.h"
+#include "durability/payload.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
+
+namespace dod {
+namespace {
+
+constexpr uint32_t kStreamStateVersion = 1;
+
+// Same per-cell seed derivation as the batch reducers (core/pipeline.cc):
+// the detector's probe-order seed and the arena's permutation seed come
+// from independent streams so slot order and probe starts don't correlate.
+constexpr uint64_t kArenaSeedSalt = 0xA5C3D2E1F0B49687ULL;
+
+uint64_t CellSeed(uint64_t base, uint64_t cell) {
+  return base ^ (0x9E3779B97F4A7C15ULL * (cell + 1));
+}
+
+uint64_t CoordToken(const CellCoord& coord) {
+  return static_cast<uint64_t>(CellCoordHash{}(coord));
+}
+
+void SortUnique(std::vector<CellCoord>* coords) {
+  std::sort(coords->begin(), coords->end(), CellCoordLess{});
+  coords->erase(std::unique(coords->begin(), coords->end()), coords->end());
+}
+
+}  // namespace
+
+StreamingDetector::StreamingDetector(const StreamingConfig& config)
+    : config_(config),
+      side_(config.cell_side > 0.0 ? config.cell_side
+                                   : config.params.radius),
+      detector_(MakeDetector(config.algorithm)),
+      executor_(std::make_unique<ParallelExecutor>(config.num_threads)) {
+  // Supporting ring: with cell side s, any neighbor within distance r is
+  // at most ceil(r/s) cells away per dimension (see DirtyCells).
+  ring_ = static_cast<int>(std::ceil(config_.params.radius / side_));
+  if (ring_ < 1) ring_ = 1;
+  if (config_.grid_origin.dims() > 0) {
+    for (int i = 0; i < config_.grid_origin.dims(); ++i) {
+      origin_[i] = config_.grid_origin[i];
+    }
+  }
+}
+
+Result<std::unique_ptr<StreamingDetector>> StreamingDetector::Create(
+    const StreamingConfig& config) {
+  if (config.params.radius <= 0.0 || config.params.min_neighbors < 1) {
+    return Status::InvalidArgument(
+        "StreamingDetector: radius must be > 0 and min_neighbors >= 1");
+  }
+  if (config.cell_side < 0.0 || config.window_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "StreamingDetector: cell_side and window_seconds must be >= 0");
+  }
+  if (config.resume && config.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "StreamingDetector: resume requires checkpoint_dir");
+  }
+  std::unique_ptr<StreamingDetector> service(new StreamingDetector(config));
+  if (!config.checkpoint_dir.empty()) {
+    DOD_ASSIGN_OR_RETURN(service->store_,
+                         CheckpointStore::Open(config.checkpoint_dir,
+                                               service->JobKey(),
+                                               config.resume));
+    if (config.resume) DOD_RETURN_IF_ERROR(service->RestoreLatest());
+  }
+  return service;
+}
+
+Status StreamingDetector::InitDims(int dims) {
+  if (dims < 1 || dims > kMaxDimensions) {
+    return Status::InvalidArgument("StreamingDetector: unsupported dims " +
+                                   std::to_string(dims));
+  }
+  if (config_.grid_origin.dims() > 0 && config_.grid_origin.dims() != dims) {
+    return Status::InvalidArgument(
+        "StreamingDetector: block dims do not match grid_origin dims");
+  }
+  dims_ = dims;
+  window_.emplace(dims);
+  return Status::Ok();
+}
+
+Status StreamingDetector::ValidateBlock(const StreamBlock& block) const {
+  if (block.ids.size() != block.points.size()) {
+    return Status::InvalidArgument(
+        "StreamingDetector::Feed: block has " +
+        std::to_string(block.ids.size()) + " ids for " +
+        std::to_string(block.points.size()) + " points");
+  }
+  if (block.points.empty()) return Status::Ok();
+  if (dims_ != 0 && block.points.dims() != dims_) {
+    return Status::InvalidArgument(
+        "StreamingDetector::Feed: block dims " +
+        std::to_string(block.points.dims()) + " != window dims " +
+        std::to_string(dims_));
+  }
+  DOD_RETURN_IF_ERROR(block.points.Validate());
+  std::unordered_set<PointId> seen;
+  seen.reserve(block.ids.size());
+  for (PointId id : block.ids) {
+    if (!seen.insert(id).second || id_to_slot_.count(id) != 0) {
+      return Status::InvalidArgument(
+          "StreamingDetector::Feed: duplicate point id " +
+          std::to_string(id) + " (ids must be unique among resident points)");
+    }
+  }
+  return Status::Ok();
+}
+
+uint32_t StreamingDetector::AllocSlot(PointId id, const double* p) {
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    double* row = window_->mutable_raw().data() +
+                  static_cast<size_t>(slot) * dims_;
+    std::copy(p, p + dims_, row);
+  } else {
+    slot = static_cast<uint32_t>(window_->Append(p));
+    slots_.push_back(SlotState{});
+  }
+  slots_[slot] = SlotState{id, 0};
+  id_to_slot_[id] = slot;
+  return slot;
+}
+
+CellCoord StreamingDetector::KeyOf(const double* p) const {
+  // The exact keying the batch grids use (detection/cell_key.h).
+  return UniformCellKey(p, dims_, origin_, side_);
+}
+
+void StreamingDetector::AppendBlock(const StreamBlock& block,
+                                    std::vector<CellCoord>* touched) {
+  if (block.points.empty()) return;
+  WindowBlock wb;
+  wb.seq = next_seq_++;
+  wb.timestamp = block.timestamp;
+  wb.slots.reserve(block.ids.size());
+  for (size_t i = 0; i < block.ids.size(); ++i) {
+    const double* p = block.points[static_cast<PointId>(i)];
+    const uint32_t slot = AllocSlot(block.ids[i], p);
+    const CellCoord coord = KeyOf(p);
+    cells_[coord].slots.push_back(slot);
+    wb.slots.push_back(slot);
+    touched->push_back(coord);
+  }
+  blocks_.push_back(std::move(wb));
+}
+
+size_t StreamingDetector::ExpireBlocks(double high_water,
+                                       std::vector<CellCoord>* touched,
+                                       std::vector<PointId>* expired_flagged) {
+  size_t expired_points = 0;
+  while (!blocks_.empty()) {
+    const bool over_count =
+        config_.window_blocks > 0 && blocks_.size() > config_.window_blocks;
+    const bool over_age =
+        config_.window_seconds > 0.0 && saw_timestamp_ &&
+        high_water - blocks_.front().timestamp >= config_.window_seconds;
+    if (!over_count && !over_age) break;
+    WindowBlock block = std::move(blocks_.front());
+    blocks_.pop_front();
+    for (uint32_t slot : block.slots) {
+      const SlotState& state = slots_[slot];
+      const CellCoord coord = KeyOf((*window_)[slot]);
+      auto it = cells_.find(coord);
+      DOD_CHECK(it != cells_.end());
+      std::vector<uint32_t>& members = it->second.slots;
+      members.erase(std::find(members.begin(), members.end(), slot));
+      if (members.empty()) cells_.erase(it);
+      touched->push_back(coord);
+      if (state.flagged != 0) expired_flagged->push_back(state.stream_id);
+      id_to_slot_.erase(state.stream_id);
+      free_slots_.push_back(slot);
+      ++expired_points;
+    }
+  }
+  return expired_points;
+}
+
+std::vector<CellCoord> StreamingDetector::DirtyCells(
+    std::vector<CellCoord>* touched) const {
+  SortUnique(touched);
+  // Expand each touched cell by the supporting ring and keep the resident
+  // ones. Correctness: a point q's neighbor count changed iff a point
+  // within distance r of q was appended or expired; that point's cell is
+  // touched, and q's cell is then within ring_ of it (coordinates more
+  // than ring_ cells apart differ by > ring_*side >= r in that dimension).
+  std::unordered_set<CellCoord, CellCoordHash> dirty;
+  CellCoord probe;
+  for (const CellCoord& center : *touched) {
+    probe.dims = center.dims;
+    // Iterate the (2*ring_+1)^dims block via an odometer over offsets.
+    int offset[kMaxDimensions];
+    for (int d = 0; d < center.dims; ++d) {
+      offset[d] = -ring_;
+      probe.c[d] = center.c[d] - ring_;
+    }
+    while (true) {
+      if (cells_.count(probe) != 0) dirty.insert(probe);
+      int d = 0;
+      while (d < center.dims) {
+        if (++offset[d] <= ring_) {
+          probe.c[d] = center.c[d] + offset[d];
+          break;
+        }
+        offset[d] = -ring_;
+        probe.c[d] = center.c[d] - ring_;
+        ++d;
+      }
+      if (d == center.dims) break;
+    }
+  }
+  std::vector<CellCoord> result(dirty.begin(), dirty.end());
+  std::sort(result.begin(), result.end(), CellCoordLess{});
+  return result;
+}
+
+Status StreamingDetector::RedetectCells(const std::vector<CellCoord>& dirty,
+                                        OutlierDelta* delta) {
+  if (dirty.empty()) return Status::Ok();
+
+  // Stage every dirty cell into one shared probe arena: the cell's own
+  // segment as core points, the points of its supporting-ring cells as
+  // support — the same core-first layout the batch reducers stage.
+  TaskArena arena(*window_);
+  CellCoord probe;
+  for (const CellCoord& center : dirty) {
+    arena.BeginCell();
+    const CellState& cell = cells_.at(center);
+    for (uint32_t slot : cell.slots) arena.AddPoint(slot);
+    const size_t num_core = cell.slots.size();
+    probe.dims = center.dims;
+    int offset[kMaxDimensions];
+    for (int d = 0; d < center.dims; ++d) {
+      offset[d] = -ring_;
+      probe.c[d] = center.c[d] - ring_;
+    }
+    while (true) {
+      if (!(probe == center)) {
+        auto it = cells_.find(probe);
+        if (it != cells_.end()) {
+          for (uint32_t slot : it->second.slots) arena.AddPoint(slot);
+        }
+      }
+      int d = 0;
+      while (d < center.dims) {
+        if (++offset[d] <= ring_) {
+          probe.c[d] = center.c[d] + offset[d];
+          break;
+        }
+        offset[d] = -ring_;
+        probe.c[d] = center.c[d] - ring_;
+        ++d;
+      }
+      if (d == center.dims) break;
+    }
+    arena.EndCell(num_core,
+                  CellSeed(config_.params.seed, CoordToken(center)) ^
+                      kArenaSeedSalt);
+  }
+  DOD_RETURN_IF_ERROR(arena.TryBuildProbes());
+
+  // Fan the dirty cells out over the executor; per-cell results stage into
+  // flagged_local and are folded sequentially below, so deltas are
+  // byte-identical for every thread count.
+  std::vector<std::vector<uint32_t>> flagged_local(dirty.size());
+  DOD_RETURN_IF_ERROR(executor_->RunTasks(
+      dirty.size(), [&](size_t i) -> Status {
+        const PartitionView view = arena.View(i);
+        DetectionParams params = config_.params;
+        params.seed = CellSeed(config_.params.seed, CoordToken(dirty[i]));
+        flagged_local[i] =
+            detector_->DetectOutliers(view, params, /*counters=*/nullptr);
+        return Status::Ok();
+      }));
+
+  for (size_t i = 0; i < dirty.size(); ++i) {
+    const CellState& cell = cells_.at(dirty[i]);
+    const std::vector<uint32_t>& flagged = flagged_local[i];  // ascending
+    size_t cursor = 0;
+    for (size_t j = 0; j < cell.slots.size(); ++j) {
+      while (cursor < flagged.size() && flagged[cursor] < j) ++cursor;
+      const bool now = cursor < flagged.size() && flagged[cursor] == j;
+      SlotState& state = slots_[cell.slots[j]];
+      if (now != (state.flagged != 0)) {
+        (now ? delta->newly_flagged : delta->newly_cleared)
+            .push_back(state.stream_id);
+        state.flagged = now ? 1 : 0;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void StreamingDetector::ApplyDeltaToOutlierSet(const OutlierDelta& delta) {
+  if (delta.newly_flagged.empty() && delta.newly_cleared.empty()) return;
+  std::vector<PointId> next;
+  next.reserve(outliers_.size() + delta.newly_flagged.size());
+  std::set_difference(outliers_.begin(), outliers_.end(),
+                      delta.newly_cleared.begin(), delta.newly_cleared.end(),
+                      std::back_inserter(next));
+  std::vector<PointId> merged;
+  merged.reserve(next.size() + delta.newly_flagged.size());
+  std::merge(next.begin(), next.end(), delta.newly_flagged.begin(),
+             delta.newly_flagged.end(), std::back_inserter(merged));
+  outliers_ = std::move(merged);
+}
+
+void StreamingDetector::RecordRound(const OutlierDelta& delta) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  static const uint32_t kRounds =
+      metrics.Id("stream.rounds", MetricKind::kCounter);
+  static const uint32_t kDirtyCells =
+      metrics.Id("stream.cells_redetected", MetricKind::kCounter);
+  static const uint32_t kFlagged =
+      metrics.Id("stream.delta_flagged", MetricKind::kCounter);
+  static const uint32_t kCleared =
+      metrics.Id("stream.delta_cleared", MetricKind::kCounter);
+  static const uint32_t kResident =
+      metrics.Id("stream.resident_points", MetricKind::kGauge);
+  static const uint32_t kDirtyFraction =
+      metrics.Id("stream.dirty_cell_fraction", MetricKind::kHistogram);
+  static const uint32_t kRoundSeconds =
+      metrics.Id("stream.round_seconds", MetricKind::kHistogram);
+  metrics.Increment(kRounds);
+  metrics.Increment(kDirtyCells, delta.stats.dirty_cells);
+  metrics.Increment(kFlagged, delta.newly_flagged.size());
+  metrics.Increment(kCleared, delta.newly_cleared.size());
+  metrics.SetMax(kResident,
+                 static_cast<double>(delta.stats.resident_points));
+  metrics.Observe(kDirtyFraction, delta.stats.dirty_fraction);
+  metrics.Observe(kRoundSeconds, delta.stats.round_seconds);
+}
+
+Result<OutlierDelta> StreamingDetector::Feed(const StreamBlock& block) {
+  StopWatch watch;
+  DOD_RETURN_IF_ERROR(ValidateBlock(block));
+  if (dims_ == 0 && !block.points.empty()) {
+    DOD_RETURN_IF_ERROR(InitDims(block.points.dims()));
+  }
+  trace::Span span("stream", "round");
+
+  OutlierDelta delta;
+  std::vector<CellCoord> touched;
+  std::vector<PointId> expired_flagged;
+  AppendBlock(block, &touched);
+  if (config_.window_seconds > 0.0) {
+    high_water_ts_ = saw_timestamp_
+                         ? std::max(high_water_ts_, block.timestamp)
+                         : block.timestamp;
+    saw_timestamp_ = true;
+  }
+  const size_t expired_points =
+      ExpireBlocks(high_water_ts_, &touched, &expired_flagged);
+
+  const std::vector<CellCoord> dirty = DirtyCells(&touched);
+  DOD_RETURN_IF_ERROR(RedetectCells(dirty, &delta));
+
+  // Flagged points that left the window clear by expiry; verdict flips
+  // were collected per dirty cell above. The two sources are disjoint
+  // (expired slots are out of every cell before detection runs).
+  delta.newly_cleared.insert(delta.newly_cleared.end(),
+                             expired_flagged.begin(), expired_flagged.end());
+  std::sort(delta.newly_flagged.begin(), delta.newly_flagged.end());
+  std::sort(delta.newly_cleared.begin(), delta.newly_cleared.end());
+  ApplyDeltaToOutlierSet(delta);
+
+  ++round_;
+  delta.stats.round = round_;
+  delta.stats.appended_points = block.ids.size();
+  delta.stats.expired_points = expired_points;
+  delta.stats.resident_points = id_to_slot_.size();
+  delta.stats.resident_cells = cells_.size();
+  delta.stats.dirty_cells = dirty.size();
+  delta.stats.dirty_fraction =
+      cells_.empty() ? 0.0
+                     : static_cast<double>(dirty.size()) /
+                           static_cast<double>(cells_.size());
+  delta.stats.round_seconds = watch.ElapsedSeconds();
+  RecordRound(delta);
+  span.Arg("round", delta.stats.round)
+      .Arg("appended", static_cast<uint64_t>(delta.stats.appended_points))
+      .Arg("expired", static_cast<uint64_t>(expired_points))
+      .Arg("dirty_cells", static_cast<uint64_t>(dirty.size()))
+      .Arg("flagged", static_cast<uint64_t>(delta.newly_flagged.size()))
+      .Arg("cleared", static_cast<uint64_t>(delta.newly_cleared.size()));
+
+  if (store_ != nullptr && config_.checkpoint_every > 0 &&
+      round_ % config_.checkpoint_every == 0) {
+    DOD_RETURN_IF_ERROR(CommitCheckpoint());
+  }
+  return delta;
+}
+
+std::string StreamingDetector::JobKey() const {
+  // Everything that shapes window state and verdicts goes in; num_threads
+  // and kernel mode stay out (resuming under either produces byte-identical
+  // deltas, like the batch fingerprint).
+  PayloadWriter w;
+  w.F64(config_.params.radius);
+  w.U64(static_cast<uint64_t>(config_.params.min_neighbors));
+  w.U64(config_.params.seed);
+  w.U64(static_cast<uint64_t>(config_.algorithm));
+  w.U64(config_.window_blocks);
+  w.F64(config_.window_seconds);
+  w.F64(side_);
+  w.U64(static_cast<uint64_t>(config_.grid_origin.dims()));
+  for (int i = 0; i < config_.grid_origin.dims(); ++i) {
+    w.F64(config_.grid_origin[i]);
+  }
+  w.String(config_.job_tag);
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(w.str())));
+  return std::string("dod-stream-") + hex;
+}
+
+Status StreamingDetector::Checkpoint() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "StreamingDetector::Checkpoint: no checkpoint_dir configured");
+  }
+  return CommitCheckpoint();
+}
+
+Status StreamingDetector::CommitCheckpoint() {
+  trace::Span span("durability", "stream_checkpoint");
+  PayloadWriter w;
+  w.U32(kStreamStateVersion);
+  w.U64(round_);
+  w.U64(next_seq_);
+  w.U8(saw_timestamp_ ? 1 : 0);
+  w.F64(high_water_ts_);
+  w.U32(static_cast<uint32_t>(dims_));
+  w.U64(blocks_.size());
+  for (const WindowBlock& block : blocks_) {
+    w.U64(block.seq);
+    w.F64(block.timestamp);
+    w.U64(block.slots.size());
+    for (uint32_t slot : block.slots) {
+      w.U32(slots_[slot].stream_id);
+      w.Raw((*window_)[slot], sizeof(double) * static_cast<size_t>(dims_));
+    }
+  }
+  w.U64(outliers_.size());
+  for (PointId id : outliers_) w.U32(id);
+
+  // Snapshot first, latest-pointer second: a crash between the two leaves
+  // the previous round's pointer intact and the orphan snapshot is dead
+  // space, never torn state.
+  DOD_RETURN_IF_ERROR(
+      store_->CommitTask("stream", static_cast<int>(round_), w.str()));
+  PayloadWriter latest;
+  latest.U64(round_);
+  return store_->CommitTask("latest", 0, latest.str());
+}
+
+Status StreamingDetector::RestoreLatest() {
+  if (!store_->HasTask("latest", 0)) return Status::Ok();  // fresh store
+  DOD_ASSIGN_OR_RETURN(std::string latest_bytes,
+                       store_->LoadTask("latest", 0));
+  PayloadReader latest(latest_bytes);
+  uint64_t round = 0;
+  DOD_RETURN_IF_ERROR(latest.U64(&round));
+  DOD_RETURN_IF_ERROR(latest.ExpectDone());
+  DOD_ASSIGN_OR_RETURN(
+      std::string bytes,
+      store_->LoadTask("stream", static_cast<int>(round)));
+
+  PayloadReader r(bytes);
+  uint32_t version = 0;
+  DOD_RETURN_IF_ERROR(r.U32(&version));
+  if (version != kStreamStateVersion) {
+    return Status::IoError("stream checkpoint version skew: " +
+                           std::to_string(version));
+  }
+  DOD_RETURN_IF_ERROR(r.U64(&round_));
+  DOD_RETURN_IF_ERROR(r.U64(&next_seq_));
+  uint8_t saw = 0;
+  DOD_RETURN_IF_ERROR(r.U8(&saw));
+  saw_timestamp_ = saw != 0;
+  DOD_RETURN_IF_ERROR(r.F64(&high_water_ts_));
+  uint32_t dims = 0;
+  DOD_RETURN_IF_ERROR(r.U32(&dims));
+  if (dims > 0) DOD_RETURN_IF_ERROR(InitDims(static_cast<int>(dims)));
+
+  uint64_t num_blocks = 0;
+  DOD_RETURN_IF_ERROR(r.U64(&num_blocks));
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    WindowBlock wb;
+    DOD_RETURN_IF_ERROR(r.U64(&wb.seq));
+    DOD_RETURN_IF_ERROR(r.F64(&wb.timestamp));
+    uint64_t num_points = 0;
+    DOD_RETURN_IF_ERROR(r.U64(&num_points));
+    wb.slots.reserve(num_points);
+    double coords[kMaxDimensions];
+    for (uint64_t i = 0; i < num_points; ++i) {
+      uint32_t id = 0;
+      DOD_RETURN_IF_ERROR(r.U32(&id));
+      DOD_RETURN_IF_ERROR(
+          r.Raw(coords, sizeof(double) * static_cast<size_t>(dims_)));
+      if (id_to_slot_.count(id) != 0) {
+        return Status::IoError("stream checkpoint: duplicate resident id " +
+                               std::to_string(id));
+      }
+      const uint32_t slot = AllocSlot(id, coords);
+      cells_[KeyOf(coords)].slots.push_back(slot);
+      wb.slots.push_back(slot);
+    }
+    blocks_.push_back(std::move(wb));
+  }
+
+  uint64_t num_outliers = 0;
+  DOD_RETURN_IF_ERROR(r.U64(&num_outliers));
+  outliers_.clear();
+  outliers_.reserve(num_outliers);
+  for (uint64_t i = 0; i < num_outliers; ++i) {
+    uint32_t id = 0;
+    DOD_RETURN_IF_ERROR(r.U32(&id));
+    auto it = id_to_slot_.find(id);
+    if (it == id_to_slot_.end()) {
+      return Status::IoError("stream checkpoint: flagged id " +
+                             std::to_string(id) + " is not resident");
+    }
+    slots_[it->second].flagged = 1;
+    outliers_.push_back(id);
+  }
+  DOD_RETURN_IF_ERROR(r.ExpectDone());
+  if (!std::is_sorted(outliers_.begin(), outliers_.end())) {
+    return Status::IoError("stream checkpoint: flagged ids not sorted");
+  }
+
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  static const uint32_t kRestored =
+      metrics.Id("stream.rounds_restored", MetricKind::kCounter);
+  metrics.Increment(kRestored, round_);
+  return Status::Ok();
+}
+
+}  // namespace dod

@@ -1,0 +1,248 @@
+// Copyright 2026 The DOD Authors.
+//
+// Streaming outlier service: a long-running detector over a sliding window
+// of ingested blocks, re-detecting incrementally instead of from scratch.
+//
+// The batch pipeline (core/pipeline.h) answers "which points of this
+// dataset are outliers" by recomputing everything. Production traffic is a
+// stream: blocks of points arrive, old blocks expire, and between two
+// rounds only a small neighborhood of the window actually changes. The
+// StreamingDetector exploits that:
+//
+//   * Window state lives in a uniform grid keyed exactly like the batch
+//     detectors' grids (detection/cell_key.h): one appendable/expirable
+//     point segment per cell (slot indices into a slot-recycling window
+//     dataset) plus a per-point verdict summary — the collapsed
+//     neighbor-count state |N_r(p)| >= k each point carried out of its
+//     last evaluation.
+//
+//   * Feed(block) appends the block's points, expires blocks that fell out
+//     of the window (count-based, time-based, or both), and computes the
+//     dirty-cell set: every resident cell within the supporting ring of a
+//     touched cell. With cell side s, a neighbor within distance r is at
+//     most ceil(r/s) cells away in Chebyshev distance, so re-detecting the
+//     touched cells plus that ring is exact — untouched cells cannot have
+//     gained or lost a neighbor.
+//
+//   * Dirty cells re-detect through the existing kernel-backed detectors:
+//     each dirty cell stages its core segment plus the ring cells' points
+//     as support into one TaskArena (the columnar shuffle's shared-SoA
+//     layout, detection/partition_view.h) and runs the configured
+//     Detector on the zero-copy PartitionView, fanned out over a
+//     ParallelExecutor. Verdicts are exact, so the result is byte-identical
+//     to a from-scratch batch run over the current window for every thread
+//     count, kernel mode, and detector choice.
+//
+//   * The emitted OutlierDelta is the verdict diff: ids newly flagged,
+//     ids newly cleared (verdict flips and flagged points that expired),
+//     and per-round stats. Applying deltas in order reconstructs the
+//     current outlier set exactly.
+//
+// Durability: with checkpoint_dir set, the full window state (blocks,
+// ids, coordinates, flagged set, round counter) is committed to a
+// CheckpointStore every checkpoint_every rounds; Create(resume=true)
+// restores the latest committed round and the service replays the rest of
+// the schedule to the same verdicts and deltas as an uninterrupted run.
+//
+// Observability: every round emits a "stream"/"round" trace span and the
+// stream.* metrics family (rounds, dirty-cell fraction, delta sizes,
+// round latency histogram); tools/validate_trace checks the schema with
+// --require_streaming.
+
+#ifndef DOD_STREAMING_STREAMING_DETECTOR_H_
+#define DOD_STREAMING_STREAMING_DETECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/point.h"
+#include "common/status.h"
+#include "detection/cell_key.h"
+#include "detection/detector.h"
+#include "durability/checkpoint.h"
+#include "runtime/parallel_executor.h"
+
+namespace dod {
+
+struct StreamingConfig {
+  // Outlier definition + kernel mode; params.seed drives the per-cell
+  // probe-order seeds exactly like the batch reducers.
+  DetectionParams params;
+  // Detector run on each dirty cell. Every kind is exact, so the choice
+  // affects cost only, never verdicts.
+  AlgorithmKind algorithm = AlgorithmKind::kCellBased;
+  // Threads fanning out over dirty cells; <= 0 uses all hardware threads,
+  // 1 runs inline. Deltas are byte-identical for every thread count.
+  int num_threads = 1;
+
+  // Count-based window: keep at most this many resident blocks; feeding
+  // past the limit expires the oldest blocks in the same round. 0 = off.
+  size_t window_blocks = 0;
+  // Time-based window on caller-provided block timestamps: a block expires
+  // once (newest timestamp seen) - (its timestamp) >= window_seconds.
+  // 0 = off. Both windows may be active; either can expire a block.
+  double window_seconds = 0.0;
+
+  // Grid cell side; <= 0 defaults to params.radius. Smaller sides mean
+  // tighter dirty sets but a wider supporting ring (ceil(radius / side)).
+  double cell_side = 0.0;
+  // Grid origin. Unlike the batch detectors (which anchor at the partition
+  // bounds), the streaming grid must be anchored independently of window
+  // contents or cell identities would shift between rounds. A
+  // default-constructed (dims-0) point means the all-zero origin.
+  Point grid_origin;
+
+  // Durability: empty = no checkpointing. With a dir set, the window state
+  // commits every `checkpoint_every` rounds (0 = only on Checkpoint()).
+  std::string checkpoint_dir;
+  bool resume = false;
+  uint64_t checkpoint_every = 1;
+  // Extra caller identity folded into the checkpoint job key (e.g. the
+  // replay schedule's parameters); resume refuses a store written under a
+  // different key with kFailedPrecondition.
+  std::string job_tag;
+};
+
+// One ingested block: caller-assigned stable ids (unique among resident
+// points) plus their coordinates.
+struct StreamBlock {
+  explicit StreamBlock(int dims) : points(dims) {}
+
+  void Add(PointId id, const double* p) {
+    ids.push_back(id);
+    points.Append(p);
+  }
+
+  std::vector<PointId> ids;
+  Dataset points;
+  double timestamp = 0.0;
+};
+
+struct StreamRoundStats {
+  // 1-based round number (count of completed Feed calls).
+  uint64_t round = 0;
+  size_t appended_points = 0;
+  size_t expired_points = 0;
+  size_t resident_points = 0;
+  size_t resident_cells = 0;
+  // Cells re-detected this round (touched + supporting ring).
+  size_t dirty_cells = 0;
+  // dirty_cells / resident_cells after the update (0 when no cells).
+  double dirty_fraction = 0.0;
+  // Wall time of the Feed call (timing; exempt from determinism).
+  double round_seconds = 0.0;
+};
+
+// The verdict delta of one round. Outliers after the round =
+// (outliers before) + newly_flagged - newly_cleared.
+struct OutlierDelta {
+  std::vector<PointId> newly_flagged;  // ascending
+  std::vector<PointId> newly_cleared;  // ascending; flips and expired
+  StreamRoundStats stats;
+};
+
+class StreamingDetector {
+ public:
+  // Validates the configuration, opens the checkpoint store when
+  // configured, and (with resume) restores the latest committed round.
+  static Result<std::unique_ptr<StreamingDetector>> Create(
+      const StreamingConfig& config);
+
+  // Ingests one block and returns the verdict delta. Rejects duplicate ids
+  // (within the block or against resident points), dimension mismatches,
+  // and non-finite coordinates with kInvalidArgument; on error the window
+  // is unchanged. An empty block with no expiries is a no-op delta (the
+  // round still counts).
+  Result<OutlierDelta> Feed(const StreamBlock& block);
+
+  // Commits the window state to the checkpoint store now. kFailedPrecondition
+  // when no checkpoint_dir was configured.
+  Status Checkpoint();
+
+  // Completed Feed rounds (restored rounds included).
+  uint64_t rounds() const { return round_; }
+  size_t resident_points() const { return id_to_slot_.size(); }
+  size_t resident_cells() const { return cells_.size(); }
+  // Current outlier ids, ascending. Byte-identical to a from-scratch batch
+  // run over the window contents.
+  const std::vector<PointId>& outliers() const { return outliers_; }
+
+ private:
+  struct CellState {
+    // Appendable/expirable point segment: slot indices, append order.
+    std::vector<uint32_t> slots;
+  };
+  struct SlotState {
+    PointId stream_id = 0;
+    // Verdict summary from the point's last evaluation (|N_r| < k).
+    uint8_t flagged = 0;
+  };
+  struct WindowBlock {
+    uint64_t seq = 0;
+    double timestamp = 0.0;
+    std::vector<uint32_t> slots;
+  };
+
+  explicit StreamingDetector(const StreamingConfig& config);
+
+  Status InitDims(int dims);
+  Status ValidateBlock(const StreamBlock& block) const;
+  uint32_t AllocSlot(PointId id, const double* p);
+  CellCoord KeyOf(const double* p) const;
+
+  // Appends the block's points into slots/cells (no detection); the cell
+  // of every appended point is added to `touched`.
+  void AppendBlock(const StreamBlock& block, std::vector<CellCoord>* touched);
+  // Pops expired blocks off the window front into `touched` /
+  // `expired_flagged` (flagged ids leaving the window) and returns the
+  // number of expired points.
+  size_t ExpireBlocks(double high_water, std::vector<CellCoord>* touched,
+                      std::vector<PointId>* expired_flagged);
+
+  // Resident cells within Chebyshev distance `ring_` of any touched cell,
+  // deduplicated and in deterministic (lexicographic) order.
+  std::vector<CellCoord> DirtyCells(std::vector<CellCoord>* touched) const;
+
+  // Re-detects `dirty` and applies verdict flips to `delta`.
+  Status RedetectCells(const std::vector<CellCoord>& dirty,
+                       OutlierDelta* delta);
+
+  void ApplyDeltaToOutlierSet(const OutlierDelta& delta);
+  void RecordRound(const OutlierDelta& delta);
+
+  std::string JobKey() const;
+  Status CommitCheckpoint();
+  Status RestoreLatest();
+
+  StreamingConfig config_;
+  double side_ = 0.0;
+  int ring_ = 1;
+  int dims_ = 0;  // 0 until the first non-empty block (or restore)
+  double origin_[kMaxDimensions] = {0.0};
+  double high_water_ts_ = 0.0;
+  bool saw_timestamp_ = false;
+
+  std::optional<Dataset> window_;  // slot-indexed storage, rows recycled
+  std::vector<SlotState> slots_;
+  std::vector<uint32_t> free_slots_;
+  std::unordered_map<PointId, uint32_t> id_to_slot_;
+  std::unordered_map<CellCoord, CellState, CellCoordHash> cells_;
+  std::deque<WindowBlock> blocks_;
+  uint64_t next_seq_ = 0;
+  uint64_t round_ = 0;
+  std::vector<PointId> outliers_;
+
+  std::unique_ptr<Detector> detector_;
+  std::unique_ptr<ParallelExecutor> executor_;
+  std::unique_ptr<CheckpointStore> store_;
+};
+
+}  // namespace dod
+
+#endif  // DOD_STREAMING_STREAMING_DETECTOR_H_

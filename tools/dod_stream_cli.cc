@@ -1,0 +1,330 @@
+// Copyright 2026 The DOD Authors.
+//
+// dod_stream_cli — replay a block schedule through the streaming outlier
+// service (src/streaming/) and log one verdict-delta line per round.
+//
+// The tool slices a generated dataset into consecutive fixed-size blocks
+// and feeds them in order through a StreamingDetector with a count-based
+// sliding window. The per-round delta log is fully deterministic (no
+// timings), so two replays of the same schedule — including one
+// interrupted by --kill_after_round and continued with --resume — must
+// produce byte-identical logs; CI diffs them.
+//
+// Examples:
+//   dod_stream_cli --generate uniform --n 20000 --block_size 500
+//                  --window 8 --radius 2 --k 4 --delta_out deltas.log
+//   dod_stream_cli ... --oracle            # cross-check every round
+//                                          # against a batch pipeline run
+//   dod_stream_cli ... --checkpoint_dir ck --kill_after_round 12
+//   dod_stream_cli ... --checkpoint_dir ck --resume   # finish the schedule
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/pipeline.h"
+#include "data/generators.h"
+#include "data/tiger_like.h"
+#include "kernels/kernel_mode.h"
+#include "mapreduce/shuffle.h"
+#include "observability/metrics.h"
+#include "observability/profile.h"
+#include "observability/trace.h"
+#include "streaming/streaming_detector.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(dod_stream_cli — streaming outlier detection over a replayed block schedule
+
+Workload:
+  --generate KIND        uniform (default) | tiger
+  --n N                  total points in the schedule (default 20000)
+  --density D            mean density for uniform data (default 0.05)
+  --seed N               RNG seed (default 42)
+  --block_size B         points per ingested block (default 500)
+
+Outlier definition:
+  --radius R             distance threshold r (default 5)
+  --k K                  neighbor-count threshold k (default 4)
+  --kernels MODE         scalar | auto (default auto; verdicts identical)
+
+Streaming service:
+  --window W             resident blocks in the sliding window (default 8)
+  --cell_side S          grid cell side (default: r)
+  --algorithm A          nested_loop | cell_based | brute_force
+                         (default cell_based; all exact, verdicts identical)
+  --threads N            threads fanning out over dirty cells (default 1;
+                         0 = all hardware threads; deltas identical)
+
+Durability:
+  --checkpoint_dir DIR   commit window state every --checkpoint_every
+                         rounds (default 1)
+  --resume               restore the latest committed round and continue
+                         the schedule from there
+  --kill_after_round N   hard-exit (code 42, no flushes beyond the delta
+                         log — simulated kill -9) right after round N
+
+Verification and output:
+  --oracle               after every round, re-detect the window from
+                         scratch with the batch pipeline and compare
+                         outlier sets (exit 1 on any mismatch)
+  --shuffle MODE         columnar | sorted (oracle pipeline only)
+  --delta_out PATH       deterministic per-round delta log (append mode
+                         under --resume, else truncate)
+  --trace_out PATH       Chrome trace (stream.round spans)
+  --metrics_out PATH     metrics registry JSON (stream.* families)
+)";
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+std::string IdList(const std::vector<dod::PointId>& ids) {
+  std::string out = "[";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(ids[i]);
+  }
+  out += "]";
+  return out;
+}
+
+struct Schedule {
+  dod::Dataset data = dod::Dataset(2);
+  size_t block_size = 0;
+  size_t num_blocks = 0;
+  size_t window_blocks = 0;
+
+  // Stream ids of block b: the consecutive dataset ids [begin, end).
+  size_t BlockBegin(size_t b) const { return b * block_size; }
+  size_t BlockEnd(size_t b) const {
+    return std::min(data.size(), (b + 1) * block_size);
+  }
+  // Blocks resident after round r (1-based; blocks [r - W, r) clipped).
+  size_t FirstResident(size_t round) const {
+    return round > window_blocks ? round - window_blocks : 0;
+  }
+};
+
+// From-scratch batch verdicts over the window contents after `round`,
+// as stream ids. The streaming service must match this set exactly.
+dod::Result<std::vector<dod::PointId>> OracleOutliers(
+    const Schedule& schedule, size_t round, const dod::DodConfig& config) {
+  dod::Dataset window(schedule.data.dims());
+  std::vector<dod::PointId> window_ids;
+  for (size_t b = schedule.FirstResident(round); b < round; ++b) {
+    for (size_t i = schedule.BlockBegin(b); i < schedule.BlockEnd(b); ++i) {
+      window.Append(schedule.data[static_cast<dod::PointId>(i)]);
+      window_ids.push_back(static_cast<dod::PointId>(i));
+    }
+  }
+  if (window.empty()) return std::vector<dod::PointId>{};
+  dod::DodPipeline pipeline(config);
+  DOD_ASSIGN_OR_RETURN(dod::DodResult result, pipeline.Run(window));
+  std::vector<dod::PointId> outliers;
+  outliers.reserve(result.outliers.size());
+  for (dod::PointId local : result.outliers) {
+    outliers.push_back(window_ids[local]);
+  }
+  // The pipeline reports ascending local ids and window_ids is ascending,
+  // so the mapped set is already sorted like StreamingDetector::outliers().
+  return outliers;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = dod::FlagParser::Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
+  const dod::FlagParser& flags = parsed.value();
+  if (flags.GetBoolOr("help", false)) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
+  auto n_flag = flags.GetInt("n", 20000);
+  auto seed_flag = flags.GetInt("seed", 42);
+  auto block_flag = flags.GetInt("block_size", 500);
+  auto window_flag = flags.GetInt("window", 8);
+  auto radius_flag = flags.GetDouble("radius", 5.0);
+  auto k_flag = flags.GetInt("k", 4);
+  auto threads_flag = flags.GetInt("threads", 1);
+  auto cell_side_flag = flags.GetDouble("cell_side", 0.0);
+  auto every_flag = flags.GetInt("checkpoint_every", 1);
+  auto kill_flag = flags.GetInt("kill_after_round", 0);
+  auto density_flag = flags.GetDouble("density", 0.05);
+  for (const dod::Status& status :
+       {n_flag.status(), seed_flag.status(), block_flag.status(),
+        window_flag.status(), radius_flag.status(), k_flag.status(),
+        threads_flag.status(), cell_side_flag.status(), every_flag.status(),
+        kill_flag.status(), density_flag.status()}) {
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  if (n_flag.value() < 1 || block_flag.value() < 1 || window_flag.value() < 1) {
+    return Fail("--n, --block_size and --window must be >= 1");
+  }
+  if (radius_flag.value() <= 0.0 || k_flag.value() < 1) {
+    return Fail("--radius must be > 0, --k >= 1");
+  }
+
+  Schedule schedule;
+  const size_t n = static_cast<size_t>(n_flag.value());
+  const uint64_t seed = static_cast<uint64_t>(seed_flag.value());
+  const std::string kind = flags.GetStringOr("generate", "uniform");
+  if (kind == "uniform") {
+    schedule.data = dod::GenerateUniform(
+        n, dod::DomainForDensity(n, density_flag.value()), seed);
+  } else if (kind == "tiger") {
+    schedule.data = dod::GenerateTigerLike(n, seed);
+  } else {
+    return Fail("unknown --generate kind: " + kind);
+  }
+  schedule.block_size = static_cast<size_t>(block_flag.value());
+  schedule.num_blocks =
+      (schedule.data.size() + schedule.block_size - 1) / schedule.block_size;
+  schedule.window_blocks = static_cast<size_t>(window_flag.value());
+
+  dod::StreamingConfig config;
+  config.params.radius = radius_flag.value();
+  config.params.min_neighbors = static_cast<int>(k_flag.value());
+  config.params.seed = seed;
+  const std::string kernels = flags.GetStringOr("kernels", "auto");
+  if (!dod::ParseKernelMode(kernels, &config.params.kernels)) {
+    return Fail("--kernels must be scalar or auto");
+  }
+  const std::string algorithm = flags.GetStringOr("algorithm", "cell_based");
+  if (algorithm == "nested_loop" || algorithm == "nl") {
+    config.algorithm = dod::AlgorithmKind::kNestedLoop;
+  } else if (algorithm == "cell_based" || algorithm == "cb") {
+    config.algorithm = dod::AlgorithmKind::kCellBased;
+  } else if (algorithm == "brute_force" || algorithm == "bf") {
+    config.algorithm = dod::AlgorithmKind::kBruteForce;
+  } else {
+    return Fail("unknown --algorithm " + algorithm);
+  }
+  config.num_threads = static_cast<int>(threads_flag.value());
+  config.window_blocks = schedule.window_blocks;
+  config.cell_side = cell_side_flag.value();
+  config.checkpoint_dir = flags.GetStringOr("checkpoint_dir", "");
+  config.resume = flags.GetBoolOr("resume", false);
+  config.checkpoint_every = static_cast<uint64_t>(every_flag.value());
+  // The schedule's identity: resuming under a different workload would
+  // silently replay the wrong blocks, so it is part of the job key.
+  config.job_tag = kind + "/n=" + std::to_string(n) +
+                   "/block=" + std::to_string(schedule.block_size) +
+                   "/seed=" + std::to_string(seed);
+
+  // Oracle pipeline configuration (batch DMT over the window contents).
+  dod::DodConfig oracle_config = dod::DodConfig::Dmt(config.params);
+  oracle_config.num_threads = config.num_threads;
+  oracle_config.seed = seed;
+  const std::string shuffle = flags.GetStringOr("shuffle", "columnar");
+  if (!dod::ParseShuffleMode(shuffle, &oracle_config.shuffle)) {
+    return Fail("--shuffle must be sorted or columnar");
+  }
+
+  const bool oracle = flags.GetBoolOr("oracle", false);
+  const uint64_t kill_after =
+      static_cast<uint64_t>(std::max(0LL, kill_flag.value()));
+  const std::string delta_path = flags.GetStringOr("delta_out", "");
+  const std::string trace_path = flags.GetStringOr("trace_out", "");
+  const std::string metrics_path = flags.GetStringOr("metrics_out", "");
+  const std::vector<std::string> unused = flags.UnusedFlags();
+  if (!unused.empty()) {
+    return Fail("unknown flag --" + unused.front() + " (see --help)");
+  }
+
+  if (!trace_path.empty()) dod::trace::Start();
+
+  auto created = dod::StreamingDetector::Create(config);
+  if (!created.ok()) return Fail(created.status().ToString());
+  dod::StreamingDetector& detector = *created.value();
+
+  std::FILE* delta_file = nullptr;
+  if (!delta_path.empty()) {
+    // Append under --resume so the restored run extends the log the killed
+    // run left behind; the concatenation must equal an uninterrupted log.
+    delta_file = std::fopen(delta_path.c_str(), config.resume ? "a" : "w");
+    if (delta_file == nullptr) {
+      return Fail("cannot open --delta_out " + delta_path);
+    }
+  }
+
+  // Rounds completed before this process (0 on a fresh run): the schedule
+  // resumes at the next unfed block.
+  for (size_t b = detector.rounds(); b < schedule.num_blocks; ++b) {
+    dod::StreamBlock block(schedule.data.dims());
+    for (size_t i = schedule.BlockBegin(b); i < schedule.BlockEnd(b); ++i) {
+      block.Add(static_cast<dod::PointId>(i),
+                schedule.data[static_cast<dod::PointId>(i)]);
+    }
+    block.timestamp = static_cast<double>(b);
+    auto fed = detector.Feed(block);
+    if (!fed.ok()) return Fail(fed.status().ToString());
+    const dod::OutlierDelta& delta = fed.value();
+
+    if (delta_file != nullptr) {
+      std::fprintf(delta_file,
+                   "round=%llu appended=%zu expired=%zu resident=%zu "
+                   "cells=%zu dirty=%zu flagged=%s cleared=%s\n",
+                   static_cast<unsigned long long>(delta.stats.round),
+                   delta.stats.appended_points, delta.stats.expired_points,
+                   delta.stats.resident_points, delta.stats.resident_cells,
+                   delta.stats.dirty_cells,
+                   IdList(delta.newly_flagged).c_str(),
+                   IdList(delta.newly_cleared).c_str());
+      std::fflush(delta_file);
+    }
+
+    if (oracle) {
+      auto expected = OracleOutliers(schedule, b + 1, oracle_config);
+      if (!expected.ok()) return Fail(expected.status().ToString());
+      if (expected.value() != detector.outliers()) {
+        std::fprintf(stderr,
+                     "oracle mismatch at round %llu: stream has %zu "
+                     "outliers, batch has %zu\n",
+                     static_cast<unsigned long long>(delta.stats.round),
+                     detector.outliers().size(), expected.value().size());
+        return 1;
+      }
+    }
+
+    if (kill_after > 0 && delta.stats.round >= kill_after) {
+      // Simulated kill -9: the delta log is already flushed, the
+      // checkpoint (if any) already committed inside Feed. No destructors,
+      // no stream flushes.
+      std::_Exit(42);
+    }
+  }
+  if (delta_file != nullptr) std::fclose(delta_file);
+
+  if (!trace_path.empty()) {
+    dod::trace::Stop();
+    const dod::Status status = dod::trace::WriteChromeJson(trace_path);
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("wrote trace to %s\n", trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    const std::string json = dod::ObservabilityReportJson(
+        dod::MetricsRegistry::Global().Snapshot(), {});
+    std::FILE* file = std::fopen(metrics_path.c_str(), "w");
+    if (file == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), file) != json.size() ||
+        std::fputc('\n', file) == EOF || std::fclose(file) != 0) {
+      if (file != nullptr) std::fclose(file);
+      return Fail("cannot write metrics to " + metrics_path);
+    }
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+
+  std::printf(
+      "streamed %zu blocks (%zu points, window %zu blocks): "
+      "%zu resident points in %zu cells, %zu outliers%s\n",
+      schedule.num_blocks, schedule.data.size(), schedule.window_blocks,
+      detector.resident_points(), detector.resident_cells(),
+      detector.outliers().size(), oracle ? " [oracle verified]" : "");
+  return 0;
+}

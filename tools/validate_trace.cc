@@ -7,12 +7,21 @@
 //
 //   validate_trace --trace trace.json --metrics metrics.json
 //                  [--min_task_spans N] [--min_partitions N]
-//                  [--require_durability]
+//                  [--require_durability] [--require_streaming]
 //
 // With --require_durability the run must have been checkpointed: the trace
 // must hold at least one "durability"-category span and the metrics dump
 // must carry the full durability.* schema (checkpoint counters + write
 // histogram + memory gauge) with at least one task written or resumed.
+//
+// With --require_streaming the run must have come from the streaming
+// service (dod_stream_cli): the trace must hold at least one
+// "stream"-category span and the metrics dump must carry the stream.*
+// schema (round/delta counters, dirty-fraction and round-latency
+// histograms, resident-points gauge) with at least one completed round.
+// Streaming runs pass --min_task_spans 0 --min_partitions 0 — the
+// incremental path re-detects cells directly, without MapReduce tasks or
+// partition profiles.
 //
 // Exits 0 when both documents validate, 1 with a diagnostic otherwise.
 
@@ -51,7 +60,7 @@ dod::Result<dod::JsonValue> LoadJson(const std::string& path) {
 // Chrome trace event format: every complete ("ph":"X") event must carry
 // name/cat/ts/dur/pid/tid. https://chromium.org trace_event format doc.
 int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans,
-                  bool require_durability) {
+                  bool require_durability, bool require_streaming) {
   if (!doc.is_object()) return Fail("trace: top level is not an object");
   if (!doc.Has("traceEvents") || !doc.Get("traceEvents").is_array()) {
     return Fail("trace: missing traceEvents array");
@@ -61,6 +70,7 @@ int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans,
 
   long long task_spans = 0;
   long long durability_spans = 0;
+  long long stream_spans = 0;
   for (size_t i = 0; i < events.size(); ++i) {
     const dod::JsonValue& event = events[i];
     const std::string where = "trace: event " + std::to_string(i);
@@ -84,6 +94,7 @@ int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans,
     }
     if (event.Get("cat").string_value() == "task") ++task_spans;
     if (event.Get("cat").string_value() == "durability") ++durability_spans;
+    if (event.Get("cat").string_value() == "stream") ++stream_spans;
   }
   if (task_spans < min_task_spans) {
     return Fail("trace: " + std::to_string(task_spans) +
@@ -93,8 +104,14 @@ int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans,
     return Fail("trace: no durability spans (checkpoint_commit / "
                 "checkpoint_restore) in a run that required them");
   }
-  std::printf("trace ok: %zu events, %lld task spans, %lld durability spans\n",
-              events.size(), task_spans, durability_spans);
+  if (require_streaming && stream_spans == 0) {
+    return Fail("trace: no stream spans (stream.round) in a run that "
+                "required them");
+  }
+  std::printf(
+      "trace ok: %zu events, %lld task spans, %lld durability spans, "
+      "%lld stream spans\n",
+      events.size(), task_spans, durability_spans, stream_spans);
   return EXIT_SUCCESS;
 }
 
@@ -142,8 +159,45 @@ int ValidateDurabilityMetrics(const dod::JsonValue& metrics) {
   return EXIT_SUCCESS;
 }
 
+// The stream.* names the streaming service records every round; a metrics
+// dump from a streaming run must carry the whole family and show at least
+// one completed round.
+int ValidateStreamingMetrics(const dod::JsonValue& metrics) {
+  const dod::JsonValue& counters = metrics.Get("counters");
+  for (const char* name : {"stream.rounds", "stream.cells_redetected",
+                           "stream.delta_flagged", "stream.delta_cleared"}) {
+    if (!counters.Get(name).is_number()) {
+      return Fail(std::string("metrics: missing streaming counter \"") +
+                  name + "\"");
+    }
+  }
+  const dod::JsonValue& resident =
+      metrics.Get("gauges").Get("stream.resident_points");
+  if (!resident.Get("count").is_number() || !resident.Get("max").is_number()) {
+    return Fail("metrics: missing gauge \"stream.resident_points\"");
+  }
+  for (const char* name :
+       {"stream.dirty_cell_fraction", "stream.round_seconds"}) {
+    const dod::JsonValue& histogram = metrics.Get("histograms").Get(name);
+    if (!histogram.Get("count").is_number() ||
+        !histogram.Get("sum").is_number() ||
+        !histogram.Get("buckets").is_array()) {
+      return Fail(std::string("metrics: histogram \"") + name +
+                  "\" malformed");
+    }
+  }
+  const double rounds = counters.Get("stream.rounds").number_value();
+  if (rounds <= 0.0) {
+    return Fail("metrics: stream.rounds == 0 in a run that required "
+                "streaming");
+  }
+  std::printf("streaming ok: %.0f rounds, %.0f cells re-detected\n", rounds,
+              counters.Get("stream.cells_redetected").number_value());
+  return EXIT_SUCCESS;
+}
+
 int ValidateMetrics(const dod::JsonValue& doc, long long min_partitions,
-                    bool require_durability) {
+                    bool require_durability, bool require_streaming) {
   if (!doc.is_object()) return Fail("metrics: top level is not an object");
   const dod::JsonValue& metrics = doc.Get("metrics");
   if (!metrics.is_object()) return Fail("metrics: missing metrics object");
@@ -200,6 +254,10 @@ int ValidateMetrics(const dod::JsonValue& doc, long long min_partitions,
       ValidateDurabilityMetrics(metrics) != EXIT_SUCCESS) {
     return EXIT_FAILURE;
   }
+  if (require_streaming &&
+      ValidateStreamingMetrics(metrics) != EXIT_SUCCESS) {
+    return EXIT_FAILURE;
+  }
   std::printf("metrics ok: %zu counters, %zu partition profiles\n",
               metrics.Get("counters").object().size(),
               profiles.array().size());
@@ -222,6 +280,7 @@ int main(int argc, char** argv) {
       flags.GetInt("min_partitions", 1).ValueOrDie();
   const bool require_durability =
       flags.GetBoolOr("require_durability", false);
+  const bool require_streaming = flags.GetBoolOr("require_streaming", false);
   if (trace_path.empty() && metrics_path.empty()) {
     return Fail("nothing to do: pass --trace and/or --metrics");
   }
@@ -231,16 +290,16 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) {
     const dod::Result<dod::JsonValue> doc = LoadJson(trace_path);
     if (!doc.ok()) return Fail(doc.status().ToString());
-    if (ValidateTrace(doc.value(), min_task_spans, require_durability) !=
-        EXIT_SUCCESS) {
+    if (ValidateTrace(doc.value(), min_task_spans, require_durability,
+                      require_streaming) != EXIT_SUCCESS) {
       return EXIT_FAILURE;
     }
   }
   if (!metrics_path.empty()) {
     const dod::Result<dod::JsonValue> doc = LoadJson(metrics_path);
     if (!doc.ok()) return Fail(doc.status().ToString());
-    if (ValidateMetrics(doc.value(), min_partitions, require_durability) !=
-        EXIT_SUCCESS) {
+    if (ValidateMetrics(doc.value(), min_partitions, require_durability,
+                        require_streaming) != EXIT_SUCCESS) {
       return EXIT_FAILURE;
     }
   }

@@ -1,22 +1,36 @@
 // Copyright 2026 The DOD Authors.
 //
-// Streaming incremental re-detection vs from-scratch — the case for the
-// dirty-cell rule. A sliding window of spatially localized blocks (traffic
-// concentrated in a small patch per round, the small-delta regime streams
-// are built for) is advanced one block per round:
+// Streaming benchmarks, two regimes:
 //
-//   * incremental: one long-lived StreamingDetector Feed per round, which
-//     re-detects only the dirty cells (touched + supporting ring);
+// 1. Incremental re-detection vs from-scratch — the case for the dirty-cell
+//    rule. A sliding window of spatially localized blocks (traffic
+//    concentrated in a small patch per round, the small-delta regime
+//    streams are built for) is advanced one block per round:
 //
-//   * from-scratch: a fresh StreamingDetector fed the whole window as one
-//     block — the same detectors, arena staging and threading, but every
-//     cell dirty, which is exactly what a batch re-run per round costs.
+//      * incremental: one long-lived StreamingDetector Feed per round
+//        (summaries off — this measures PR 7's dirty-cell re-detection);
+//      * from-scratch: a fresh StreamingDetector fed the whole window as
+//        one block — the same detectors, arena staging and threading, but
+//        every cell dirty, which is exactly what a batch re-run costs.
 //
-// Outlier sets are asserted identical at every sampled round (speed must
-// never buy a different answer). Emits BENCH_streaming.json with
-// rounds/sec for both modes, the speedup, and the mean dirty-cell
-// fraction per block size; CI smoke-checks small_delta_speedup.
+// 2. Summary maintenance vs re-detection — the case for carrying
+//    per-point neighbor counts across rounds. Diffuse traffic (blocks
+//    uniform over the whole domain) makes the dirty set approach every
+//    resident cell, so re-detection degenerates toward from-scratch while
+//    the summary path stays O(block × ring): two long-lived services
+//    consume the identical schedule, one with summaries on and one off. A
+//    third service consumes it through a time-based window (timestamps =
+//    round index, window_seconds = window_blocks — the same resident set
+//    every round) to pin the time-window configuration to the same
+//    verdicts.
+//
+// Outlier sets are asserted identical across every paired round (speed
+// must never buy a different answer). Emits BENCH_streaming.json with
+// rounds/sec per mode, the speedups and the mean dirty-cell fraction; CI
+// smoke-checks small_delta_speedup (regime 1) and
+// small_delta_speedup_summaries (regime 2).
 
+#include <cmath>
 #include <cstdio>
 #include <deque>
 #include <string>
@@ -38,6 +52,25 @@ constexpr double kDomain = 64.0;  // points in [0, kDomain)^2
 constexpr double kPatch = 8.0;    // each block lands in one patch^2 region
 constexpr double kRadius = 2.0;
 constexpr int kMinNeighbors = 4;
+
+StreamingDetector& Must(dod::Result<std::unique_ptr<StreamingDetector>>& r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *r.value();
+}
+
+void MustFeed(StreamingDetector& detector, const StreamBlock& block,
+              double* seconds = nullptr) {
+  dod::StopWatch watch;
+  auto fed = detector.Feed(block);
+  if (seconds != nullptr) *seconds += watch.ElapsedSeconds();
+  if (!fed.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", fed.status().ToString().c_str());
+    std::exit(1);
+  }
+}
 
 struct Workload {
   size_t block_size = 0;
@@ -82,13 +115,14 @@ struct Workload {
   }
 };
 
-StreamingConfig ServiceConfig(size_t window_blocks) {
+StreamingConfig ServiceConfig(size_t window_blocks, bool summaries) {
   StreamingConfig config;
   config.params.radius = kRadius;
   config.params.min_neighbors = kMinNeighbors;
   config.params.seed = 11;
   config.window_blocks = window_blocks;
   config.num_threads = 1;  // isolate the algorithmic win from threading
+  config.summaries = summaries;
   return config;
 }
 
@@ -104,21 +138,16 @@ struct ConfigResult {
 ConfigResult MeasureBlockSize(size_t block_size, size_t window_points,
                               int rounds) {
   Workload workload(block_size, window_points);
+  // Summaries off on both sides: this regime measures the dirty-cell rule
+  // itself (re-detection vs from-scratch), the PR 7 baseline the summary
+  // regime below is compared against.
   auto created = StreamingDetector::Create(
-      ServiceConfig(workload.window_blocks));
-  if (!created.ok()) {
-    std::fprintf(stderr, "FATAL: %s\n", created.status().ToString().c_str());
-    std::exit(1);
-  }
-  StreamingDetector& incremental = *created.value();
+      ServiceConfig(workload.window_blocks, /*summaries=*/false));
+  StreamingDetector& incremental = Must(created);
 
   // Prefill the window (not measured).
   for (size_t b = 0; b < workload.window_blocks; ++b) {
-    auto fed = incremental.Feed(workload.Advance());
-    if (!fed.ok()) {
-      std::fprintf(stderr, "FATAL: %s\n", fed.status().ToString().c_str());
-      std::exit(1);
-    }
+    MustFeed(incremental, workload.Advance());
   }
 
   // Measured steady-state rounds: each Feed appends one localized block
@@ -142,8 +171,8 @@ ConfigResult MeasureBlockSize(size_t block_size, size_t window_points,
     result.mean_dirty_fraction += fed.value().stats.dirty_fraction;
 
     if (round % 4 == 0) {
-      auto scratch =
-          StreamingDetector::Create(ServiceConfig(workload.window_blocks));
+      auto scratch = StreamingDetector::Create(
+          ServiceConfig(workload.window_blocks, /*summaries=*/false));
       const StreamBlock whole = workload.WholeWindow();
       dod::StopWatch scratch_watch;
       auto refed = scratch.value()->Feed(whole);
@@ -167,6 +196,116 @@ ConfigResult MeasureBlockSize(size_t block_size, size_t window_points,
   return result;
 }
 
+// ---- Regime 2: summaries vs re-detection under diffuse traffic ----------
+
+// Blocks uniform over the whole (density-1) domain: every round touches
+// cells everywhere, so the re-detection path's dirty set approaches the
+// full window while the summary path's work stays proportional to the
+// block and its ring.
+struct ScatterWorkload {
+  size_t block_size = 0;
+  size_t window_blocks = 0;
+  double domain = 0.0;
+  dod::Rng rng{0xD1FF};
+  uint64_t next_id = 0;
+  uint64_t round = 0;
+
+  ScatterWorkload(size_t block_size, size_t window_points)
+      : block_size(block_size),
+        window_blocks(window_points / block_size),
+        domain(std::sqrt(static_cast<double>(window_points))) {}
+
+  StreamBlock NextBlock() {
+    StreamBlock block(2);
+    for (size_t i = 0; i < block_size; ++i) {
+      const double p[2] = {rng.NextDouble() * domain,
+                           rng.NextDouble() * domain};
+      block.Add(static_cast<PointId>(next_id++), p);
+    }
+    // Round index as timestamp: with window_seconds == window_blocks the
+    // time-based window keeps exactly the count-based resident set.
+    block.timestamp = static_cast<double>(round++);
+    return block;
+  }
+};
+
+struct SummaryResult {
+  size_t block_size = 0;
+  size_t window_points = 0;
+  double summaries_rounds_per_sec = 0.0;
+  double redetect_rounds_per_sec = 0.0;
+  double speedup = 0.0;
+  double mean_dirty_fraction = 0.0;
+  double mean_recounted = 0.0;
+};
+
+SummaryResult MeasureSummaries(size_t block_size, size_t window_points,
+                               int rounds) {
+  ScatterWorkload workload(block_size, window_points);
+  auto with = StreamingDetector::Create(
+      ServiceConfig(workload.window_blocks, /*summaries=*/true));
+  auto without = StreamingDetector::Create(
+      ServiceConfig(workload.window_blocks, /*summaries=*/false));
+  StreamingConfig timed_config =
+      ServiceConfig(/*window_blocks=*/0, /*summaries=*/true);
+  timed_config.window_seconds = static_cast<double>(workload.window_blocks);
+  auto timed_created = StreamingDetector::Create(timed_config);
+  StreamingDetector& summaries = Must(with);
+  StreamingDetector& redetect = Must(without);
+  StreamingDetector& timed = Must(timed_created);
+
+  for (size_t b = 0; b < workload.window_blocks; ++b) {
+    const StreamBlock block = workload.NextBlock();
+    MustFeed(summaries, block);
+    MustFeed(redetect, block);
+    MustFeed(timed, block);
+  }
+
+  SummaryResult result;
+  result.block_size = block_size;
+  result.window_points = workload.window_blocks * block_size;
+  double summary_seconds = 0.0;
+  double redetect_seconds = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    const StreamBlock block = workload.NextBlock();
+    dod::StopWatch watch;
+    auto fed = summaries.Feed(block);
+    summary_seconds += watch.ElapsedSeconds();
+    if (!fed.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", fed.status().ToString().c_str());
+      std::exit(1);
+    }
+    result.mean_recounted +=
+        static_cast<double>(fed.value().stats.recounted_points);
+
+    dod::StopWatch redetect_watch;
+    auto refed = redetect.Feed(block);
+    redetect_seconds += redetect_watch.ElapsedSeconds();
+    if (!refed.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", refed.status().ToString().c_str());
+      std::exit(1);
+    }
+    result.mean_dirty_fraction += refed.value().stats.dirty_fraction;
+    MustFeed(timed, block);
+
+    if (summaries.outliers() != redetect.outliers() ||
+        summaries.outliers() != timed.outliers()) {
+      std::fprintf(stderr,
+                   "FATAL: summary/re-detect/time-window outlier sets "
+                   "disagree at round %d (block_size %zu)\n",
+                   round, block_size);
+      std::exit(1);
+    }
+  }
+  result.summaries_rounds_per_sec = rounds / summary_seconds;
+  result.redetect_rounds_per_sec = rounds / redetect_seconds;
+  result.speedup =
+      result.summaries_rounds_per_sec / result.redetect_rounds_per_sec;
+  result.mean_dirty_fraction /= rounds;
+  result.mean_recounted /= rounds;
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -174,10 +313,12 @@ int main() {
   const int rounds = 20;
 
   dod::bench::PrintHeader(
-      "Streaming incremental re-detection vs from-scratch",
-      "Sliding window of localized blocks; one Feed per round re-detects\n"
-      "only dirty cells vs a fresh detector re-detecting the whole window.\n"
-      "Outlier sets asserted identical at every sampled round.");
+      "Streaming: incremental re-detection and summary maintenance",
+      "Regime 1 (localized blocks): one Feed per round re-detects only\n"
+      "dirty cells vs a fresh detector re-detecting the whole window.\n"
+      "Regime 2 (diffuse blocks): incremental count summaries vs dirty-cell\n"
+      "re-detection, plus a time-based-window service pinned to the same\n"
+      "verdicts. Outlier sets asserted identical across paired rounds.");
 
   const std::vector<size_t> block_sizes = {128, 512, 2048};
   std::vector<ConfigResult> results;
@@ -192,9 +333,28 @@ int main() {
                 100.0 * r.mean_dirty_fraction);
   }
 
-  // The headline number CI guards: the smallest-delta configuration, where
-  // incrementality has the most to offer.
+  // Regime 2: diffuse traffic, smaller window (the dirty set covers the
+  // domain either way; what differs is the per-round work).
+  const size_t scatter_points = dod::bench::ScaledN(8192);
+  const std::vector<size_t> summary_block_sizes = {128, 512};
+  std::vector<SummaryResult> summary_results;
+  std::printf("\n%11s %9s %14s %14s %9s %8s %9s\n", "block_size", "window",
+              "summ rnd/s", "redet rnd/s", "speedup", "dirty%", "recounts");
+  for (size_t block_size : summary_block_sizes) {
+    const SummaryResult r =
+        MeasureSummaries(block_size, scatter_points, rounds);
+    summary_results.push_back(r);
+    std::printf("%11zu %9zu %14.1f %14.1f %8.2fx %7.1f%% %9.1f\n",
+                r.block_size, r.window_points, r.summaries_rounds_per_sec,
+                r.redetect_rounds_per_sec, r.speedup,
+                100.0 * r.mean_dirty_fraction, r.mean_recounted);
+  }
+
+  // The headline numbers CI guards: the smallest-delta configurations,
+  // where incrementality — and summary maintenance — have the most to
+  // offer.
   const double small_delta_speedup = results.front().speedup;
+  const double small_delta_speedup_summaries = summary_results.front().speedup;
 
   std::FILE* f = std::fopen("BENCH_streaming.json", "w");
   if (f == nullptr) {
@@ -216,9 +376,28 @@ int main() {
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"small_delta_speedup\": %.3f\n}\n", small_delta_speedup);
+  std::fprintf(f, "  \"summary_configs\": [\n");
+  for (size_t i = 0; i < summary_results.size(); ++i) {
+    const SummaryResult& r = summary_results[i];
+    std::fprintf(f,
+                 "    {\"block_size\": %zu, \"window_points\": %zu, "
+                 "\"summaries_rounds_per_sec\": %.1f, "
+                 "\"redetect_rounds_per_sec\": %.1f, \"speedup\": %.3f, "
+                 "\"mean_dirty_fraction\": %.4f, "
+                 "\"mean_recounted_points\": %.1f}%s\n",
+                 r.block_size, r.window_points, r.summaries_rounds_per_sec,
+                 r.redetect_rounds_per_sec, r.speedup, r.mean_dirty_fraction,
+                 r.mean_recounted,
+                 i + 1 < summary_results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"small_delta_speedup\": %.3f,\n", small_delta_speedup);
+  std::fprintf(f, "  \"small_delta_speedup_summaries\": %.3f\n}\n",
+               small_delta_speedup_summaries);
   std::fclose(f);
-  std::printf("\nwrote BENCH_streaming.json (small-delta speedup %.2fx)\n",
-              small_delta_speedup);
+  std::printf(
+      "\nwrote BENCH_streaming.json (small-delta speedup %.2fx, "
+      "summaries speedup %.2fx)\n",
+      small_delta_speedup, small_delta_speedup_summaries);
   return 0;
 }

@@ -1,0 +1,61 @@
+// Copyright 2026 The DOD Authors.
+//
+// Count-only evaluation beside the detectors' verdicts.
+//
+// The detectors answer "is |N_r(p)| < k" and may stop counting the moment
+// the answer is settled. The streaming summary layer (streaming/) needs the
+// count itself so it can carry it across rounds and adjust it incrementally;
+// this header exposes that evaluation over the same PartitionView / shared
+// probe arena plumbing the detectors use.
+//
+// A count is either exact or *saturated*: counting stops once the running
+// count reaches `cap` (the detector early-exit win, generalized to an
+// arbitrary threshold), and the summary records count == cap with the
+// saturated mark — a certified lower bound on the true neighbor count.
+// Saturation is capped deterministically: even though batched kernels may
+// overshoot the cap by a block, the stored summary is clamped to exactly
+// cap, so summaries are bit-identical across kernel implementations.
+
+#ifndef DOD_DETECTION_NEIGHBOR_COUNT_H_
+#define DOD_DETECTION_NEIGHBOR_COUNT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "detection/detector.h"
+#include "detection/partition_view.h"
+#include "kernels/kernel_mode.h"
+#include "kernels/soa_block.h"
+
+namespace dod {
+
+// Exact-or-saturated |N_r(p)| (self excluded). Invariant: when !saturated,
+// count is the exact neighbor count; when saturated, count is a lower
+// bound and the true count is >= count.
+struct NeighborCountSummary {
+  uint32_t count = 0;
+  bool saturated = false;
+};
+
+// Neighbor count of the view's local point `local` against every point of
+// the view (self excluded), under params.radius / params.kernels. With
+// cap >= 0, counting stops at cap and the result saturates at exactly
+// count == cap; cap < 0 counts exactly. `pairs`, when non-null, accrues
+// evaluated pairs.
+NeighborCountSummary CountNeighbors(const PartitionView& view, size_t local,
+                                    const DetectionParams& params, int cap,
+                                    uint64_t* pairs);
+
+// Block×segment exact pairwise count: adds to counts[i] the number of slots
+// in [begin, end) of `points` within sq_radius of query i (row-major,
+// points.dims() doubles per row). No cap, no self-skip — callers must not
+// let a query occupy a scanned slot. Thin dispatch over the kernel table's
+// count_block_within_radius entry.
+void CountBlockAgainstSegment(const SoABlock& points, size_t begin, size_t end,
+                              const double* queries, size_t num_queries,
+                              double sq_radius, KernelMode kernels,
+                              uint32_t* counts, uint64_t* pairs);
+
+}  // namespace dod
+
+#endif  // DOD_DETECTION_NEIGHBOR_COUNT_H_

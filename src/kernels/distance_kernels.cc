@@ -296,10 +296,37 @@ void BlockedDists(const SoABlock& pts, const double* q, double* out,
   DOD_DISPATCH_DIMS(BlockedDistsT, pts.dims(), pts, q, out, pairs);
 }
 
+// Pairwise tiles reuse each implementation's single-query count with
+// "skip nothing" and no cap, so the per-pair arithmetic (and therefore the
+// exactness contract) is inherited rather than re-proved. The candidate
+// segment stays hot across queries — it is the small side of the tile.
+void ScalarCountBlock(const SoABlock& pts, size_t begin, size_t end,
+                      const double* queries, size_t num_queries,
+                      double sq_radius, uint32_t* counts, uint64_t* pairs) {
+  const int dims = pts.dims();
+  for (size_t i = 0; i < num_queries; ++i) {
+    counts[i] += static_cast<uint32_t>(
+        ScalarCount(pts, begin, end, queries + i * dims, sq_radius,
+                    kSoaInvalidId, /*cap=*/-1, pairs));
+  }
+}
+
+void BlockedCountBlock(const SoABlock& pts, size_t begin, size_t end,
+                       const double* queries, size_t num_queries,
+                       double sq_radius, uint32_t* counts, uint64_t* pairs) {
+  const int dims = pts.dims();
+  for (size_t i = 0; i < num_queries; ++i) {
+    counts[i] += static_cast<uint32_t>(
+        BlockedCount(pts, begin, end, queries + i * dims, sq_radius,
+                     kSoaInvalidId, /*cap=*/-1, pairs));
+  }
+}
+
 constexpr KernelOps kScalarOps = {"scalar", ScalarCount, ScalarRangeMask,
-                                  ScalarMin, ScalarDists};
+                                  ScalarMin, ScalarDists, ScalarCountBlock};
 constexpr KernelOps kBlockedOps = {"blocked", BlockedCount, BlockedRangeMask,
-                                   BlockedMin, BlockedDists};
+                                   BlockedMin, BlockedDists,
+                                   BlockedCountBlock};
 
 }  // namespace
 

@@ -64,6 +64,18 @@ struct KernelOps {
   // j < points.size(). `out` must hold points.size() doubles.
   void (*squared_distances)(const SoABlock& points, const double* q,
                             double* out, uint64_t* pairs);
+
+  // Block×segment pairwise count: for each of the `num_queries` query
+  // points (row-major, points.dims() doubles per row), adds the number of
+  // slots in [begin, end) within sq_radius to counts[i]. Counts are exact
+  // (no cap, no skip — a query must not itself occupy a scanned slot) and
+  // bit-identical across implementations; one call covers a whole
+  // query-block × candidate-segment tile, the streaming summary layer's
+  // insert-count / expiry-decrement primitive.
+  void (*count_block_within_radius)(const SoABlock& points, size_t begin,
+                                    size_t end, const double* queries,
+                                    size_t num_queries, double sq_radius,
+                                    uint32_t* counts, uint64_t* pairs);
 };
 
 // Table for a mode: kScalar -> scalar; kAuto -> AVX2 when compiled in and

@@ -164,8 +164,20 @@ DOD_AVX2 void Avx2Dists(const SoABlock& pts, const double* q, double* out,
   if (pairs != nullptr) *pairs += pts.size();
 }
 
+DOD_AVX2 void Avx2CountBlock(const SoABlock& pts, size_t begin, size_t end,
+                             const double* queries, size_t num_queries,
+                             double sq_radius, uint32_t* counts,
+                             uint64_t* pairs) {
+  const int dims = pts.dims();
+  for (size_t i = 0; i < num_queries; ++i) {
+    counts[i] += static_cast<uint32_t>(
+        Avx2Count(pts, begin, end, queries + i * dims, sq_radius,
+                  kSoaInvalidId, /*cap=*/-1, pairs));
+  }
+}
+
 constexpr KernelOps kAvx2Ops = {"avx2", Avx2Count, Avx2RangeMask, Avx2Min,
-                                Avx2Dists};
+                                Avx2Dists, Avx2CountBlock};
 
 }  // namespace
 

@@ -5,10 +5,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <unordered_set>
 #include <utility>
 
 #include "common/timer.h"
+#include "detection/neighbor_count.h"
 #include "detection/partition_view.h"
 #include "durability/payload.h"
 #include "observability/metrics.h"
@@ -17,7 +19,10 @@
 namespace dod {
 namespace {
 
-constexpr uint32_t kStreamStateVersion = 1;
+// Version 2 added the per-point neighbor-count summaries (gated by a
+// has_summaries flag, so summaries-off snapshots stay lean); version-1
+// snapshots are still read, with summaries rebuilt on restore.
+constexpr uint32_t kStreamStateVersion = 2;
 
 // Same per-cell seed derivation as the batch reducers (core/pipeline.cc):
 // the detector's probe-order seed and the arena's permutation seed come
@@ -36,6 +41,50 @@ void SortUnique(std::vector<CellCoord>* coords) {
   std::sort(coords->begin(), coords->end(), CellCoordLess{});
   coords->erase(std::unique(coords->begin(), coords->end()), coords->end());
 }
+
+// Invokes fn(coord) for every cell coordinate within Chebyshev distance
+// `ring` of `center` — center included — in odometer order over the
+// (2*ring+1)^dims offset block (dimension 0 fastest).
+template <typename Fn>
+void ForEachInRing(const CellCoord& center, int ring, Fn&& fn) {
+  CellCoord probe;
+  probe.dims = center.dims;
+  int offset[kMaxDimensions];
+  for (int d = 0; d < center.dims; ++d) {
+    offset[d] = -ring;
+    probe.c[d] = center.c[d] - ring;
+  }
+  while (true) {
+    fn(probe);
+    int d = 0;
+    while (d < center.dims) {
+      if (++offset[d] <= ring) {
+        probe.c[d] = center.c[d] + offset[d];
+        break;
+      }
+      offset[d] = -ring;
+      probe.c[d] = center.c[d] - ring;
+      ++d;
+    }
+    if (d == center.dims) break;
+  }
+}
+
+// Half-open slot range of one cell's segment inside a SegmentIndex SoA.
+struct CellSegment {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+};
+
+// The appended/evicted points of one round, laid out cell by cell in one
+// SoA so a dirty cell's residents count against each nearby segment with a
+// single batched kernel call.
+struct SegmentIndex {
+  explicit SegmentIndex(int dims) : soa(dims) {}
+  SoABlock soa;
+  std::unordered_map<CellCoord, CellSegment, CellCoordHash> ranges;
+  bool empty() const { return soa.empty(); }
+};
 
 }  // namespace
 
@@ -65,6 +114,10 @@ Result<std::unique_ptr<StreamingDetector>> StreamingDetector::Create(
   if (config.cell_side < 0.0 || config.window_seconds < 0.0) {
     return Status::InvalidArgument(
         "StreamingDetector: cell_side and window_seconds must be >= 0");
+  }
+  if (config.summary_slack < 0) {
+    return Status::InvalidArgument(
+        "StreamingDetector: summary_slack must be >= 0");
   }
   if (config.resume && config.checkpoint_dir.empty()) {
     return Status::InvalidArgument(
@@ -134,7 +187,9 @@ uint32_t StreamingDetector::AllocSlot(PointId id, const double* p) {
     slot = static_cast<uint32_t>(window_->Append(p));
     slots_.push_back(SlotState{});
   }
-  slots_[slot] = SlotState{id, 0};
+  SlotState fresh;
+  fresh.stream_id = id;
+  slots_[slot] = fresh;
   id_to_slot_[id] = slot;
   return slot;
 }
@@ -145,7 +200,8 @@ CellCoord StreamingDetector::KeyOf(const double* p) const {
 }
 
 void StreamingDetector::AppendBlock(const StreamBlock& block,
-                                    std::vector<CellCoord>* touched) {
+                                    std::vector<CellCoord>* touched,
+                                    std::vector<uint32_t>* appended_slots) {
   if (block.points.empty()) return;
   WindowBlock wb;
   wb.seq = next_seq_++;
@@ -158,13 +214,15 @@ void StreamingDetector::AppendBlock(const StreamBlock& block,
     cells_[coord].slots.push_back(slot);
     wb.slots.push_back(slot);
     touched->push_back(coord);
+    appended_slots->push_back(slot);
   }
   blocks_.push_back(std::move(wb));
 }
 
 size_t StreamingDetector::ExpireBlocks(double high_water,
                                        std::vector<CellCoord>* touched,
-                                       std::vector<PointId>* expired_flagged) {
+                                       std::vector<PointId>* expired_flagged,
+                                       std::vector<uint32_t>* evicted_slots) {
   size_t expired_points = 0;
   while (!blocks_.empty()) {
     const bool over_count =
@@ -187,6 +245,7 @@ size_t StreamingDetector::ExpireBlocks(double high_water,
       if (state.flagged != 0) expired_flagged->push_back(state.stream_id);
       id_to_slot_.erase(state.stream_id);
       free_slots_.push_back(slot);
+      evicted_slots->push_back(slot);
       ++expired_points;
     }
   }
@@ -202,33 +261,30 @@ std::vector<CellCoord> StreamingDetector::DirtyCells(
   // touched, and q's cell is then within ring_ of it (coordinates more
   // than ring_ cells apart differ by > ring_*side >= r in that dimension).
   std::unordered_set<CellCoord, CellCoordHash> dirty;
-  CellCoord probe;
   for (const CellCoord& center : *touched) {
-    probe.dims = center.dims;
-    // Iterate the (2*ring_+1)^dims block via an odometer over offsets.
-    int offset[kMaxDimensions];
-    for (int d = 0; d < center.dims; ++d) {
-      offset[d] = -ring_;
-      probe.c[d] = center.c[d] - ring_;
-    }
-    while (true) {
+    ForEachInRing(center, ring_, [&](const CellCoord& probe) {
       if (cells_.count(probe) != 0) dirty.insert(probe);
-      int d = 0;
-      while (d < center.dims) {
-        if (++offset[d] <= ring_) {
-          probe.c[d] = center.c[d] + offset[d];
-          break;
-        }
-        offset[d] = -ring_;
-        probe.c[d] = center.c[d] - ring_;
-        ++d;
-      }
-      if (d == center.dims) break;
-    }
+    });
   }
   std::vector<CellCoord> result(dirty.begin(), dirty.end());
   std::sort(result.begin(), result.end(), CellCoordLess{});
   return result;
+}
+
+void StreamingDetector::StageCellWithRing(const CellCoord& center,
+                                          TaskArena* arena) const {
+  arena->BeginCell();
+  const CellState& cell = cells_.at(center);
+  for (uint32_t slot : cell.slots) arena->AddPoint(slot);
+  const size_t num_core = cell.slots.size();
+  ForEachInRing(center, ring_, [&](const CellCoord& probe) {
+    if (probe == center) return;
+    auto it = cells_.find(probe);
+    if (it == cells_.end()) return;
+    for (uint32_t slot : it->second.slots) arena->AddPoint(slot);
+  });
+  arena->EndCell(num_core, CellSeed(config_.params.seed, CoordToken(center)) ^
+                               kArenaSeedSalt);
 }
 
 Status StreamingDetector::RedetectCells(const std::vector<CellCoord>& dirty,
@@ -239,41 +295,7 @@ Status StreamingDetector::RedetectCells(const std::vector<CellCoord>& dirty,
   // segment as core points, the points of its supporting-ring cells as
   // support — the same core-first layout the batch reducers stage.
   TaskArena arena(*window_);
-  CellCoord probe;
-  for (const CellCoord& center : dirty) {
-    arena.BeginCell();
-    const CellState& cell = cells_.at(center);
-    for (uint32_t slot : cell.slots) arena.AddPoint(slot);
-    const size_t num_core = cell.slots.size();
-    probe.dims = center.dims;
-    int offset[kMaxDimensions];
-    for (int d = 0; d < center.dims; ++d) {
-      offset[d] = -ring_;
-      probe.c[d] = center.c[d] - ring_;
-    }
-    while (true) {
-      if (!(probe == center)) {
-        auto it = cells_.find(probe);
-        if (it != cells_.end()) {
-          for (uint32_t slot : it->second.slots) arena.AddPoint(slot);
-        }
-      }
-      int d = 0;
-      while (d < center.dims) {
-        if (++offset[d] <= ring_) {
-          probe.c[d] = center.c[d] + offset[d];
-          break;
-        }
-        offset[d] = -ring_;
-        probe.c[d] = center.c[d] - ring_;
-        ++d;
-      }
-      if (d == center.dims) break;
-    }
-    arena.EndCell(num_core,
-                  CellSeed(config_.params.seed, CoordToken(center)) ^
-                      kArenaSeedSalt);
-  }
+  for (const CellCoord& center : dirty) StageCellWithRing(center, &arena);
   DOD_RETURN_IF_ERROR(arena.TryBuildProbes());
 
   // Fan the dirty cells out over the executor; per-cell results stage into
@@ -308,6 +330,264 @@ Status StreamingDetector::RedetectCells(const std::vector<CellCoord>& dirty,
   return Status::Ok();
 }
 
+int StreamingDetector::SaturationCap() const {
+  const long long cap = static_cast<long long>(config_.params.min_neighbors) +
+                        config_.summary_slack;
+  return static_cast<int>(
+      std::min<long long>(cap, std::numeric_limits<int>::max()));
+}
+
+size_t StreamingDetector::saturated_points() const {
+  size_t n = 0;
+  for (const auto& entry : id_to_slot_) {
+    if (slots_[entry.second].saturated != 0) ++n;
+  }
+  return n;
+}
+
+Status StreamingDetector::SummaryUpdate(
+    const std::vector<CellCoord>& dirty,
+    const std::vector<uint32_t>& appended_slots,
+    const std::vector<uint32_t>& evicted_slots, OutlierDelta* delta) {
+  delta->stats.summary_path = true;
+  std::vector<TargetCell> targets;
+  {
+    trace::Span span("stream", "summary_update");
+    if (dims_ != 0 && !dirty.empty()) {
+      // Appended/evicted point segments, grouped by cell in one SoA each.
+      // Evicted coordinates are still readable: freed slots are only
+      // recycled by the *next* round's appends.
+      SegmentIndex inserted(dims_);
+      SegmentIndex evicted(dims_);
+      const auto build = [&](const std::vector<uint32_t>& round_slots,
+                             SegmentIndex* index) {
+        std::vector<std::pair<CellCoord, uint32_t>> items;
+        items.reserve(round_slots.size());
+        for (uint32_t slot : round_slots) {
+          items.emplace_back(KeyOf((*window_)[slot]), slot);
+        }
+        std::stable_sort(items.begin(), items.end(),
+                         [](const std::pair<CellCoord, uint32_t>& a,
+                            const std::pair<CellCoord, uint32_t>& b) {
+                           return CellCoordLess{}(a.first, b.first);
+                         });
+        index->soa.Reserve(items.size());
+        for (size_t i = 0; i < items.size();) {
+          size_t j = i;
+          while (j < items.size() && items[j].first == items[i].first) {
+            index->soa.Append((*window_)[items[j].second], items[j].second);
+            ++j;
+          }
+          index->ranges.emplace(
+              items[i].first, CellSegment{static_cast<uint32_t>(i),
+                                          static_cast<uint32_t>(j)});
+          i = j;
+        }
+      };
+      build(appended_slots, &inserted);
+      build(evicted_slots, &evicted);
+
+      std::vector<uint8_t> is_new(slots_.size(), 0);
+      for (uint32_t slot : appended_slots) is_new[slot] = 1;
+
+      // Per dirty cell, in parallel: count the cell's surviving old
+      // residents against every appended (increment) and evicted
+      // (decrement) segment within the supporting ring. Results stage per
+      // cell and fold sequentially below.
+      struct CellPass {
+        std::vector<uint32_t> old_slots;  // queries, segment order
+        std::vector<uint32_t> inc;
+        std::vector<uint32_t> dec;
+        uint64_t inc_pairs = 0;
+        uint64_t dec_pairs = 0;
+      };
+      const double sq_radius =
+          config_.params.radius * config_.params.radius;
+      std::vector<CellPass> pass(dirty.size());
+      DOD_RETURN_IF_ERROR(executor_->RunTasks(
+          dirty.size(), [&](size_t i) -> Status {
+            CellPass& p = pass[i];
+            const CellState& cell = cells_.at(dirty[i]);
+            std::vector<double> queries;
+            queries.reserve(cell.slots.size() *
+                            static_cast<size_t>(dims_));
+            for (uint32_t slot : cell.slots) {
+              if (is_new[slot] != 0) continue;
+              p.old_slots.push_back(slot);
+              const double* row = (*window_)[slot];
+              queries.insert(queries.end(), row, row + dims_);
+            }
+            if (p.old_slots.empty()) return Status::Ok();
+            p.inc.assign(p.old_slots.size(), 0);
+            p.dec.assign(p.old_slots.size(), 0);
+            ForEachInRing(dirty[i], ring_, [&](const CellCoord& probe) {
+              if (!inserted.empty()) {
+                auto it = inserted.ranges.find(probe);
+                if (it != inserted.ranges.end()) {
+                  CountBlockAgainstSegment(
+                      inserted.soa, it->second.begin, it->second.end,
+                      queries.data(), p.old_slots.size(), sq_radius,
+                      config_.params.kernels, p.inc.data(), &p.inc_pairs);
+                }
+              }
+              if (!evicted.empty()) {
+                auto it = evicted.ranges.find(probe);
+                if (it != evicted.ranges.end()) {
+                  CountBlockAgainstSegment(
+                      evicted.soa, it->second.begin, it->second.end,
+                      queries.data(), p.old_slots.size(), sq_radius,
+                      config_.params.kernels, p.dec.data(), &p.dec_pairs);
+                }
+              }
+            });
+            return Status::Ok();
+          }));
+
+      // Sequential fold in dirty (lexicographic) order: exact counts
+      // adjust and flip in place; saturated bounds absorb the delta and
+      // queue a re-count only when they drop below k; appended points
+      // queue their first count.
+      const int k = config_.params.min_neighbors;
+      for (size_t i = 0; i < dirty.size(); ++i) {
+        const CellState& cell = cells_.at(dirty[i]);
+        const CellPass& p = pass[i];
+        TargetCell target;
+        target.coord = dirty[i];
+        size_t q = 0;
+        for (size_t j = 0; j < cell.slots.size(); ++j) {
+          const uint32_t slot = cell.slots[j];
+          if (is_new[slot] != 0) {
+            target.locals.push_back(static_cast<uint32_t>(j));
+            ++delta->stats.full_counted_points;
+            continue;
+          }
+          DOD_CHECK(q < p.old_slots.size() && p.old_slots[q] == slot);
+          const long long inc = p.inc[q];
+          const long long dec = p.dec[q];
+          ++q;
+          if (inc == 0 && dec == 0) continue;
+          SlotState& state = slots_[slot];
+          if (state.saturated == 0) {
+            const long long next =
+                static_cast<long long>(state.count) + inc - dec;
+            DOD_CHECK(next >= 0);
+            state.count = static_cast<uint32_t>(next);
+            const bool now = next < k;
+            if (now != (state.flagged != 0)) {
+              (now ? delta->newly_flagged : delta->newly_cleared)
+                  .push_back(state.stream_id);
+              state.flagged = now ? 1 : 0;
+            }
+          } else {
+            const long long bound =
+                static_cast<long long>(state.count) + inc - dec;
+            if (bound >= k) {
+              // True count >= old count + inc - dec, so the bound stays
+              // certified; the point stays a known inlier.
+              state.count = static_cast<uint32_t>(bound);
+            } else {
+              state.count =
+                  static_cast<uint32_t>(std::max(bound, 0LL));
+              target.locals.push_back(static_cast<uint32_t>(j));
+              ++delta->stats.recounted_points;
+            }
+          }
+        }
+        delta->stats.insert_pairs += p.inc_pairs;
+        delta->stats.expiry_pairs += p.dec_pairs;
+        if (!target.locals.empty()) targets.push_back(std::move(target));
+      }
+    }
+    span.Arg("dirty_cells", static_cast<uint64_t>(dirty.size()))
+        .Arg("inc_pairs", delta->stats.insert_pairs)
+        .Arg("dec_pairs", delta->stats.expiry_pairs);
+  }
+  return CountTargets(targets, delta);
+}
+
+Status StreamingDetector::CountTargets(const std::vector<TargetCell>& targets,
+                                       OutlierDelta* delta) {
+  trace::Span span("stream", "summary_recount");
+  span.Arg("recounts",
+           static_cast<uint64_t>(delta->stats.recounted_points))
+      .Arg("full_counts",
+           static_cast<uint64_t>(delta->stats.full_counted_points));
+  if (targets.empty()) return Status::Ok();
+
+  TaskArena arena(*window_);
+  for (const TargetCell& target : targets) {
+    StageCellWithRing(target.coord, &arena);
+  }
+  DOD_RETURN_IF_ERROR(arena.TryBuildProbes());
+
+  const int cap = SaturationCap();
+  std::vector<std::vector<NeighborCountSummary>> staged(targets.size());
+  DOD_RETURN_IF_ERROR(executor_->RunTasks(
+      targets.size(), [&](size_t i) -> Status {
+        const PartitionView view = arena.View(i);
+        DetectionParams params = config_.params;
+        params.seed =
+            CellSeed(config_.params.seed, CoordToken(targets[i].coord));
+        std::vector<NeighborCountSummary>& out = staged[i];
+        out.reserve(targets[i].locals.size());
+        for (uint32_t local : targets[i].locals) {
+          out.push_back(
+              CountNeighbors(view, local, params, cap, /*pairs=*/nullptr));
+        }
+        return Status::Ok();
+      }));
+
+  const uint32_t k =
+      static_cast<uint32_t>(config_.params.min_neighbors);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const CellState& cell = cells_.at(targets[i].coord);
+    for (size_t t = 0; t < targets[i].locals.size(); ++t) {
+      const NeighborCountSummary summary = staged[i][t];
+      SlotState& state = slots_[cell.slots[targets[i].locals[t]]];
+      state.count = summary.count;
+      state.saturated = summary.saturated ? 1 : 0;
+      const bool now = !summary.saturated && summary.count < k;
+      if (now != (state.flagged != 0)) {
+        (now ? delta->newly_flagged : delta->newly_cleared)
+            .push_back(state.stream_id);
+        state.flagged = now ? 1 : 0;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status StreamingDetector::RebuildSummaries() {
+  std::vector<CellCoord> coords;
+  coords.reserve(cells_.size());
+  for (const auto& entry : cells_) coords.push_back(entry.first);
+  std::sort(coords.begin(), coords.end(), CellCoordLess{});
+  std::vector<TargetCell> targets;
+  targets.reserve(coords.size());
+  size_t total = 0;
+  for (const CellCoord& coord : coords) {
+    TargetCell target;
+    target.coord = coord;
+    const size_t n = cells_.at(coord).slots.size();
+    target.locals.resize(n);
+    for (size_t j = 0; j < n; ++j) {
+      target.locals[j] = static_cast<uint32_t>(j);
+    }
+    total += n;
+    targets.push_back(std::move(target));
+  }
+  OutlierDelta scratch;
+  scratch.stats.full_counted_points = total;
+  DOD_RETURN_IF_ERROR(CountTargets(targets, &scratch));
+  // The restored flagged set fixed every verdict; a recount that flips one
+  // means the snapshot's outliers disagree with its window contents.
+  if (!scratch.newly_flagged.empty() || !scratch.newly_cleared.empty()) {
+    return Status::IoError(
+        "stream checkpoint: flagged set disagrees with window contents");
+  }
+  return Status::Ok();
+}
+
 void StreamingDetector::ApplyDeltaToOutlierSet(const OutlierDelta& delta) {
   if (delta.newly_flagged.empty() && delta.newly_cleared.empty()) return;
   std::vector<PointId> next;
@@ -338,6 +618,24 @@ void StreamingDetector::RecordRound(const OutlierDelta& delta) {
       metrics.Id("stream.dirty_cell_fraction", MetricKind::kHistogram);
   static const uint32_t kRoundSeconds =
       metrics.Id("stream.round_seconds", MetricKind::kHistogram);
+  // The stream.summary.* family registers on every round (schema presence
+  // is mode-independent); the counters only move on summary-path rounds.
+  static const uint32_t kSummaryRounds =
+      metrics.Id("stream.summary.rounds", MetricKind::kCounter);
+  static const uint32_t kSummaryBypassed =
+      metrics.Id("stream.summary.rounds_bypassed", MetricKind::kCounter);
+  static const uint32_t kInsertPairs =
+      metrics.Id("stream.summary.insert_count_pairs", MetricKind::kCounter);
+  static const uint32_t kExpiryPairs =
+      metrics.Id("stream.summary.expiry_count_pairs", MetricKind::kCounter);
+  static const uint32_t kFullPoints =
+      metrics.Id("stream.summary.full_count_points", MetricKind::kCounter);
+  static const uint32_t kRecountPoints =
+      metrics.Id("stream.summary.recount_points", MetricKind::kCounter);
+  static const uint32_t kSaturated =
+      metrics.Id("stream.summary.saturated_points", MetricKind::kGauge);
+  static const uint32_t kRecountQueue =
+      metrics.Id("stream.summary.recount_queue", MetricKind::kHistogram);
   metrics.Increment(kRounds);
   metrics.Increment(kDirtyCells, delta.stats.dirty_cells);
   metrics.Increment(kFlagged, delta.newly_flagged.size());
@@ -346,6 +644,18 @@ void StreamingDetector::RecordRound(const OutlierDelta& delta) {
                  static_cast<double>(delta.stats.resident_points));
   metrics.Observe(kDirtyFraction, delta.stats.dirty_fraction);
   metrics.Observe(kRoundSeconds, delta.stats.round_seconds);
+  if (delta.stats.summary_path) {
+    metrics.Increment(kSummaryRounds);
+    metrics.Increment(kInsertPairs, delta.stats.insert_pairs);
+    metrics.Increment(kExpiryPairs, delta.stats.expiry_pairs);
+    metrics.Increment(kFullPoints, delta.stats.full_counted_points);
+    metrics.Increment(kRecountPoints, delta.stats.recounted_points);
+    metrics.SetMax(kSaturated, static_cast<double>(saturated_points()));
+    metrics.Observe(kRecountQueue,
+                    static_cast<double>(delta.stats.recounted_points));
+  } else {
+    metrics.Increment(kSummaryBypassed);
+  }
 }
 
 Result<OutlierDelta> StreamingDetector::Feed(const StreamBlock& block) {
@@ -359,7 +669,9 @@ Result<OutlierDelta> StreamingDetector::Feed(const StreamBlock& block) {
   OutlierDelta delta;
   std::vector<CellCoord> touched;
   std::vector<PointId> expired_flagged;
-  AppendBlock(block, &touched);
+  std::vector<uint32_t> appended_slots;
+  std::vector<uint32_t> evicted_slots;
+  AppendBlock(block, &touched, &appended_slots);
   if (config_.window_seconds > 0.0) {
     high_water_ts_ = saw_timestamp_
                          ? std::max(high_water_ts_, block.timestamp)
@@ -367,10 +679,16 @@ Result<OutlierDelta> StreamingDetector::Feed(const StreamBlock& block) {
     saw_timestamp_ = true;
   }
   const size_t expired_points =
-      ExpireBlocks(high_water_ts_, &touched, &expired_flagged);
+      ExpireBlocks(high_water_ts_, &touched, &expired_flagged,
+                   &evicted_slots);
 
   const std::vector<CellCoord> dirty = DirtyCells(&touched);
-  DOD_RETURN_IF_ERROR(RedetectCells(dirty, &delta));
+  if (config_.summaries) {
+    DOD_RETURN_IF_ERROR(
+        SummaryUpdate(dirty, appended_slots, evicted_slots, &delta));
+  } else {
+    DOD_RETURN_IF_ERROR(RedetectCells(dirty, &delta));
+  }
 
   // Flagged points that left the window clear by expiry; verdict flips
   // were collected per dirty cell above. The two sources are disjoint
@@ -448,6 +766,11 @@ Status StreamingDetector::CommitCheckpoint() {
   w.U8(saw_timestamp_ ? 1 : 0);
   w.F64(high_water_ts_);
   w.U32(static_cast<uint32_t>(dims_));
+  // Summaries ride the snapshot only when the service maintains them:
+  // summaries-off state would persist stale counts a later summaries-on
+  // resume would trust.
+  const bool has_summaries = config_.summaries;
+  w.U8(has_summaries ? 1 : 0);
   w.U64(blocks_.size());
   for (const WindowBlock& block : blocks_) {
     w.U64(block.seq);
@@ -456,6 +779,10 @@ Status StreamingDetector::CommitCheckpoint() {
     for (uint32_t slot : block.slots) {
       w.U32(slots_[slot].stream_id);
       w.Raw((*window_)[slot], sizeof(double) * static_cast<size_t>(dims_));
+      if (has_summaries) {
+        w.U32(slots_[slot].count);
+        w.U8(slots_[slot].saturated);
+      }
     }
   }
   w.U64(outliers_.size());
@@ -486,7 +813,7 @@ Status StreamingDetector::RestoreLatest() {
   PayloadReader r(bytes);
   uint32_t version = 0;
   DOD_RETURN_IF_ERROR(r.U32(&version));
-  if (version != kStreamStateVersion) {
+  if (version != 1 && version != kStreamStateVersion) {
     return Status::IoError("stream checkpoint version skew: " +
                            std::to_string(version));
   }
@@ -499,6 +826,12 @@ Status StreamingDetector::RestoreLatest() {
   uint32_t dims = 0;
   DOD_RETURN_IF_ERROR(r.U32(&dims));
   if (dims > 0) DOD_RETURN_IF_ERROR(InitDims(static_cast<int>(dims)));
+  bool has_summaries = false;
+  if (version >= 2) {
+    uint8_t flag = 0;
+    DOD_RETURN_IF_ERROR(r.U8(&flag));
+    has_summaries = flag != 0;
+  }
 
   uint64_t num_blocks = 0;
   DOD_RETURN_IF_ERROR(r.U64(&num_blocks));
@@ -515,11 +848,24 @@ Status StreamingDetector::RestoreLatest() {
       DOD_RETURN_IF_ERROR(r.U32(&id));
       DOD_RETURN_IF_ERROR(
           r.Raw(coords, sizeof(double) * static_cast<size_t>(dims_)));
+      uint32_t count = 0;
+      uint8_t saturated = 0;
+      if (has_summaries) {
+        DOD_RETURN_IF_ERROR(r.U32(&count));
+        DOD_RETURN_IF_ERROR(r.U8(&saturated));
+      }
       if (id_to_slot_.count(id) != 0) {
         return Status::IoError("stream checkpoint: duplicate resident id " +
                                std::to_string(id));
       }
       const uint32_t slot = AllocSlot(id, coords);
+      if (has_summaries && config_.summaries) {
+        // A summaries-off service discards the counts instead: it won't
+        // maintain them, and persisting them stale would poison a later
+        // summaries-on resume.
+        slots_[slot].count = count;
+        slots_[slot].saturated = saturated != 0 ? 1 : 0;
+      }
       cells_[KeyOf(coords)].slots.push_back(slot);
       wb.slots.push_back(slot);
     }
@@ -544,6 +890,33 @@ Status StreamingDetector::RestoreLatest() {
   DOD_RETURN_IF_ERROR(r.ExpectDone());
   if (!std::is_sorted(outliers_.begin(), outliers_.end())) {
     return Status::IoError("stream checkpoint: flagged ids not sorted");
+  }
+
+  if (config_.summaries) {
+    if (has_summaries) {
+      // Cross-validate the restored summaries against the flagged set: a
+      // saturated bound never sits below k at a round boundary, and a
+      // point is flagged exactly when its exact count is below k.
+      const uint32_t k =
+          static_cast<uint32_t>(config_.params.min_neighbors);
+      for (const auto& entry : id_to_slot_) {
+        const SlotState& state = slots_[entry.second];
+        const bool valid =
+            state.saturated != 0
+                ? state.count >= k && state.flagged == 0
+                : (state.count < k) == (state.flagged != 0);
+        if (!valid) {
+          return Status::IoError(
+              "stream checkpoint: summary for id " +
+              std::to_string(state.stream_id) +
+              " is inconsistent with its verdict");
+        }
+      }
+    } else {
+      // Summary-less snapshot (version 1, or written with summaries off):
+      // rebuild every resident count deterministically.
+      DOD_RETURN_IF_ERROR(RebuildSummaries());
+    }
   }
 
   MetricsRegistry& metrics = MetricsRegistry::Global();

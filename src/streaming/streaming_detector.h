@@ -24,13 +24,26 @@
 //     touched cells plus that ring is exact — untouched cells cannot have
 //     gained or lost a neighbor.
 //
-//   * Dirty cells re-detect through the existing kernel-backed detectors:
-//     each dirty cell stages its core segment plus the ring cells' points
-//     as support into one TaskArena (the columnar shuffle's shared-SoA
-//     layout, detection/partition_view.h) and runs the configured
-//     Detector on the zero-copy PartitionView, fanned out over a
-//     ParallelExecutor. Verdicts are exact, so the result is byte-identical
-//     to a from-scratch batch run over the current window for every thread
+//   * With summaries on (the default), every resident point carries its
+//     neighbor-count summary across rounds: the exact |N_r(p)|, or a
+//     saturated lower bound once counting stopped at k + summary_slack
+//     (the detector early-exit win, preserved). A round then costs
+//     O(new block × ring): batched block×segment kernel calls count the
+//     appended points against each dirty cell's residents (increments) and
+//     the evicted points likewise (decrements); only appended points and
+//     saturated points whose bound dropped below k re-count, through the
+//     same TaskArena/ParallelExecutor staging the detectors use. Counts
+//     are exact integers, so verdict flips — and therefore deltas — stay
+//     byte-identical to the re-detection path below.
+//
+//   * With summaries off (the escape hatch/oracle), dirty cells re-detect
+//     through the existing kernel-backed detectors: each dirty cell stages
+//     its core segment plus the ring cells' points as support into one
+//     TaskArena (the columnar shuffle's shared-SoA layout,
+//     detection/partition_view.h) and runs the configured Detector on the
+//     zero-copy PartitionView, fanned out over a ParallelExecutor.
+//     Verdicts are exact, so either path is byte-identical to a
+//     from-scratch batch run over the current window for every thread
 //     count, kernel mode, and detector choice.
 //
 //   * The emitted OutlierDelta is the verdict diff: ids newly flagged,
@@ -39,14 +52,20 @@
 //     current outlier set exactly.
 //
 // Durability: with checkpoint_dir set, the full window state (blocks,
-// ids, coordinates, flagged set, round counter) is committed to a
-// CheckpointStore every checkpoint_every rounds; Create(resume=true)
-// restores the latest committed round and the service replays the rest of
-// the schedule to the same verdicts and deltas as an uninterrupted run.
+// ids, coordinates, flagged set, round counter — plus each point's count
+// summary when summaries are on) is committed to a CheckpointStore every
+// checkpoint_every rounds; Create(resume=true) restores the latest
+// committed round and the service replays the rest of the schedule to the
+// same verdicts and deltas as an uninterrupted run. Resuming with
+// summaries on from a summary-less checkpoint rebuilds the counts
+// deterministically from the restored window.
 //
 // Observability: every round emits a "stream"/"round" trace span and the
 // stream.* metrics family (rounds, dirty-cell fraction, delta sizes,
-// round latency histogram); tools/validate_trace checks the schema with
+// round latency histogram); summary rounds additionally emit
+// "summary_update"/"summary_recount" spans and the stream.summary.*
+// family (pair/point totals, saturated-point gauge, recount-queue
+// histogram). tools/validate_trace checks the schema with
 // --require_streaming.
 
 #ifndef DOD_STREAMING_STREAMING_DETECTOR_H_
@@ -70,6 +89,8 @@
 
 namespace dod {
 
+class TaskArena;
+
 struct StreamingConfig {
   // Outlier definition + kernel mode; params.seed drives the per-cell
   // probe-order seeds exactly like the batch reducers.
@@ -88,6 +109,23 @@ struct StreamingConfig {
   // once (newest timestamp seen) - (its timestamp) >= window_seconds.
   // 0 = off. Both windows may be active; either can expire a block.
   double window_seconds = 0.0;
+
+  // Incremental neighbor-count summaries (the fast path): rounds update
+  // each resident point's persisted |N_r(p)| by counting the appended
+  // block against its supporting ring (and decrementing for evicted
+  // points) instead of re-running the detector over the dirty set.
+  // Verdicts and deltas are byte-identical either way; off is the
+  // re-detection escape hatch and oracle. Excluded from the checkpoint
+  // job key — a run may resume under either mode.
+  bool summaries = true;
+  // Saturation slack: counting a point stops at min_neighbors +
+  // summary_slack neighbors and the summary is carried as a certified
+  // lower bound from there. Slack absorbs expiry decrements — a saturated
+  // point only re-counts once its bound drops below min_neighbors. Must
+  // be >= 0. Affects cost only, never verdicts (0 saturates exactly at k,
+  // maximizing re-counts; larger values trade count work per round for
+  // fewer re-counts).
+  int summary_slack = 32;
 
   // Grid cell side; <= 0 defaults to params.radius. Smaller sides mean
   // tighter dirty sets but a wider supporting ring (ceil(radius / side)).
@@ -135,6 +173,15 @@ struct StreamRoundStats {
   size_t dirty_cells = 0;
   // dirty_cells / resident_cells after the update (0 when no cells).
   double dirty_fraction = 0.0;
+  // Summary fast path (config.summaries): whether this round took it, how
+  // many points were fully counted (appended) or re-counted (saturation
+  // bound dropped below k), and the pair totals of the incremental
+  // insert/expiry counting passes. All zero on re-detection rounds.
+  bool summary_path = false;
+  size_t full_counted_points = 0;
+  size_t recounted_points = 0;
+  uint64_t insert_pairs = 0;
+  uint64_t expiry_pairs = 0;
   // Wall time of the Feed call (timing; exempt from determinism).
   double round_seconds = 0.0;
 };
@@ -172,6 +219,9 @@ class StreamingDetector {
   // Current outlier ids, ascending. Byte-identical to a from-scratch batch
   // run over the window contents.
   const std::vector<PointId>& outliers() const { return outliers_; }
+  // Resident points whose summary is a saturated lower bound rather than
+  // an exact count; always 0 with summaries off. O(resident points).
+  size_t saturated_points() const;
 
  private:
   struct CellState {
@@ -182,6 +232,19 @@ class StreamingDetector {
     PointId stream_id = 0;
     // Verdict summary from the point's last evaluation (|N_r| < k).
     uint8_t flagged = 0;
+    // Neighbor-count summary (summaries mode): exact |N_r| when
+    // saturated == 0; a certified lower bound — never below min_neighbors
+    // at a round boundary — when saturated != 0. Unmaintained (stale
+    // zeros) with summaries off.
+    uint32_t count = 0;
+    uint8_t saturated = 0;
+  };
+  // One cell's re-count work: `locals` are positions in the cell's slot
+  // segment (appended points needing a first count, saturated points whose
+  // bound fell below k), ascending.
+  struct TargetCell {
+    CellCoord coord;
+    std::vector<uint32_t> locals;
   };
   struct WindowBlock {
     uint64_t seq = 0;
@@ -197,13 +260,17 @@ class StreamingDetector {
   CellCoord KeyOf(const double* p) const;
 
   // Appends the block's points into slots/cells (no detection); the cell
-  // of every appended point is added to `touched`.
-  void AppendBlock(const StreamBlock& block, std::vector<CellCoord>* touched);
+  // of every appended point is added to `touched`, its slot to
+  // `appended_slots`.
+  void AppendBlock(const StreamBlock& block, std::vector<CellCoord>* touched,
+                   std::vector<uint32_t>* appended_slots);
   // Pops expired blocks off the window front into `touched` /
-  // `expired_flagged` (flagged ids leaving the window) and returns the
-  // number of expired points.
+  // `expired_flagged` (flagged ids leaving the window) / `evicted_slots`
+  // (freed slots — their window coordinates stay readable until the next
+  // round's appends recycle them) and returns the number of expired points.
   size_t ExpireBlocks(double high_water, std::vector<CellCoord>* touched,
-                      std::vector<PointId>* expired_flagged);
+                      std::vector<PointId>* expired_flagged,
+                      std::vector<uint32_t>* evicted_slots);
 
   // Resident cells within Chebyshev distance `ring_` of any touched cell,
   // deduplicated and in deterministic (lexicographic) order.
@@ -212,6 +279,34 @@ class StreamingDetector {
   // Re-detects `dirty` and applies verdict flips to `delta`.
   Status RedetectCells(const std::vector<CellCoord>& dirty,
                        OutlierDelta* delta);
+
+  // Stages `center`'s segment (core) plus its supporting-ring cells
+  // (support) into the arena — the exact layout the batch reducers stage.
+  void StageCellWithRing(const CellCoord& center, TaskArena* arena) const;
+
+  // The saturation cap: min_neighbors + summary_slack, clamped to int.
+  int SaturationCap() const;
+
+  // The summary fast path for one round: increments/decrements every dirty
+  // cell's resident counts against the appended/evicted point segments,
+  // flips verdicts of exact counts, then re-counts appended points and
+  // saturated points whose bound fell below k via CountTargets. Applies
+  // verdict flips to `delta` and fills its summary stats.
+  Status SummaryUpdate(const std::vector<CellCoord>& dirty,
+                       const std::vector<uint32_t>& appended_slots,
+                       const std::vector<uint32_t>& evicted_slots,
+                       OutlierDelta* delta);
+
+  // Exact-or-saturated counts for every target point (staged core+ring,
+  // executor fan-out, sequential fold); writes summaries and applies
+  // verdict flips to `delta`.
+  Status CountTargets(const std::vector<TargetCell>& targets,
+                      OutlierDelta* delta);
+
+  // Full deterministic rebuild of every resident point's summary (resume
+  // from a summary-less checkpoint). Fails with kIoError when the
+  // recomputed verdicts disagree with the restored flagged set.
+  Status RebuildSummaries();
 
   void ApplyDeltaToOutlierSet(const OutlierDelta& delta);
   void RecordRound(const OutlierDelta& delta);

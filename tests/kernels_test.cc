@@ -153,6 +153,55 @@ TEST(DistanceKernelsTest, ImplsAgreeOnRandomData) {
   }
 }
 
+TEST(DistanceKernelsTest, CountBlockImplsAgreeAndAccumulate) {
+  // The batched block×segment entry must add, for every query row, the
+  // exact uncapped neighbor count of the sub-range — bit-identical across
+  // implementations, on top of whatever the counts array already holds.
+  const std::vector<const KernelOps*> impls = AvailableImpls();
+  const KernelOps& scalar = *impls[0];
+  for (int dims = 1; dims <= kMaxDimensions; ++dims) {
+    for (size_t n : kBoundarySizes) {
+      const Dataset data = RandomDataset(dims, n, 3000u * dims + n);
+      SoABlock soa(dims);
+      soa.Assign(data);
+      Rng rng(131u * dims + n);
+      for (int trial = 0; trial < 4; ++trial) {
+        const size_t num_queries = 1 + rng.NextBounded(12);
+        std::vector<double> queries(num_queries * dims);
+        for (double& c : queries) c = rng.NextUniform(0.0, 10.0);
+        const double sq_radius = rng.NextUniform(0.5, 16.0);
+        const size_t begin = data.empty() ? 0 : rng.NextBounded(data.size());
+        const size_t end =
+            begin + (data.size() > begin
+                         ? rng.NextBounded(data.size() - begin + 1)
+                         : 0);
+
+        std::vector<uint32_t> want(num_queries, 0);
+        uint64_t want_pairs = 0;
+        for (size_t i = 0; i < num_queries; ++i) {
+          want[i] = 100 + static_cast<uint32_t>(i) +
+                    static_cast<uint32_t>(scalar.count_within_radius(
+                        soa, begin, end, queries.data() + i * dims, sq_radius,
+                        kSoaInvalidId, -1, &want_pairs));
+        }
+        for (const KernelOps* ops : impls) {
+          SCOPED_TRACE(std::string("impl=") + ops->name);
+          std::vector<uint32_t> counts(num_queries);
+          for (size_t i = 0; i < num_queries; ++i) {
+            counts[i] = 100 + static_cast<uint32_t>(i);  // pre-seeded
+          }
+          uint64_t pairs = 0;
+          ops->count_block_within_radius(soa, begin, end, queries.data(),
+                                         num_queries, sq_radius, counts.data(),
+                                         &pairs);
+          EXPECT_EQ(counts, want) << "dims=" << dims << " n=" << n;
+          EXPECT_EQ(pairs, want_pairs);
+        }
+      }
+    }
+  }
+}
+
 TEST(DistanceKernelsTest, TieAtExactlyRadiusIsANeighbor) {
   // 1-d points at distance exactly r: d² == r² must count in every impl.
   SoABlock soa(1);

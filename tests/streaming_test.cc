@@ -5,8 +5,11 @@
 // *neighbor's* expiry, duplicate-id rejection, empty feeds), the central
 // oracle property — after every round the incremental outlier set is
 // byte-identical to a from-scratch batch pipeline run over the window, for
-// every thread count × kernel mode × shuffle mode — and checkpoint/resume
-// reproducing the uninterrupted run's deltas exactly.
+// every thread count × kernel mode × shuffle mode — the summary fast path
+// (saturation edges, randomized per-round delta equality against the
+// re-detection oracle across expiry patterns and configurations) — and
+// checkpoint/resume reproducing the uninterrupted run's deltas exactly,
+// including summary rebuilds from summary-less checkpoints.
 
 #include <cstdint>
 #include <filesystem>
@@ -188,6 +191,61 @@ TEST(StreamingDetectorTest, NeighborExpiryFlipsUntouchedCellsVerdict) {
   EXPECT_EQ(third.value().newly_flagged, (std::vector<PointId>{2, 3}));
 }
 
+TEST(StreamingDetectorTest, SaturatedPointWhoseNeighborsExpireFlipsSameRound) {
+  // The saturation edge: slack 0 saturates counting exactly at k, so a
+  // point carrying `>= k` (not an exact count) that loses neighbors to
+  // expiry must re-count — and flip — in the same round the bound drops
+  // below k. r=1, k=2, window of 2 blocks.
+  StreamingConfig config = BaseConfig(1.0, 2);
+  config.window_blocks = 2;
+  config.summaries = true;
+  config.summary_slack = 0;
+  auto created = StreamingDetector::Create(config);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  StreamingDetector& detector = *created.value();
+
+  // Round 1: A and B adjacent; each has 1 < k neighbors -> both flagged.
+  ASSERT_TRUE(
+      detector.Feed(MakeBlock({{0, {0.1, 0.1}}, {1, {0.2, 0.1}}})).ok());
+  EXPECT_EQ(detector.outliers(), (std::vector<PointId>{0, 1}));
+  EXPECT_EQ(detector.saturated_points(), 0u);
+
+  // Round 2: P lands within r of both. P's first count stops at the cap
+  // (k + slack = 2): P is saturated, an inlier; A and B flip exact counts
+  // 1 -> 2 through the incremental insert pass.
+  auto second = detector.Feed(MakeBlock({{2, {0.5, 0.5}}}));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().stats.summary_path);
+  EXPECT_EQ(second.value().stats.full_counted_points, 1u);
+  EXPECT_EQ(second.value().newly_cleared, (std::vector<PointId>{0, 1}));
+  EXPECT_TRUE(detector.outliers().empty());
+  EXPECT_EQ(detector.saturated_points(), 1u);
+
+  // Round 3: a far block expires A and B. P's bound drops 2 - 2 = 0 < k:
+  // it re-counts to 0 and must flip to outlier in this very round.
+  auto third = detector.Feed(MakeBlock({{3, {40.0, 40.0}}}));
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.value().stats.expired_points, 2u);
+  EXPECT_EQ(third.value().stats.recounted_points, 1u);
+  EXPECT_EQ(third.value().newly_flagged, (std::vector<PointId>{2, 3}));
+  EXPECT_TRUE(third.value().newly_cleared.empty());
+  EXPECT_EQ(detector.outliers(), (std::vector<PointId>{2, 3}));
+  EXPECT_EQ(detector.saturated_points(), 0u);
+
+  // The re-detection path produces the identical delta sequence.
+  config.summaries = false;
+  auto oracle = StreamingDetector::Create(config);
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_TRUE(
+      oracle.value()->Feed(MakeBlock({{0, {0.1, 0.1}}, {1, {0.2, 0.1}}})).ok());
+  ASSERT_TRUE(oracle.value()->Feed(MakeBlock({{2, {0.5, 0.5}}})).ok());
+  auto oracle_third = oracle.value()->Feed(MakeBlock({{3, {40.0, 40.0}}}));
+  ASSERT_TRUE(oracle_third.ok());
+  EXPECT_FALSE(oracle_third.value().stats.summary_path);
+  EXPECT_EQ(oracle_third.value().newly_flagged, third.value().newly_flagged);
+  EXPECT_EQ(oracle.value()->outliers(), detector.outliers());
+}
+
 // ---------------------------------------------------------------------------
 // Oracle property: after every round, outliers() must equal a from-scratch
 // batch pipeline run over the window contents, across configurations.
@@ -306,6 +364,86 @@ TEST(StreamingPropertyTest, MatchesBatchPipelineAcrossConfigs) {
 }
 
 // ---------------------------------------------------------------------------
+// Summary maintenance vs re-detection: the two paths must emit identical
+// per-round deltas on randomized schedules — across seeds, expiry patterns
+// (count- and time-based windows) and runtime configurations.
+
+TEST(StreamingPropertyTest, SummariesMatchRedetectionAcrossConfigs) {
+  struct Case {
+    int threads;
+    KernelMode kernels;
+    AlgorithmKind algorithm;
+    int slack;
+  };
+  const std::vector<Case> cases = {
+      {1, KernelMode::kScalar, AlgorithmKind::kCellBased, 0},
+      {4, KernelMode::kAuto, AlgorithmKind::kCellBased, 32},
+      {8, KernelMode::kAuto, AlgorithmKind::kNestedLoop, 2},
+      {4, KernelMode::kScalar, AlgorithmKind::kBruteForce, 8},
+  };
+
+  for (uint64_t seed : {21u, 77u}) {
+    StreamSchedule schedule;
+    schedule.data = GenerateUniform(900, DomainForDensity(900, 2.0), seed);
+    schedule.block_size = 75;
+    schedule.window_blocks = 4;
+
+    for (bool time_window : {false, true}) {
+      for (size_t c = 0; c < cases.size(); ++c) {
+        SCOPED_TRACE("seed=" + std::to_string(seed) +
+                     " time_window=" + std::to_string(time_window) +
+                     " case=" + std::to_string(c));
+        StreamingConfig config = BaseConfig(1.5, 4);
+        config.params.kernels = cases[c].kernels;
+        config.algorithm = cases[c].algorithm;
+        config.num_threads = cases[c].threads;
+        config.summary_slack = cases[c].slack;
+        if (time_window) {
+          // Timestamps are round indices: window_seconds == window_blocks
+          // keeps exactly the count-based resident set, expiring via the
+          // time rule instead.
+          config.window_seconds = static_cast<double>(schedule.window_blocks);
+        } else {
+          config.window_blocks = schedule.window_blocks;
+        }
+
+        config.summaries = true;
+        auto with = StreamingDetector::Create(config);
+        config.summaries = false;
+        auto without = StreamingDetector::Create(config);
+        ASSERT_TRUE(with.ok() && without.ok());
+
+        for (size_t b = 0; b < schedule.num_blocks(); ++b) {
+          StreamBlock block(schedule.data.dims());
+          for (size_t i = schedule.begin(b); i < schedule.end(b); ++i) {
+            block.Add(static_cast<PointId>(i),
+                      schedule.data[static_cast<PointId>(i)]);
+          }
+          block.timestamp = static_cast<double>(b);
+          auto fast = with.value()->Feed(block);
+          auto oracle = without.value()->Feed(block);
+          ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+          ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+          EXPECT_TRUE(fast.value().stats.summary_path);
+          EXPECT_FALSE(oracle.value().stats.summary_path);
+          ASSERT_EQ(fast.value().newly_flagged, oracle.value().newly_flagged)
+              << "round " << (b + 1);
+          ASSERT_EQ(fast.value().newly_cleared, oracle.value().newly_cleared)
+              << "round " << (b + 1);
+          ASSERT_EQ(with.value()->outliers(), without.value()->outliers());
+        }
+        if (cases[c].slack == 0) {
+          // Zero slack caps counting at k: dense uniform data must leave
+          // saturated lower bounds behind (and none on the oracle side).
+          EXPECT_GT(with.value()->saturated_points(), 0u);
+        }
+        EXPECT_EQ(without.value()->saturated_points(), 0u);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Checkpoint / resume.
 
 class TempDir {
@@ -380,6 +518,67 @@ TEST(StreamingCheckpointTest, ResumeReproducesRemainingDeltas) {
   for (size_t b = stop; b < schedule.num_blocks(); ++b) {
     auto fed = feed_block(*resumed.value(), b);
     ASSERT_TRUE(fed.ok());
+    EXPECT_EQ(fed.value().newly_flagged, full[b].first) << "round " << b + 1;
+    EXPECT_EQ(fed.value().newly_cleared, full[b].second) << "round " << b + 1;
+  }
+}
+
+TEST(StreamingCheckpointTest, SummariesResumeFromSummaryLessCheckpoint) {
+  // The summaries flag is excluded from the job key: a service may resume
+  // under either mode. Resuming with summaries *on* from a checkpoint
+  // written with them *off* (no persisted counts) must rebuild every
+  // summary deterministically and replay the identical deltas.
+  StreamSchedule schedule;
+  schedule.data = GenerateUniform(600, DomainForDensity(600, 2.0), 13);
+  schedule.block_size = 60;
+  schedule.window_blocks = 3;
+
+  auto feed_block = [&](StreamingDetector& detector,
+                        size_t b) -> Result<OutlierDelta> {
+    StreamBlock block(schedule.data.dims());
+    for (size_t i = schedule.begin(b); i < schedule.end(b); ++i) {
+      block.Add(static_cast<PointId>(i),
+                schedule.data[static_cast<PointId>(i)]);
+    }
+    return detector.Feed(block);
+  };
+
+  StreamingConfig config = BaseConfig(1.5, 4);
+  config.window_blocks = schedule.window_blocks;
+  config.job_tag = "rebuild-test";
+
+  // Reference: uninterrupted run (mode is irrelevant to the deltas).
+  std::vector<std::pair<std::vector<PointId>, std::vector<PointId>>> full;
+  {
+    auto created = StreamingDetector::Create(config);
+    ASSERT_TRUE(created.ok());
+    for (size_t b = 0; b < schedule.num_blocks(); ++b) {
+      auto fed = feed_block(*created.value(), b);
+      ASSERT_TRUE(fed.ok());
+      full.emplace_back(fed.value().newly_flagged, fed.value().newly_cleared);
+    }
+  }
+
+  const size_t stop = 5;
+  TempDir dir("dod-streaming-rebuild");
+  config.checkpoint_dir = dir.str();
+  config.summaries = false;  // checkpoint carries no count summaries
+  {
+    auto created = StreamingDetector::Create(config);
+    ASSERT_TRUE(created.ok());
+    for (size_t b = 0; b < stop; ++b) {
+      ASSERT_TRUE(feed_block(*created.value(), b).ok());
+    }
+  }
+  config.resume = true;
+  config.summaries = true;  // resumed service rebuilds summaries
+  auto resumed = StreamingDetector::Create(config);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed.value()->rounds(), stop);
+  for (size_t b = stop; b < schedule.num_blocks(); ++b) {
+    auto fed = feed_block(*resumed.value(), b);
+    ASSERT_TRUE(fed.ok()) << fed.status().ToString();
+    EXPECT_TRUE(fed.value().stats.summary_path);
     EXPECT_EQ(fed.value().newly_flagged, full[b].first) << "round " << b + 1;
     EXPECT_EQ(fed.value().newly_cleared, full[b].second) << "round " << b + 1;
   }

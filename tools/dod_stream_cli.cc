@@ -57,6 +57,11 @@ Streaming service:
                          (default cell_based; all exact, verdicts identical)
   --threads N            threads fanning out over dirty cells (default 1;
                          0 = all hardware threads; deltas identical)
+  --summaries MODE       on (default) | off — incremental neighbor-count
+                         summaries vs full dirty-cell re-detection
+                         (escape hatch; deltas identical either way)
+  --summary_slack N      saturation slack: counting stops at k + N and
+                         carries a lower bound (default 32; cost only)
 
 Durability:
   --checkpoint_dir DIR   commit window state every --checkpoint_every
@@ -156,11 +161,12 @@ int main(int argc, char** argv) {
   auto every_flag = flags.GetInt("checkpoint_every", 1);
   auto kill_flag = flags.GetInt("kill_after_round", 0);
   auto density_flag = flags.GetDouble("density", 0.05);
+  auto slack_flag = flags.GetInt("summary_slack", 32);
   for (const dod::Status& status :
        {n_flag.status(), seed_flag.status(), block_flag.status(),
         window_flag.status(), radius_flag.status(), k_flag.status(),
         threads_flag.status(), cell_side_flag.status(), every_flag.status(),
-        kill_flag.status(), density_flag.status()}) {
+        kill_flag.status(), density_flag.status(), slack_flag.status()}) {
     if (!status.ok()) return Fail(status.ToString());
   }
   if (n_flag.value() < 1 || block_flag.value() < 1 || window_flag.value() < 1) {
@@ -208,6 +214,16 @@ int main(int argc, char** argv) {
   config.num_threads = static_cast<int>(threads_flag.value());
   config.window_blocks = schedule.window_blocks;
   config.cell_side = cell_side_flag.value();
+  const std::string summaries = flags.GetStringOr("summaries", "on");
+  if (summaries == "on") {
+    config.summaries = true;
+  } else if (summaries == "off") {
+    config.summaries = false;
+  } else {
+    return Fail("--summaries must be on or off");
+  }
+  if (slack_flag.value() < 0) return Fail("--summary_slack must be >= 0");
+  config.summary_slack = static_cast<int>(slack_flag.value());
   config.checkpoint_dir = flags.GetStringOr("checkpoint_dir", "");
   config.resume = flags.GetBoolOr("resume", false);
   config.checkpoint_every = static_cast<uint64_t>(every_flag.value());

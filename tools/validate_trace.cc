@@ -16,9 +16,12 @@
 //
 // With --require_streaming the run must have come from the streaming
 // service (dod_stream_cli): the trace must hold at least one
-// "stream"-category span and the metrics dump must carry the stream.*
-// schema (round/delta counters, dirty-fraction and round-latency
-// histograms, resident-points gauge) with at least one completed round.
+// "stream"-category span — with summary_update/summary_recount spans
+// appearing in lockstep and carrying their numeric args — and the metrics
+// dump must carry the stream.* and stream.summary.* schemas
+// (round/delta/pair counters, dirty-fraction, round-latency and
+// recount-queue histograms, resident/saturated-point gauges) with at least
+// one completed round and the two path counters summing to stream.rounds.
 // Streaming runs pass --min_task_spans 0 --min_partitions 0 — the
 // incremental path re-detects cells directly, without MapReduce tasks or
 // partition profiles.
@@ -71,6 +74,8 @@ int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans,
   long long task_spans = 0;
   long long durability_spans = 0;
   long long stream_spans = 0;
+  long long summary_update_spans = 0;
+  long long summary_recount_spans = 0;
   for (size_t i = 0; i < events.size(); ++i) {
     const dod::JsonValue& event = events[i];
     const std::string where = "trace: event " + std::to_string(i);
@@ -94,7 +99,28 @@ int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans,
     }
     if (event.Get("cat").string_value() == "task") ++task_spans;
     if (event.Get("cat").string_value() == "durability") ++durability_spans;
-    if (event.Get("cat").string_value() == "stream") ++stream_spans;
+    if (event.Get("cat").string_value() == "stream") {
+      ++stream_spans;
+      const std::string& name = event.Get("name").string_value();
+      if (name == "summary_update") {
+        ++summary_update_spans;
+        for (const char* key : {"dirty_cells", "inc_pairs", "dec_pairs"}) {
+          if (!event.Get("args").Get(key).is_number()) {
+            return Fail(where + ": summary_update span missing numeric arg \"" +
+                        key + "\"");
+          }
+        }
+      } else if (name == "summary_recount") {
+        ++summary_recount_spans;
+        for (const char* key : {"recounts", "full_counts"}) {
+          if (!event.Get("args").Get(key).is_number()) {
+            return Fail(where +
+                        ": summary_recount span missing numeric arg \"" + key +
+                        "\"");
+          }
+        }
+      }
+    }
   }
   if (task_spans < min_task_spans) {
     return Fail("trace: " + std::to_string(task_spans) +
@@ -108,10 +134,21 @@ int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans,
     return Fail("trace: no stream spans (stream.round) in a run that "
                 "required them");
   }
+  // Summary rounds emit the update and re-count spans in lockstep; a run
+  // with one but not the other dropped half the fast path's telemetry.
+  // (A summaries-off run legitimately has neither.)
+  if (require_streaming &&
+      (summary_update_spans == 0) != (summary_recount_spans == 0)) {
+    return Fail("trace: " + std::to_string(summary_update_spans) +
+                " summary_update spans vs " +
+                std::to_string(summary_recount_spans) +
+                " summary_recount spans (must appear together)");
+  }
   std::printf(
       "trace ok: %zu events, %lld task spans, %lld durability spans, "
-      "%lld stream spans\n",
-      events.size(), task_spans, durability_spans, stream_spans);
+      "%lld stream spans (%lld summary_update, %lld summary_recount)\n",
+      events.size(), task_spans, durability_spans, stream_spans,
+      summary_update_spans, summary_recount_spans);
   return EXIT_SUCCESS;
 }
 
@@ -164,20 +201,28 @@ int ValidateDurabilityMetrics(const dod::JsonValue& metrics) {
 // one completed round.
 int ValidateStreamingMetrics(const dod::JsonValue& metrics) {
   const dod::JsonValue& counters = metrics.Get("counters");
-  for (const char* name : {"stream.rounds", "stream.cells_redetected",
-                           "stream.delta_flagged", "stream.delta_cleared"}) {
+  for (const char* name :
+       {"stream.rounds", "stream.cells_redetected", "stream.delta_flagged",
+        "stream.delta_cleared", "stream.summary.rounds",
+        "stream.summary.rounds_bypassed", "stream.summary.insert_count_pairs",
+        "stream.summary.expiry_count_pairs",
+        "stream.summary.full_count_points",
+        "stream.summary.recount_points"}) {
     if (!counters.Get(name).is_number()) {
       return Fail(std::string("metrics: missing streaming counter \"") +
                   name + "\"");
     }
   }
-  const dod::JsonValue& resident =
-      metrics.Get("gauges").Get("stream.resident_points");
-  if (!resident.Get("count").is_number() || !resident.Get("max").is_number()) {
-    return Fail("metrics: missing gauge \"stream.resident_points\"");
+  for (const char* name :
+       {"stream.resident_points", "stream.summary.saturated_points"}) {
+    const dod::JsonValue& gauge = metrics.Get("gauges").Get(name);
+    if (!gauge.Get("count").is_number() || !gauge.Get("max").is_number()) {
+      return Fail(std::string("metrics: missing gauge \"") + name + "\"");
+    }
   }
   for (const char* name :
-       {"stream.dirty_cell_fraction", "stream.round_seconds"}) {
+       {"stream.dirty_cell_fraction", "stream.round_seconds",
+        "stream.summary.recount_queue"}) {
     const dod::JsonValue& histogram = metrics.Get("histograms").Get(name);
     if (!histogram.Get("count").is_number() ||
         !histogram.Get("sum").is_number() ||
@@ -191,8 +236,22 @@ int ValidateStreamingMetrics(const dod::JsonValue& metrics) {
     return Fail("metrics: stream.rounds == 0 in a run that required "
                 "streaming");
   }
-  std::printf("streaming ok: %.0f rounds, %.0f cells re-detected\n", rounds,
-              counters.Get("stream.cells_redetected").number_value());
+  // Every round takes exactly one of the two paths.
+  const double summary_rounds =
+      counters.Get("stream.summary.rounds").number_value();
+  const double bypassed =
+      counters.Get("stream.summary.rounds_bypassed").number_value();
+  if (summary_rounds + bypassed != rounds) {
+    return Fail("metrics: stream.summary.rounds (" +
+                std::to_string(summary_rounds) + ") + rounds_bypassed (" +
+                std::to_string(bypassed) + ") != stream.rounds (" +
+                std::to_string(rounds) + ")");
+  }
+  std::printf(
+      "streaming ok: %.0f rounds (%.0f summary, %.0f re-detect), %.0f cells "
+      "re-detected\n",
+      rounds, summary_rounds, bypassed,
+      counters.Get("stream.cells_redetected").number_value());
   return EXIT_SUCCESS;
 }
 

@@ -1,6 +1,6 @@
 // Copyright 2026 The DOD Authors.
 //
-// Streaming benchmarks, two regimes:
+// Streaming benchmarks, three regimes:
 //
 // 1. Incremental re-detection vs from-scratch — the case for the dirty-cell
 //    rule. A sliding window of spatially localized blocks (traffic
@@ -23,6 +23,11 @@
 //    round index, window_seconds = window_blocks — the same resident set
 //    every round) to pin the time-window configuration to the same
 //    verdicts.
+//
+// 3. Reorder-buffer overhead — the price of out-of-order admission. The
+//    diffuse schedule is jitter-shuffled within a lateness bound and
+//    replayed through the watermark reorder stage (Ingest + Flush); the
+//    rate ratio against in-order Feed is reported as reorder_overhead.
 //
 // Outlier sets are asserted identical across every paired round (speed
 // must never buy a different answer). Emits BENCH_streaming.json with
@@ -306,6 +311,113 @@ SummaryResult MeasureSummaries(size_t block_size, size_t window_points,
   return result;
 }
 
+// ---- Regime 3: reorder-buffer overhead under out-of-order arrival -------
+
+// The same diffuse schedule consumed twice: in timestamp order through
+// Feed, and shuffled within the lateness bound through the watermark
+// reorder stage (Ingest + final Flush). Every shuffled arrival pays the
+// canonical-position insert and the watermark/drain bookkeeping on top of
+// the identical admitted rounds, so the rate ratio is the price of
+// out-of-order admission itself.
+struct ReorderResult {
+  size_t block_size = 0;
+  size_t window_points = 0;
+  double inorder_rounds_per_sec = 0.0;
+  double reorder_rounds_per_sec = 0.0;
+  double overhead = 0.0;  // in-order rate / reorder rate (>= 1: slower)
+  double mean_buffered = 0.0;
+};
+
+ReorderResult MeasureReorder(size_t block_size, size_t window_points,
+                             int rounds) {
+  const double lateness = 4.0;
+  ScatterWorkload workload(block_size, window_points);
+  auto inorder_created = StreamingDetector::Create(
+      ServiceConfig(workload.window_blocks, /*summaries=*/true));
+  StreamingConfig reorder_config =
+      ServiceConfig(workload.window_blocks, /*summaries=*/true);
+  reorder_config.watermark.enabled = true;
+  reorder_config.watermark.lateness = lateness;
+  auto reorder_created = StreamingDetector::Create(reorder_config);
+  StreamingDetector& inorder = Must(inorder_created);
+  StreamingDetector& reorder = Must(reorder_created);
+
+  auto must_ingest = [&](const StreamBlock& block, double* seconds,
+                         double* buffered) {
+    dod::StopWatch watch;
+    auto ingested = reorder.Ingest(block);
+    *seconds += watch.ElapsedSeconds();
+    if (!ingested.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n",
+                   ingested.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (buffered != nullptr) {
+      *buffered += static_cast<double>(ingested.value().buffered);
+    }
+  };
+
+  // Prefill both services in order (not measured).
+  double sink = 0.0;
+  for (size_t b = 0; b < workload.window_blocks; ++b) {
+    const StreamBlock block = workload.NextBlock();
+    MustFeed(inorder, block);
+    must_ingest(block, &sink, nullptr);
+  }
+
+  // Pre-generate the measured schedule, then jitter-shuffle the arrival
+  // order within the lateness bound (priority = ts + U[0,L)) — the same
+  // permutation family the conformance suite fuzzes.
+  std::vector<StreamBlock> schedule;
+  schedule.reserve(rounds);
+  for (int round = 0; round < rounds; ++round) {
+    schedule.push_back(workload.NextBlock());
+  }
+  std::vector<std::pair<double, size_t>> order;
+  order.reserve(schedule.size());
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    order.emplace_back(schedule[i].timestamp +
+                           workload.rng.NextDouble() * lateness,
+                       i);
+  }
+  std::sort(order.begin(), order.end());
+
+  ReorderResult result;
+  result.block_size = block_size;
+  result.window_points = workload.window_blocks * block_size;
+  double inorder_seconds = 0.0;
+  double reorder_seconds = 0.0;
+  for (const StreamBlock& block : schedule) {
+    MustFeed(inorder, block, &inorder_seconds);
+  }
+  for (const auto& [priority, i] : order) {
+    must_ingest(schedule[i], &reorder_seconds, &result.mean_buffered);
+  }
+  {
+    dod::StopWatch watch;
+    auto flushed = reorder.Flush();
+    reorder_seconds += watch.ElapsedSeconds();
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n",
+                   flushed.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  if (reorder.outliers() != inorder.outliers()) {
+    std::fprintf(stderr,
+                 "FATAL: shuffled replay disagrees with in-order "
+                 "(block_size %zu)\n",
+                 block_size);
+    std::exit(1);
+  }
+  result.inorder_rounds_per_sec = rounds / inorder_seconds;
+  result.reorder_rounds_per_sec = rounds / reorder_seconds;
+  result.overhead =
+      result.inorder_rounds_per_sec / result.reorder_rounds_per_sec;
+  result.mean_buffered /= rounds;
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -350,11 +462,27 @@ int main() {
                 100.0 * r.mean_dirty_fraction, r.mean_recounted);
   }
 
+  // Regime 3: the same diffuse schedule shuffled within a lateness bound
+  // and replayed through the watermark reorder stage. The overhead ratio
+  // prices out-of-order admission against in-order Feed.
+  const std::vector<size_t> reorder_block_sizes = {512};
+  std::vector<ReorderResult> reorder_results;
+  std::printf("\n%11s %9s %14s %14s %9s %9s\n", "block_size", "window",
+              "inord rnd/s", "reord rnd/s", "overhead", "buffered");
+  for (size_t block_size : reorder_block_sizes) {
+    const ReorderResult r = MeasureReorder(block_size, scatter_points, rounds);
+    reorder_results.push_back(r);
+    std::printf("%11zu %9zu %14.1f %14.1f %8.2fx %9.1f\n", r.block_size,
+                r.window_points, r.inorder_rounds_per_sec,
+                r.reorder_rounds_per_sec, r.overhead, r.mean_buffered);
+  }
+
   // The headline numbers CI guards: the smallest-delta configurations,
   // where incrementality — and summary maintenance — have the most to
   // offer.
   const double small_delta_speedup = results.front().speedup;
   const double small_delta_speedup_summaries = summary_results.front().speedup;
+  const double reorder_overhead = reorder_results.front().overhead;
 
   std::FILE* f = std::fopen("BENCH_streaming.json", "w");
   if (f == nullptr) {
@@ -391,13 +519,27 @@ int main() {
                  i + 1 < summary_results.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"reorder_configs\": [\n");
+  for (size_t i = 0; i < reorder_results.size(); ++i) {
+    const ReorderResult& r = reorder_results[i];
+    std::fprintf(f,
+                 "    {\"block_size\": %zu, \"window_points\": %zu, "
+                 "\"inorder_rounds_per_sec\": %.1f, "
+                 "\"reorder_rounds_per_sec\": %.1f, \"overhead\": %.3f, "
+                 "\"mean_buffered_blocks\": %.1f}%s\n",
+                 r.block_size, r.window_points, r.inorder_rounds_per_sec,
+                 r.reorder_rounds_per_sec, r.overhead, r.mean_buffered,
+                 i + 1 < reorder_results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"small_delta_speedup\": %.3f,\n", small_delta_speedup);
-  std::fprintf(f, "  \"small_delta_speedup_summaries\": %.3f\n}\n",
+  std::fprintf(f, "  \"small_delta_speedup_summaries\": %.3f,\n",
                small_delta_speedup_summaries);
+  std::fprintf(f, "  \"reorder_overhead\": %.3f\n}\n", reorder_overhead);
   std::fclose(f);
   std::printf(
       "\nwrote BENCH_streaming.json (small-delta speedup %.2fx, "
-      "summaries speedup %.2fx)\n",
-      small_delta_speedup, small_delta_speedup_summaries);
+      "summaries speedup %.2fx, reorder overhead %.2fx)\n",
+      small_delta_speedup, small_delta_speedup_summaries, reorder_overhead);
   return 0;
 }

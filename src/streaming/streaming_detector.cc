@@ -19,10 +19,16 @@
 namespace dod {
 namespace {
 
-// Version 2 added the per-point neighbor-count summaries (gated by a
-// has_summaries flag, so summaries-off snapshots stay lean); version-1
-// snapshots are still read, with summaries rebuilt on restore.
-constexpr uint32_t kStreamStateVersion = 2;
+// Version 3 added per-source windows and the watermark/reorder section
+// (arrival counters, per-source clocks, buffered blocks). Version 2 added
+// the per-point neighbor-count summaries (gated by a has_summaries flag,
+// so summaries-off snapshots stay lean). Version-1/2 snapshots are still
+// read — their single window restores as source 0, summaries rebuild on
+// restore when absent, and per-source clocks rebuild deterministically
+// from the restored blocks' timestamps. Versions beyond 3 fail with
+// kFailedPrecondition: an older reader must refuse a newer writer's
+// state rather than misparse it.
+constexpr uint32_t kStreamStateVersion = 3;
 
 // Same per-cell seed derivation as the batch reducers (core/pipeline.cc):
 // the detector's probe-order seed and the arena's permutation seed come
@@ -118,6 +124,15 @@ Result<std::unique_ptr<StreamingDetector>> StreamingDetector::Create(
   if (config.summary_slack < 0) {
     return Status::InvalidArgument(
         "StreamingDetector: summary_slack must be >= 0");
+  }
+  if (config.watermark.enabled &&
+      (!std::isfinite(config.watermark.lateness) ||
+       config.watermark.lateness < 0.0 ||
+       !std::isfinite(config.watermark.idle_timeout) ||
+       config.watermark.idle_timeout < 0.0)) {
+    return Status::InvalidArgument(
+        "StreamingDetector: watermark lateness and idle_timeout must be "
+        "finite and >= 0");
   }
   if (config.resume && config.checkpoint_dir.empty()) {
     return Status::InvalidArgument(
@@ -216,37 +231,43 @@ void StreamingDetector::AppendBlock(const StreamBlock& block,
     touched->push_back(coord);
     appended_slots->push_back(slot);
   }
-  blocks_.push_back(std::move(wb));
+  windows_[block.source_id].blocks.push_back(std::move(wb));
 }
 
-size_t StreamingDetector::ExpireBlocks(double high_water,
-                                       std::vector<CellCoord>* touched,
+size_t StreamingDetector::ExpireBlocks(std::vector<CellCoord>* touched,
                                        std::vector<PointId>* expired_flagged,
                                        std::vector<uint32_t>* evicted_slots) {
   size_t expired_points = 0;
-  while (!blocks_.empty()) {
-    const bool over_count =
-        config_.window_blocks > 0 && blocks_.size() > config_.window_blocks;
-    const bool over_age =
-        config_.window_seconds > 0.0 && saw_timestamp_ &&
-        high_water - blocks_.front().timestamp >= config_.window_seconds;
-    if (!over_count && !over_age) break;
-    WindowBlock block = std::move(blocks_.front());
-    blocks_.pop_front();
-    for (uint32_t slot : block.slots) {
-      const SlotState& state = slots_[slot];
-      const CellCoord coord = KeyOf((*window_)[slot]);
-      auto it = cells_.find(coord);
-      DOD_CHECK(it != cells_.end());
-      std::vector<uint32_t>& members = it->second.slots;
-      members.erase(std::find(members.begin(), members.end(), slot));
-      if (members.empty()) cells_.erase(it);
-      touched->push_back(coord);
-      if (state.flagged != 0) expired_flagged->push_back(state.stream_id);
-      id_to_slot_.erase(state.stream_id);
-      free_slots_.push_back(slot);
-      evicted_slots->push_back(slot);
-      ++expired_points;
+  // Ascending source-id order keeps the eviction sequence — and therefore
+  // the evicted SoA segments and delta stats — deterministic. Emptied
+  // windows stay resident: their expiry clock must survive idle gaps.
+  for (auto& entry : windows_) {
+    SourceWindow& source = entry.second;
+    while (!source.blocks.empty()) {
+      const bool over_count = config_.window_blocks > 0 &&
+                              source.blocks.size() > config_.window_blocks;
+      const bool over_age =
+          config_.window_seconds > 0.0 && source.saw_timestamp &&
+          source.high_water - source.blocks.front().timestamp >=
+              config_.window_seconds;
+      if (!over_count && !over_age) break;
+      WindowBlock block = std::move(source.blocks.front());
+      source.blocks.pop_front();
+      for (uint32_t slot : block.slots) {
+        const SlotState& state = slots_[slot];
+        const CellCoord coord = KeyOf((*window_)[slot]);
+        auto it = cells_.find(coord);
+        DOD_CHECK(it != cells_.end());
+        std::vector<uint32_t>& members = it->second.slots;
+        members.erase(std::find(members.begin(), members.end(), slot));
+        if (members.empty()) cells_.erase(it);
+        touched->push_back(coord);
+        if (state.flagged != 0) expired_flagged->push_back(state.stream_id);
+        id_to_slot_.erase(state.stream_id);
+        free_slots_.push_back(slot);
+        evicted_slots->push_back(slot);
+        ++expired_points;
+      }
     }
   }
   return expired_points;
@@ -636,6 +657,24 @@ void StreamingDetector::RecordRound(const OutlierDelta& delta) {
       metrics.Id("stream.summary.saturated_points", MetricKind::kGauge);
   static const uint32_t kRecountQueue =
       metrics.Id("stream.summary.recount_queue", MetricKind::kHistogram);
+  // The stream.watermark.* family and stream.late_dropped likewise
+  // register on every round so validate_trace sees the schema on in-order
+  // runs too; the counters only move under a watermark policy.
+  static const uint32_t kLateDropped =
+      metrics.Id("stream.late_dropped", MetricKind::kCounter);
+  static const uint32_t kAdvances =
+      metrics.Id("stream.watermark.advances", MetricKind::kCounter);
+  static const uint32_t kReorderAdmitted =
+      metrics.Id("stream.watermark.reorder_admitted", MetricKind::kCounter);
+  static const uint32_t kBuffered =
+      metrics.Id("stream.watermark.buffered_blocks", MetricKind::kGauge);
+  static const uint32_t kSources =
+      metrics.Id("stream.watermark.sources", MetricKind::kGauge);
+  (void)kLateDropped;
+  (void)kAdvances;
+  (void)kBuffered;
+  if (config_.watermark.enabled) metrics.Increment(kReorderAdmitted);
+  metrics.SetMax(kSources, static_cast<double>(windows_.size()));
   metrics.Increment(kRounds);
   metrics.Increment(kDirtyCells, delta.stats.dirty_cells);
   metrics.Increment(kFlagged, delta.newly_flagged.size());
@@ -658,7 +697,7 @@ void StreamingDetector::RecordRound(const OutlierDelta& delta) {
   }
 }
 
-Result<OutlierDelta> StreamingDetector::Feed(const StreamBlock& block) {
+Result<OutlierDelta> StreamingDetector::AdmitBlock(const StreamBlock& block) {
   StopWatch watch;
   DOD_RETURN_IF_ERROR(ValidateBlock(block));
   if (dims_ == 0 && !block.points.empty()) {
@@ -673,14 +712,14 @@ Result<OutlierDelta> StreamingDetector::Feed(const StreamBlock& block) {
   std::vector<uint32_t> evicted_slots;
   AppendBlock(block, &touched, &appended_slots);
   if (config_.window_seconds > 0.0) {
-    high_water_ts_ = saw_timestamp_
-                         ? std::max(high_water_ts_, block.timestamp)
-                         : block.timestamp;
-    saw_timestamp_ = true;
+    SourceWindow& source = windows_[block.source_id];
+    source.high_water = source.saw_timestamp
+                            ? std::max(source.high_water, block.timestamp)
+                            : block.timestamp;
+    source.saw_timestamp = true;
   }
   const size_t expired_points =
-      ExpireBlocks(high_water_ts_, &touched, &expired_flagged,
-                   &evicted_slots);
+      ExpireBlocks(&touched, &expired_flagged, &evicted_slots);
 
   const std::vector<CellCoord> dirty = DirtyCells(&touched);
   if (config_.summaries) {
@@ -718,12 +757,198 @@ Result<OutlierDelta> StreamingDetector::Feed(const StreamBlock& block) {
       .Arg("dirty_cells", static_cast<uint64_t>(dirty.size()))
       .Arg("flagged", static_cast<uint64_t>(delta.newly_flagged.size()))
       .Arg("cleared", static_cast<uint64_t>(delta.newly_cleared.size()));
+  return delta;
+}
 
+Result<OutlierDelta> StreamingDetector::Feed(const StreamBlock& block) {
+  if (config_.watermark.enabled) {
+    return Status::FailedPrecondition(
+        "StreamingDetector::Feed: a watermark policy is enabled; blocks "
+        "must go through Ingest so the reorder stage sees them");
+  }
+  DOD_ASSIGN_OR_RETURN(OutlierDelta delta, AdmitBlock(block));
+  arrivals_ = round_;  // in-order mode: one arrival per round, by definition
   if (store_ != nullptr && config_.checkpoint_every > 0 &&
       round_ % config_.checkpoint_every == 0) {
     DOD_RETURN_IF_ERROR(CommitCheckpoint());
   }
   return delta;
+}
+
+Status StreamingDetector::ValidateArrival(const StreamBlock& block) const {
+  if (!std::isfinite(block.timestamp)) {
+    return Status::InvalidArgument(
+        "StreamingDetector::Ingest: block timestamp must be finite under a "
+        "watermark policy");
+  }
+  DOD_RETURN_IF_ERROR(ValidateBlock(block));
+  for (PointId id : block.ids) {
+    if (pending_ids_.count(id) != 0) {
+      return Status::InvalidArgument(
+          "StreamingDetector::Ingest: duplicate point id " +
+          std::to_string(id) + " (already parked in the reorder buffer)");
+    }
+  }
+  // The window learns its dims from the first *admitted* block; arrivals
+  // must agree among themselves too, or a buffered block would fail — and
+  // abort a drain half-applied — only at admission time.
+  if (dims_ == 0 && !block.points.empty()) {
+    for (const PendingBlock& pending : reorder_) {
+      if (pending.block.points.empty()) continue;
+      if (pending.block.points.dims() != block.points.dims()) {
+        return Status::InvalidArgument(
+            "StreamingDetector::Ingest: block dims " +
+            std::to_string(block.points.dims()) + " != buffered dims " +
+            std::to_string(pending.block.points.dims()));
+      }
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+bool StreamingDetector::CurrentWatermark(double* watermark) const {
+  if (!saw_arrival_) return false;
+  // min over live sources of max_seen - L. A source lagging the global
+  // maximum by more than idle_timeout is excluded until it sends again;
+  // the source holding the global maximum lags by zero, so at least one
+  // clock always survives the filter.
+  bool any = false;
+  double min_clock = 0.0;
+  for (const auto& entry : wm_clocks_) {
+    if (config_.watermark.idle_timeout > 0.0 &&
+        global_max_ts_ - entry.second > config_.watermark.idle_timeout) {
+      continue;
+    }
+    if (!any || entry.second < min_clock) {
+      min_clock = entry.second;
+      any = true;
+    }
+  }
+  if (!any) return false;
+  *watermark = min_clock - config_.watermark.lateness;
+  return true;
+}
+
+Status StreamingDetector::DrainReorderBuffer(double bound,
+                                             IngestResult* result) {
+  while (!reorder_.empty() && reorder_.front().block.timestamp < bound) {
+    PendingBlock pending = std::move(reorder_.front());
+    reorder_.pop_front();
+    for (PointId id : pending.block.ids) pending_ids_.erase(id);
+    trace::Span span("stream", "reorder_admit");
+    span.Arg("source", static_cast<uint64_t>(pending.block.source_id))
+        .Arg("arrival", pending.arrival)
+        .Arg("buffered", static_cast<uint64_t>(reorder_.size()));
+    DOD_ASSIGN_OR_RETURN(OutlierDelta delta, AdmitBlock(pending.block));
+    result->admitted.push_back(std::move(delta));
+  }
+  return Status::Ok();
+}
+
+Result<IngestResult> StreamingDetector::Ingest(const StreamBlock& block) {
+  IngestResult result;
+  if (!config_.watermark.enabled) {
+    DOD_ASSIGN_OR_RETURN(OutlierDelta delta, Feed(block));
+    result.admitted.push_back(std::move(delta));
+    return result;
+  }
+  DOD_RETURN_IF_ERROR(ValidateArrival(block));
+
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  static const uint32_t kLateDropped =
+      metrics.Id("stream.late_dropped", MetricKind::kCounter);
+  static const uint32_t kAdvances =
+      metrics.Id("stream.watermark.advances", MetricKind::kCounter);
+  static const uint32_t kBuffered =
+      metrics.Id("stream.watermark.buffered_blocks", MetricKind::kGauge);
+  static const uint32_t kSources =
+      metrics.Id("stream.watermark.sources", MetricKind::kGauge);
+
+  // Rejection is against the watermark *before* this arrival moves any
+  // clock: buffered blocks at or beyond it are still unadmitted, so the
+  // canonical order can absorb anything at ts >= watermark — but a block
+  // below it may already have admitted successors, and applying it now
+  // would diverge from in-order delivery.
+  double prev_wm = 0.0;
+  const bool had_prev = CurrentWatermark(&prev_wm);
+  if (had_prev && block.timestamp < prev_wm) {
+    ++late_dropped_;
+    metrics.Increment(kLateDropped);
+    // The drop count is part of the durable state: re-commit (same arrival
+    // index, keyed overwrite) so a kill right after the rejection doesn't
+    // resurrect the counter at its pre-drop value.
+    if (store_ != nullptr && config_.checkpoint_every > 0) {
+      DOD_RETURN_IF_ERROR(CommitCheckpoint());
+    }
+    return Status::OutOfRange(
+        "StreamingDetector::Ingest: block at ts " +
+        std::to_string(block.timestamp) + " is behind the watermark " +
+        std::to_string(prev_wm) + " (lateness " +
+        std::to_string(config_.watermark.lateness) +
+        "); rejected as late, window unchanged");
+  }
+
+  // Register the arrival: advance its source clock and park the block at
+  // its canonical (timestamp, source, arrival) position. next_arrival_
+  // ticks monotonically, so equal (ts, source) pairs keep arrival order.
+  auto clock = wm_clocks_.find(block.source_id);
+  if (clock == wm_clocks_.end()) {
+    wm_clocks_.emplace(block.source_id, block.timestamp);
+  } else if (block.timestamp > clock->second) {
+    clock->second = block.timestamp;
+  }
+  if (!saw_arrival_ || block.timestamp > global_max_ts_) {
+    global_max_ts_ = block.timestamp;
+  }
+  saw_arrival_ = true;
+  PendingBlock pending;
+  pending.arrival = next_arrival_++;
+  pending.block = block;
+  auto pos = std::upper_bound(
+      reorder_.begin(), reorder_.end(), pending,
+      [](const PendingBlock& a, const PendingBlock& b) {
+        if (a.block.timestamp != b.block.timestamp) {
+          return a.block.timestamp < b.block.timestamp;
+        }
+        return a.block.source_id < b.block.source_id;
+      });
+  reorder_.insert(pos, std::move(pending));
+  pending_ids_.insert(block.ids.begin(), block.ids.end());
+  ++arrivals_;
+
+  double wm = 0.0;
+  result.has_watermark = CurrentWatermark(&wm);
+  if (result.has_watermark) {
+    result.watermark = wm;
+    if (!had_prev || wm > prev_wm) metrics.Increment(kAdvances);
+    DOD_RETURN_IF_ERROR(DrainReorderBuffer(wm, &result));
+  }
+  result.buffered = reorder_.size();
+  metrics.SetMax(kBuffered, static_cast<double>(reorder_.size()));
+  metrics.SetMax(kSources, static_cast<double>(wm_clocks_.size()));
+
+  // Checkpoint cadence counts arrivals, not rounds: the reorder buffer
+  // changes on every accepted block, rounds only on admissions — a kill
+  // mid-reorder must restore the parked blocks too.
+  if (store_ != nullptr && config_.checkpoint_every > 0 &&
+      arrivals_ % config_.checkpoint_every == 0) {
+    DOD_RETURN_IF_ERROR(CommitCheckpoint());
+  }
+  return result;
+}
+
+Result<IngestResult> StreamingDetector::Flush() {
+  IngestResult result;
+  if (!config_.watermark.enabled) return result;
+  result.has_watermark = CurrentWatermark(&result.watermark);
+  if (reorder_.empty()) return result;
+  DOD_RETURN_IF_ERROR(
+      DrainReorderBuffer(std::numeric_limits<double>::infinity(), &result));
+  if (store_ != nullptr && config_.checkpoint_every > 0) {
+    DOD_RETURN_IF_ERROR(CommitCheckpoint());
+  }
+  return result;
 }
 
 std::string StreamingDetector::JobKey() const {
@@ -743,10 +968,21 @@ std::string StreamingDetector::JobKey() const {
     w.F64(config_.grid_origin[i]);
   }
   w.String(config_.job_tag);
+  // Folded in only when enabled so stores written before watermarks
+  // existed (or by watermark-free runs) keep their byte-identical key.
+  if (config_.watermark.enabled) {
+    w.U8(1);
+    w.F64(config_.watermark.lateness);
+    w.F64(config_.watermark.idle_timeout);
+  }
   char hex[17];
   std::snprintf(hex, sizeof(hex), "%016llx",
                 static_cast<unsigned long long>(Fnv1a64(w.str())));
   return std::string("dod-stream-") + hex;
+}
+
+std::string StreamingDetector::JobKeyFor(const StreamingConfig& config) {
+  return StreamingDetector(config).JobKey();
 }
 
 Status StreamingDetector::Checkpoint() {
@@ -763,38 +999,76 @@ Status StreamingDetector::CommitCheckpoint() {
   w.U32(kStreamStateVersion);
   w.U64(round_);
   w.U64(next_seq_);
-  w.U8(saw_timestamp_ ? 1 : 0);
-  w.F64(high_water_ts_);
   w.U32(static_cast<uint32_t>(dims_));
   // Summaries ride the snapshot only when the service maintains them:
   // summaries-off state would persist stale counts a later summaries-on
   // resume would trust.
   const bool has_summaries = config_.summaries;
   w.U8(has_summaries ? 1 : 0);
-  w.U64(blocks_.size());
-  for (const WindowBlock& block : blocks_) {
-    w.U64(block.seq);
-    w.F64(block.timestamp);
-    w.U64(block.slots.size());
-    for (uint32_t slot : block.slots) {
-      w.U32(slots_[slot].stream_id);
-      w.Raw((*window_)[slot], sizeof(double) * static_cast<size_t>(dims_));
-      if (has_summaries) {
-        w.U32(slots_[slot].count);
-        w.U8(slots_[slot].saturated);
+  // Per-source windows, ascending source id (map order).
+  w.U64(windows_.size());
+  for (const auto& entry : windows_) {
+    const SourceWindow& source = entry.second;
+    w.U32(entry.first);
+    w.U8(source.saw_timestamp ? 1 : 0);
+    w.F64(source.high_water);
+    w.U64(source.blocks.size());
+    for (const WindowBlock& block : source.blocks) {
+      w.U64(block.seq);
+      w.F64(block.timestamp);
+      w.U64(block.slots.size());
+      for (uint32_t slot : block.slots) {
+        w.U32(slots_[slot].stream_id);
+        w.Raw((*window_)[slot], sizeof(double) * static_cast<size_t>(dims_));
+        if (has_summaries) {
+          w.U32(slots_[slot].count);
+          w.U8(slots_[slot].saturated);
+        }
       }
     }
   }
   w.U64(outliers_.size());
   for (PointId id : outliers_) w.U32(id);
+  // Watermark/reorder section — written unconditionally (empty when the
+  // policy is off) so the layout never depends on configuration.
+  w.U64(arrivals_);
+  w.U64(late_dropped_);
+  w.U8(saw_arrival_ ? 1 : 0);
+  w.F64(global_max_ts_);
+  w.U64(next_arrival_);
+  w.U64(wm_clocks_.size());
+  for (const auto& entry : wm_clocks_) {
+    w.U32(entry.first);
+    w.F64(entry.second);
+  }
+  w.U64(reorder_.size());
+  for (const PendingBlock& pending : reorder_) {
+    w.U64(pending.arrival);
+    w.U32(pending.block.source_id);
+    w.F64(pending.block.timestamp);
+    // Buffered blocks carry their own dims: the window may not have
+    // admitted a non-empty block yet (dims_ == 0) while arrivals wait.
+    const uint32_t block_dims =
+        static_cast<uint32_t>(pending.block.points.dims());
+    w.U32(block_dims);
+    w.U64(pending.block.ids.size());
+    for (size_t i = 0; i < pending.block.ids.size(); ++i) {
+      w.U32(pending.block.ids[i]);
+      w.Raw(pending.block.points[static_cast<PointId>(i)],
+            sizeof(double) * block_dims);
+    }
+  }
 
   // Snapshot first, latest-pointer second: a crash between the two leaves
-  // the previous round's pointer intact and the orphan snapshot is dead
-  // space, never torn state.
+  // the previous commit's pointer intact and the orphan snapshot is dead
+  // space, never torn state. Watermark mode keys the snapshot by arrival
+  // (the buffer changes without rounds advancing); in-order mode keys by
+  // round, as before.
+  const uint64_t task_index = config_.watermark.enabled ? arrivals_ : round_;
   DOD_RETURN_IF_ERROR(
-      store_->CommitTask("stream", static_cast<int>(round_), w.str()));
+      store_->CommitTask("stream", static_cast<int>(task_index), w.str()));
   PayloadWriter latest;
-  latest.U64(round_);
+  latest.U64(task_index);
   return store_->CommitTask("latest", 0, latest.str());
 }
 
@@ -803,26 +1077,33 @@ Status StreamingDetector::RestoreLatest() {
   DOD_ASSIGN_OR_RETURN(std::string latest_bytes,
                        store_->LoadTask("latest", 0));
   PayloadReader latest(latest_bytes);
-  uint64_t round = 0;
-  DOD_RETURN_IF_ERROR(latest.U64(&round));
+  uint64_t task_index = 0;
+  DOD_RETURN_IF_ERROR(latest.U64(&task_index));
   DOD_RETURN_IF_ERROR(latest.ExpectDone());
   DOD_ASSIGN_OR_RETURN(
       std::string bytes,
-      store_->LoadTask("stream", static_cast<int>(round)));
+      store_->LoadTask("stream", static_cast<int>(task_index)));
 
   PayloadReader r(bytes);
   uint32_t version = 0;
   DOD_RETURN_IF_ERROR(r.U32(&version));
-  if (version != 1 && version != kStreamStateVersion) {
-    return Status::IoError("stream checkpoint version skew: " +
-                           std::to_string(version));
+  if (version == 0 || version > kStreamStateVersion) {
+    // A newer writer's state: refusing outright beats misparsing it. The
+    // caller keeps the store intact for the build that wrote it.
+    return Status::FailedPrecondition(
+        "stream checkpoint version skew: snapshot version " +
+        std::to_string(version) + " is newer than this reader (supports 1-" +
+        std::to_string(kStreamStateVersion) + ")");
   }
   DOD_RETURN_IF_ERROR(r.U64(&round_));
   DOD_RETURN_IF_ERROR(r.U64(&next_seq_));
-  uint8_t saw = 0;
-  DOD_RETURN_IF_ERROR(r.U8(&saw));
-  saw_timestamp_ = saw != 0;
-  DOD_RETURN_IF_ERROR(r.F64(&high_water_ts_));
+  // v1/v2 persisted the single pre-source-aware window clock before dims.
+  uint8_t legacy_saw = 0;
+  double legacy_high_water = 0.0;
+  if (version < 3) {
+    DOD_RETURN_IF_ERROR(r.U8(&legacy_saw));
+    DOD_RETURN_IF_ERROR(r.F64(&legacy_high_water));
+  }
   uint32_t dims = 0;
   DOD_RETURN_IF_ERROR(r.U32(&dims));
   if (dims > 0) DOD_RETURN_IF_ERROR(InitDims(static_cast<int>(dims)));
@@ -833,49 +1114,80 @@ Status StreamingDetector::RestoreLatest() {
     has_summaries = flag != 0;
   }
 
-  uint64_t num_blocks = 0;
-  DOD_RETURN_IF_ERROR(r.U64(&num_blocks));
-  for (uint64_t b = 0; b < num_blocks; ++b) {
-    WindowBlock wb;
-    DOD_RETURN_IF_ERROR(r.U64(&wb.seq));
-    DOD_RETURN_IF_ERROR(r.F64(&wb.timestamp));
-    uint64_t num_points = 0;
-    DOD_RETURN_IF_ERROR(r.U64(&num_points));
-    wb.slots.reserve(num_points);
-    double coords[kMaxDimensions];
-    for (uint64_t i = 0; i < num_points; ++i) {
-      uint32_t id = 0;
-      DOD_RETURN_IF_ERROR(r.U32(&id));
-      DOD_RETURN_IF_ERROR(
-          r.Raw(coords, sizeof(double) * static_cast<size_t>(dims_)));
-      uint32_t count = 0;
-      uint8_t saturated = 0;
-      if (has_summaries) {
-        DOD_RETURN_IF_ERROR(r.U32(&count));
-        DOD_RETURN_IF_ERROR(r.U8(&saturated));
+  const auto read_blocks = [&](SourceWindow* source) -> Status {
+    uint64_t num_blocks = 0;
+    DOD_RETURN_IF_ERROR(r.U64(&num_blocks));
+    for (uint64_t b = 0; b < num_blocks; ++b) {
+      WindowBlock wb;
+      DOD_RETURN_IF_ERROR(r.U64(&wb.seq));
+      DOD_RETURN_IF_ERROR(r.F64(&wb.timestamp));
+      uint64_t num_points = 0;
+      DOD_RETURN_IF_ERROR(r.U64(&num_points));
+      double coords[kMaxDimensions];
+      for (uint64_t i = 0; i < num_points; ++i) {
+        uint32_t id = 0;
+        DOD_RETURN_IF_ERROR(r.U32(&id));
+        DOD_RETURN_IF_ERROR(
+            r.Raw(coords, sizeof(double) * static_cast<size_t>(dims_)));
+        uint32_t count = 0;
+        uint8_t saturated = 0;
+        if (has_summaries) {
+          DOD_RETURN_IF_ERROR(r.U32(&count));
+          DOD_RETURN_IF_ERROR(r.U8(&saturated));
+        }
+        if (id_to_slot_.count(id) != 0) {
+          return Status::IoError("stream checkpoint: duplicate resident id " +
+                                 std::to_string(id));
+        }
+        const uint32_t slot = AllocSlot(id, coords);
+        if (has_summaries && config_.summaries) {
+          // A summaries-off service discards the counts instead: it won't
+          // maintain them, and persisting them stale would poison a later
+          // summaries-on resume.
+          slots_[slot].count = count;
+          slots_[slot].saturated = saturated != 0 ? 1 : 0;
+        }
+        cells_[KeyOf(coords)].slots.push_back(slot);
+        wb.slots.push_back(slot);
       }
-      if (id_to_slot_.count(id) != 0) {
-        return Status::IoError("stream checkpoint: duplicate resident id " +
-                               std::to_string(id));
-      }
-      const uint32_t slot = AllocSlot(id, coords);
-      if (has_summaries && config_.summaries) {
-        // A summaries-off service discards the counts instead: it won't
-        // maintain them, and persisting them stale would poison a later
-        // summaries-on resume.
-        slots_[slot].count = count;
-        slots_[slot].saturated = saturated != 0 ? 1 : 0;
-      }
-      cells_[KeyOf(coords)].slots.push_back(slot);
-      wb.slots.push_back(slot);
+      source->blocks.push_back(std::move(wb));
     }
-    blocks_.push_back(std::move(wb));
+    return Status::Ok();
+  };
+
+  if (version < 3) {
+    // The legacy single window restores as source 0 — exactly where every
+    // pre-source-aware Feed had been putting its blocks.
+    SourceWindow& source = windows_[0];
+    source.saw_timestamp = legacy_saw != 0;
+    source.high_water = legacy_high_water;
+    DOD_RETURN_IF_ERROR(read_blocks(&source));
+  } else {
+    uint64_t num_sources = 0;
+    DOD_RETURN_IF_ERROR(r.U64(&num_sources));
+    bool first = true;
+    uint32_t prev_source = 0;
+    for (uint64_t s = 0; s < num_sources; ++s) {
+      uint32_t source_id = 0;
+      DOD_RETURN_IF_ERROR(r.U32(&source_id));
+      if (!first && source_id <= prev_source) {
+        return Status::IoError(
+            "stream checkpoint: source ids not strictly ascending");
+      }
+      first = false;
+      prev_source = source_id;
+      SourceWindow& source = windows_[source_id];
+      uint8_t saw = 0;
+      DOD_RETURN_IF_ERROR(r.U8(&saw));
+      source.saw_timestamp = saw != 0;
+      DOD_RETURN_IF_ERROR(r.F64(&source.high_water));
+      DOD_RETURN_IF_ERROR(read_blocks(&source));
+    }
   }
 
   uint64_t num_outliers = 0;
   DOD_RETURN_IF_ERROR(r.U64(&num_outliers));
   outliers_.clear();
-  outliers_.reserve(num_outliers);
   for (uint64_t i = 0; i < num_outliers; ++i) {
     uint32_t id = 0;
     DOD_RETURN_IF_ERROR(r.U32(&id));
@@ -887,10 +1199,122 @@ Status StreamingDetector::RestoreLatest() {
     slots_[it->second].flagged = 1;
     outliers_.push_back(id);
   }
-  DOD_RETURN_IF_ERROR(r.ExpectDone());
   if (!std::is_sorted(outliers_.begin(), outliers_.end())) {
     return Status::IoError("stream checkpoint: flagged ids not sorted");
   }
+
+  if (version >= 3) {
+    DOD_RETURN_IF_ERROR(r.U64(&arrivals_));
+    DOD_RETURN_IF_ERROR(r.U64(&late_dropped_));
+    uint8_t saw_arrival = 0;
+    DOD_RETURN_IF_ERROR(r.U8(&saw_arrival));
+    saw_arrival_ = saw_arrival != 0;
+    DOD_RETURN_IF_ERROR(r.F64(&global_max_ts_));
+    DOD_RETURN_IF_ERROR(r.U64(&next_arrival_));
+    uint64_t num_clocks = 0;
+    DOD_RETURN_IF_ERROR(r.U64(&num_clocks));
+    bool first = true;
+    uint32_t prev_source = 0;
+    for (uint64_t i = 0; i < num_clocks; ++i) {
+      uint32_t source_id = 0;
+      double clock = 0.0;
+      DOD_RETURN_IF_ERROR(r.U32(&source_id));
+      DOD_RETURN_IF_ERROR(r.F64(&clock));
+      if ((!first && source_id <= prev_source) || !std::isfinite(clock)) {
+        return Status::IoError(
+            "stream checkpoint: malformed watermark clock record");
+      }
+      first = false;
+      prev_source = source_id;
+      wm_clocks_.emplace(source_id, clock);
+    }
+    uint64_t num_pending = 0;
+    DOD_RETURN_IF_ERROR(r.U64(&num_pending));
+    for (uint64_t i = 0; i < num_pending; ++i) {
+      PendingBlock pending;
+      DOD_RETURN_IF_ERROR(r.U64(&pending.arrival));
+      uint32_t source_id = 0;
+      double timestamp = 0.0;
+      uint32_t block_dims = 0;
+      uint64_t num_points = 0;
+      DOD_RETURN_IF_ERROR(r.U32(&source_id));
+      DOD_RETURN_IF_ERROR(r.F64(&timestamp));
+      DOD_RETURN_IF_ERROR(r.U32(&block_dims));
+      DOD_RETURN_IF_ERROR(r.U64(&num_points));
+      if (!std::isfinite(timestamp) || block_dims < 1 ||
+          block_dims > kMaxDimensions ||
+          (dims_ != 0 && num_points > 0 &&
+           block_dims != static_cast<uint32_t>(dims_))) {
+        return Status::IoError(
+            "stream checkpoint: malformed reorder-buffer record");
+      }
+      StreamBlock block(static_cast<int>(block_dims));
+      block.timestamp = timestamp;
+      block.source_id = source_id;
+      double coords[kMaxDimensions];
+      for (uint64_t p = 0; p < num_points; ++p) {
+        uint32_t id = 0;
+        DOD_RETURN_IF_ERROR(r.U32(&id));
+        DOD_RETURN_IF_ERROR(
+            r.Raw(coords, sizeof(double) * static_cast<size_t>(block_dims)));
+        for (uint32_t d = 0; d < block_dims; ++d) {
+          if (!std::isfinite(coords[d])) {
+            return Status::IoError(
+                "stream checkpoint: non-finite reorder-buffer coordinate");
+          }
+        }
+        if (id_to_slot_.count(id) != 0 || pending_ids_.count(id) != 0) {
+          return Status::IoError(
+              "stream checkpoint: duplicate reorder-buffer id " +
+              std::to_string(id));
+        }
+        pending_ids_.insert(id);
+        block.Add(id, coords);
+      }
+      if (pending.arrival >= next_arrival_) {
+        return Status::IoError(
+            "stream checkpoint: reorder-buffer arrival sequence skew");
+      }
+      pending.block = std::move(block);
+      reorder_.push_back(std::move(pending));
+    }
+    // Re-establish the canonical (timestamp, source, arrival) order
+    // instead of trusting record order — a hostile snapshot must not be
+    // able to force an out-of-order admission.
+    std::sort(reorder_.begin(), reorder_.end(),
+              [](const PendingBlock& a, const PendingBlock& b) {
+                if (a.block.timestamp != b.block.timestamp) {
+                  return a.block.timestamp < b.block.timestamp;
+                }
+                if (a.block.source_id != b.block.source_id) {
+                  return a.block.source_id < b.block.source_id;
+                }
+                return a.arrival < b.arrival;
+              });
+  } else {
+    // v1/v2 upgrade: in-order mode admitted one block per round.
+    arrivals_ = round_;
+    if (config_.watermark.enabled) {
+      // Rebuild the source-0 clock deterministically: the legacy
+      // high-water clock is the true max-seen when the writer tracked
+      // timestamps (time-based window); otherwise fall back to the max
+      // over the resident blocks.
+      bool any = legacy_saw != 0;
+      double max_ts = legacy_high_water;
+      for (const auto& entry : windows_) {
+        for (const WindowBlock& block : entry.second.blocks) {
+          if (!any || block.timestamp > max_ts) max_ts = block.timestamp;
+          any = true;
+        }
+      }
+      if (any) {
+        wm_clocks_[0] = max_ts;
+        global_max_ts_ = max_ts;
+        saw_arrival_ = true;
+      }
+    }
+  }
+  DOD_RETURN_IF_ERROR(r.ExpectDone());
 
   if (config_.summaries) {
     if (has_summaries) {

@@ -51,10 +51,39 @@
 //     and per-round stats. Applying deltas in order reconstructs the
 //     current outlier set exactly.
 //
-// Durability: with checkpoint_dir set, the full window state (blocks,
-// ids, coordinates, flagged set, round counter — plus each point's count
-// summary when summaries are on) is committed to a CheckpointStore every
-// checkpoint_every rounds; Create(resume=true) restores the latest
+// Out-of-order and multi-source input: real ingest is neither ordered
+// nor single-tenant. With a WatermarkPolicy enabled, Ingest(block) parks
+// arrivals in a reorder buffer instead of admitting them immediately.
+// Every source (StreamBlock::source_id) keeps a clock at the maximum
+// timestamp it has delivered; the global watermark is
+//
+//     min over non-idle sources of (max_seen_ts) − lateness
+//
+// and a buffered block is admitted — running the exact Feed round an
+// in-order delivery would have run — once the watermark passes strictly
+// beyond its timestamp, in canonical (timestamp, source, arrival) order.
+// A block arriving with ts < watermark is later than the lateness bound:
+// it is rejected with kOutOfRange and counted in stream.late_dropped,
+// never silently applied. A source that stops sending pins the watermark
+// at its last clock; idle_timeout > 0 excludes sources lagging the
+// global maximum by more than the timeout until they send again. The
+// window itself is per source (independent count budgets and time-based
+// expiry clocks) over one merged grid/verdict space, so multi-tenant
+// feeds share neighborhoods without sharing window schedules.
+//
+// The correctness contract: every arrival permutation within the
+// lateness bound admits the same canonical block sequence, so the
+// admitted-order delta stream — and the final flagged set — is
+// byte-identical to in-order delivery (tests/streaming_order_test.cc
+// fuzzes this against the batch oracle).
+//
+// Durability: with checkpoint_dir set, the full window state (per-source
+// blocks, ids, coordinates, flagged set, round counter — plus each
+// point's count summary when summaries are on, plus the reorder buffer
+// and per-source clocks when a watermark policy is active) is committed
+// to a CheckpointStore every checkpoint_every rounds (watermark mode:
+// every checkpoint_every arrivals, so a kill mid-reorder restores the
+// buffered blocks too); Create(resume=true) restores the latest
 // committed round and the service replays the rest of the schedule to the
 // same verdicts and deltas as an uninterrupted run. Resuming with
 // summaries on from a summary-less checkpoint rebuilds the counts
@@ -73,10 +102,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/dataset.h"
@@ -91,6 +122,23 @@ namespace dod {
 
 class TaskArena;
 
+// Bounded-lateness admission policy for out-of-order / multi-source
+// streams. Disabled (the default), Ingest admits every block immediately
+// in arrival order — the PR 7 in-order contract, byte for byte.
+struct WatermarkPolicy {
+  bool enabled = false;
+  // Bounded lateness L, in timestamp units: a block is admissible while
+  // its timestamp is >= the current watermark (min over live sources of
+  // max-seen - L); anything older may already have admitted successors
+  // and is rejected with kOutOfRange. Must be >= 0 and finite.
+  double lateness = 0.0;
+  // Idle-source timeout: a source whose clock lags the global maximum
+  // timestamp by more than this stops holding the watermark back until
+  // it delivers again. 0 disables (a silent source stalls the watermark
+  // forever — choose deliberately for strictly-complete streams).
+  double idle_timeout = 0.0;
+};
+
 struct StreamingConfig {
   // Outlier definition + kernel mode; params.seed drives the per-cell
   // probe-order seeds exactly like the batch reducers.
@@ -102,13 +150,20 @@ struct StreamingConfig {
   // 1 runs inline. Deltas are byte-identical for every thread count.
   int num_threads = 1;
 
-  // Count-based window: keep at most this many resident blocks; feeding
-  // past the limit expires the oldest blocks in the same round. 0 = off.
+  // Count-based window: keep at most this many resident blocks *per
+  // source*; feeding past the limit expires that source's oldest blocks
+  // in the same round. 0 = off.
   size_t window_blocks = 0;
   // Time-based window on caller-provided block timestamps: a block expires
-  // once (newest timestamp seen) - (its timestamp) >= window_seconds.
-  // 0 = off. Both windows may be active; either can expire a block.
+  // once (newest timestamp its *source* has admitted) - (its timestamp)
+  // >= window_seconds. 0 = off. Both windows may be active; either can
+  // expire a block. Window clocks are per source so a fast tenant never
+  // expires a slow tenant's blocks.
   double window_seconds = 0.0;
+
+  // Out-of-order admission (see WatermarkPolicy above). Disabled keeps
+  // the in-order Feed contract unchanged.
+  WatermarkPolicy watermark;
 
   // Incremental neighbor-count summaries (the fast path): rounds update
   // each resident point's persisted |N_r(p)| by counting the appended
@@ -148,7 +203,9 @@ struct StreamingConfig {
 };
 
 // One ingested block: caller-assigned stable ids (unique among resident
-// points) plus their coordinates.
+// points) plus their coordinates. source_id names the stream the block
+// belongs to — each source gets its own window clock and, under a
+// watermark policy, its own watermark contribution.
 struct StreamBlock {
   explicit StreamBlock(int dims) : points(dims) {}
 
@@ -160,6 +217,7 @@ struct StreamBlock {
   std::vector<PointId> ids;
   Dataset points;
   double timestamp = 0.0;
+  uint32_t source_id = 0;
 };
 
 struct StreamRoundStats {
@@ -194,6 +252,17 @@ struct OutlierDelta {
   StreamRoundStats stats;
 };
 
+// The outcome of one Ingest call: zero or more rounds were admitted from
+// the reorder stage (their deltas in admission order), the rest of the
+// arrivals wait buffered behind the watermark. With watermarks disabled
+// every Ingest admits exactly its own block.
+struct IngestResult {
+  std::vector<OutlierDelta> admitted;
+  size_t buffered = 0;        // blocks still parked in the reorder buffer
+  bool has_watermark = false;  // false until the first arrival
+  double watermark = 0.0;      // min over live sources of clock - lateness
+};
+
 class StreamingDetector {
  public:
   // Validates the configuration, opens the checkpoint store when
@@ -205,15 +274,46 @@ class StreamingDetector {
   // (within the block or against resident points), dimension mismatches,
   // and non-finite coordinates with kInvalidArgument; on error the window
   // is unchanged. An empty block with no expiries is a no-op delta (the
-  // round still counts).
+  // round still counts). In-order admission only: with a watermark policy
+  // enabled this is kFailedPrecondition — use Ingest.
   Result<OutlierDelta> Feed(const StreamBlock& block);
+
+  // Accepts one arrival. With watermarks disabled this is Feed wrapped in
+  // a single-delta IngestResult. With the policy enabled the block joins
+  // the reorder buffer (kInvalidArgument on bad blocks, kOutOfRange +
+  // stream.late_dropped when its timestamp is already more than
+  // `lateness` behind its stream's clock; the window is unchanged on
+  // error), the watermark advances, and every buffered block the
+  // watermark passed is admitted in canonical (timestamp, source,
+  // arrival) order — their deltas come back in admission order.
+  Result<IngestResult> Ingest(const StreamBlock& block);
+
+  // Drains the reorder buffer unconditionally (end of stream): every
+  // buffered block is admitted in canonical order as if the watermark had
+  // passed it. No-op with watermarks disabled or an empty buffer.
+  Result<IngestResult> Flush();
 
   // Commits the window state to the checkpoint store now. kFailedPrecondition
   // when no checkpoint_dir was configured.
   Status Checkpoint();
 
+  // The checkpoint job key this configuration maps to. Exposed for tests
+  // and tooling that write or inspect a store out of band (e.g. the
+  // snapshot version-compatibility matrix).
+  static std::string JobKeyFor(const StreamingConfig& config);
+
   // Completed Feed rounds (restored rounds included).
   uint64_t rounds() const { return round_; }
+  // Blocks accepted by Ingest (admitted + still buffered; restored
+  // arrivals included, rejected blocks excluded). Equals rounds() with
+  // watermarks disabled: a resuming replay driver continues at this
+  // offset in its arrival schedule.
+  uint64_t arrivals() const { return arrivals_; }
+  // Blocks rejected with kOutOfRange for arriving beyond the lateness
+  // bound (restored count included).
+  uint64_t late_dropped() const { return late_dropped_; }
+  // Blocks parked in the reorder buffer.
+  size_t buffered_blocks() const { return reorder_.size(); }
   size_t resident_points() const { return id_to_slot_.size(); }
   size_t resident_cells() const { return cells_.size(); }
   // Current outlier ids, ascending. Byte-identical to a from-scratch batch
@@ -251,6 +351,19 @@ class StreamingDetector {
     double timestamp = 0.0;
     std::vector<uint32_t> slots;
   };
+  // One source's slice of the window: its resident blocks in admission
+  // order plus its own expiry clock. Single-source streams live entirely
+  // in source 0 and behave exactly like the pre-source-aware service.
+  struct SourceWindow {
+    std::deque<WindowBlock> blocks;
+    double high_water = 0.0;
+    bool saw_timestamp = false;
+  };
+  // One arrival parked in the reorder stage, waiting for the watermark.
+  struct PendingBlock {
+    uint64_t arrival = 0;  // global arrival sequence; canonical tiebreak
+    StreamBlock block{1};
+  };
 
   explicit StreamingDetector(const StreamingConfig& config);
 
@@ -264,13 +377,28 @@ class StreamingDetector {
   // `appended_slots`.
   void AppendBlock(const StreamBlock& block, std::vector<CellCoord>* touched,
                    std::vector<uint32_t>* appended_slots);
-  // Pops expired blocks off the window front into `touched` /
-  // `expired_flagged` (flagged ids leaving the window) / `evicted_slots`
-  // (freed slots — their window coordinates stay readable until the next
-  // round's appends recycle them) and returns the number of expired points.
-  size_t ExpireBlocks(double high_water, std::vector<CellCoord>* touched,
+  // Pops expired blocks off every source window's front — sources scanned
+  // in ascending id order — into `touched` / `expired_flagged` (flagged
+  // ids leaving the window) / `evicted_slots` (freed slots — their window
+  // coordinates stay readable until the next round's appends recycle
+  // them) and returns the number of expired points.
+  size_t ExpireBlocks(std::vector<CellCoord>* touched,
                       std::vector<PointId>* expired_flagged,
                       std::vector<uint32_t>* evicted_slots);
+
+  // One admitted round: the Feed body without the per-round checkpoint
+  // policy (Feed and the reorder drain wrap it with their own).
+  Result<OutlierDelta> AdmitBlock(const StreamBlock& block);
+  // Arrival-time validation for the reorder stage: everything
+  // ValidateBlock checks, plus a finite timestamp and id uniqueness
+  // against the buffered blocks.
+  Status ValidateArrival(const StreamBlock& block) const;
+  // min over live (non-idle) source clocks of clock - lateness; false
+  // until a first arrival registered a source.
+  bool CurrentWatermark(double* watermark) const;
+  // Admits every buffered block with timestamp < `bound` (canonical
+  // order) and appends the deltas to `result`.
+  Status DrainReorderBuffer(double bound, IngestResult* result);
 
   // Resident cells within Chebyshev distance `ring_` of any touched cell,
   // deduplicated and in deterministic (lexicographic) order.
@@ -320,18 +448,28 @@ class StreamingDetector {
   int ring_ = 1;
   int dims_ = 0;  // 0 until the first non-empty block (or restore)
   double origin_[kMaxDimensions] = {0.0};
-  double high_water_ts_ = 0.0;
-  bool saw_timestamp_ = false;
 
   std::optional<Dataset> window_;  // slot-indexed storage, rows recycled
   std::vector<SlotState> slots_;
   std::vector<uint32_t> free_slots_;
   std::unordered_map<PointId, uint32_t> id_to_slot_;
   std::unordered_map<CellCoord, CellState, CellCoordHash> cells_;
-  std::deque<WindowBlock> blocks_;
+  // Per-source window slices, ordered by source id so expiry scans (and
+  // the checkpoint codec) iterate deterministically.
+  std::map<uint32_t, SourceWindow> windows_;
   uint64_t next_seq_ = 0;
   uint64_t round_ = 0;
   std::vector<PointId> outliers_;
+
+  // Reorder stage (watermark mode; all empty/zero when disabled).
+  std::deque<PendingBlock> reorder_;  // canonical admission order
+  std::unordered_set<PointId> pending_ids_;  // ids parked in reorder_
+  std::map<uint32_t, double> wm_clocks_;  // per-source max timestamp seen
+  double global_max_ts_ = 0.0;
+  bool saw_arrival_ = false;
+  uint64_t next_arrival_ = 0;
+  uint64_t arrivals_ = 0;
+  uint64_t late_dropped_ = 0;
 
   std::unique_ptr<Detector> detector_;
   std::unique_ptr<ParallelExecutor> executor_;

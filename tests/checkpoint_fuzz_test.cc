@@ -9,13 +9,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <filesystem>
+#include <limits>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include <unistd.h>
 
 #include "durability/checkpoint.h"
 #include "durability/payload.h"
+#include "streaming/streaming_detector.h"
 
 namespace dod {
 namespace {
@@ -353,6 +360,257 @@ TEST(PayloadFuzzTest, FailedReaderStaysFailed) {
   uint32_t narrow = 0;
   EXPECT_FALSE(reader.U32(&narrow).ok());
   EXPECT_FALSE(reader.ExpectDone().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Hostile stream snapshots: the v3 codec's watermark/reorder section is
+// attacker-controlled state a restore must never trust. Every malformed
+// record — duplicate ids, non-finite clocks/timestamps/coordinates, dims
+// skew, arrival-sequence skew, source-order violations, truncations, random
+// byte mutations — degrades into a structured Status, never UB or a
+// silently admitted out-of-order block.
+
+namespace fs = std::filesystem;
+
+class StreamTempDir {
+ public:
+  explicit StreamTempDir(const std::string& name)
+      : path_(fs::temp_directory_path() /
+              (name + "-" + std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~StreamTempDir() { fs::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+StreamingConfig HostileRestoreConfig(const std::string& dir) {
+  StreamingConfig config;
+  config.params.radius = 1.0;
+  config.params.min_neighbors = 2;
+  config.params.seed = 7;
+  config.summaries = false;
+  config.watermark.enabled = true;
+  config.watermark.lateness = 5.0;
+  config.checkpoint_dir = dir;
+  return config;
+}
+
+// Knobs for hand-crafting a v3 snapshot; the defaults produce a valid one
+// (one source window of two resident points, one buffered block).
+struct V3Knobs {
+  std::vector<uint32_t> window_sources = {0};
+  std::vector<std::pair<uint32_t, double>> clocks = {{0, 10.0}};
+  uint64_t pending_arrival = 2;
+  double pending_ts = 9.0;
+  double pending_coord = 6.0;
+  uint32_t pending_dims = 2;
+  std::vector<uint32_t> pending_ids = {7};
+};
+
+std::string V3StreamPayload(const V3Knobs& k) {
+  PayloadWriter w;
+  w.U32(3);  // version
+  w.U64(1);  // round
+  w.U64(1);  // next_seq
+  w.U32(2);  // dims
+  w.U8(0);   // no persisted summaries
+  w.U64(k.window_sources.size());
+  for (size_t s = 0; s < k.window_sources.size(); ++s) {
+    w.U32(k.window_sources[s]);
+    w.U8(1);      // saw_timestamp
+    w.F64(8.0);   // high water
+    if (s == 0) {
+      // One block, two isolated resident points (ids 1 and 2).
+      w.U64(1);
+      w.U64(0);  // seq
+      w.F64(8.0);
+      w.U64(2);
+      const double p1[2] = {0.0, 0.0};
+      const double p2[2] = {50.0, 50.0};
+      w.U32(1);
+      w.Raw(p1, sizeof(p1));
+      w.U32(2);
+      w.Raw(p2, sizeof(p2));
+    } else {
+      w.U64(0);  // later sources carry no blocks
+    }
+  }
+  w.U64(2);  // outliers
+  w.U32(1);
+  w.U32(2);
+  // Watermark/reorder section.
+  w.U64(3);   // arrivals
+  w.U64(0);   // late_dropped
+  w.U8(1);    // saw_arrival
+  w.F64(10.0);  // global max ts
+  w.U64(3);   // next_arrival
+  w.U64(k.clocks.size());
+  for (const auto& [source, clock] : k.clocks) {
+    w.U32(source);
+    w.F64(clock);
+  }
+  w.U64(1);  // one pending block
+  w.U64(k.pending_arrival);
+  w.U32(0);  // source
+  w.F64(k.pending_ts);
+  w.U32(k.pending_dims);
+  w.U64(k.pending_ids.size());
+  for (uint32_t id : k.pending_ids) {
+    w.U32(id);
+    std::vector<double> coords(k.pending_dims == 0 ? 2 : k.pending_dims,
+                               k.pending_coord);
+    w.Raw(coords.data(), sizeof(double) * coords.size());
+  }
+  return w.Take();
+}
+
+void CommitHostileSnapshot(const std::string& dir, const std::string& key,
+                           const std::string& payload) {
+  auto store = CheckpointStore::Open(dir, key, false);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE(store.value()->CommitTask("stream", 3, payload).ok());
+  PayloadWriter latest;
+  latest.U64(3);
+  ASSERT_TRUE(store.value()->CommitTask("latest", 0, latest.str()).ok());
+}
+
+TEST(StreamSnapshotFuzzTest, ValidV3PayloadRestores) {
+  StreamTempDir dir("dod-ckfuzz-stream-valid");
+  const StreamingConfig base = HostileRestoreConfig(dir.str());
+  CommitHostileSnapshot(dir.str(), StreamingDetector::JobKeyFor(base),
+                        V3StreamPayload(V3Knobs{}));
+  StreamingConfig config = base;
+  config.resume = true;
+  auto resumed = StreamingDetector::Create(config);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed.value()->rounds(), 1u);
+  EXPECT_EQ(resumed.value()->arrivals(), 3u);
+  EXPECT_EQ(resumed.value()->buffered_blocks(), 1u);
+  EXPECT_EQ(resumed.value()->resident_points(), 2u);
+}
+
+TEST(StreamSnapshotFuzzTest, HostileReorderRecordsAreStructurallyRejected) {
+  struct Case {
+    const char* name;
+    V3Knobs knobs;
+  };
+  std::vector<Case> cases;
+  {
+    Case c{"pending id duplicates a resident id", {}};
+    c.knobs.pending_ids = {1};
+    cases.push_back(c);
+  }
+  {
+    Case c{"duplicate ids within the reorder buffer", {}};
+    c.knobs.pending_ids = {7, 7};
+    cases.push_back(c);
+  }
+  {
+    Case c{"non-finite pending timestamp", {}};
+    c.knobs.pending_ts = std::nan("");
+    cases.push_back(c);
+  }
+  {
+    Case c{"non-finite pending coordinate", {}};
+    c.knobs.pending_coord = std::numeric_limits<double>::infinity();
+    cases.push_back(c);
+  }
+  {
+    Case c{"zero pending dims", {}};
+    c.knobs.pending_dims = 0;
+    cases.push_back(c);
+  }
+  {
+    Case c{"pending dims disagree with the window", {}};
+    c.knobs.pending_dims = 3;
+    cases.push_back(c);
+  }
+  {
+    Case c{"pending arrival beyond the arrival cursor", {}};
+    c.knobs.pending_arrival = 5;  // >= persisted next_arrival of 3
+    cases.push_back(c);
+  }
+  {
+    Case c{"watermark clocks not strictly ascending", {}};
+    c.knobs.clocks = {{0, 10.0}, {0, 4.0}};
+    cases.push_back(c);
+  }
+  {
+    Case c{"non-finite watermark clock", {}};
+    c.knobs.clocks = {{0, std::nan("")}};
+    cases.push_back(c);
+  }
+  {
+    Case c{"window source ids not strictly ascending", {}};
+    c.knobs.window_sources = {1, 1};
+    cases.push_back(c);
+  }
+
+  StreamTempDir dir("dod-ckfuzz-stream-hostile");
+  const StreamingConfig base = HostileRestoreConfig(dir.str());
+  const std::string key = StreamingDetector::JobKeyFor(base);
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    CommitHostileSnapshot(dir.str(), key, V3StreamPayload(c.knobs));
+    StreamingConfig config = base;
+    config.resume = true;
+    auto resumed = StreamingDetector::Create(config);
+    ASSERT_FALSE(resumed.ok()) << c.name;
+    EXPECT_NE(resumed.status().code(), StatusCode::kOk);
+  }
+}
+
+// 60 seeded truncations: every strict prefix of a valid v3 snapshot fails
+// somewhere in the fixed-width read sequence — never a partial restore.
+TEST(StreamSnapshotFuzzTest, TruncatedSnapshotsNeverRestore) {
+  const std::string payload = V3StreamPayload(V3Knobs{});
+  StreamTempDir dir("dod-ckfuzz-stream-trunc");
+  const StreamingConfig base = HostileRestoreConfig(dir.str());
+  const std::string key = StreamingDetector::JobKeyFor(base);
+  Rng rng(0x57E4);
+  for (int i = 0; i < 60; ++i) {
+    const size_t keep = rng.Below(payload.size());
+    CommitHostileSnapshot(dir.str(), key, payload.substr(0, keep));
+    StreamingConfig config = base;
+    config.resume = true;
+    auto resumed = StreamingDetector::Create(config);
+    ASSERT_FALSE(resumed.ok()) << "prefix of " << keep << " bytes restored";
+    EXPECT_NE(resumed.status().code(), StatusCode::kOk);
+  }
+}
+
+// 80 seeded byte mutations: a flipped snapshot either still restores (the
+// flip landed in a value) or fails with a structured Status — never UB
+// (the ASan/UBSan CI leg runs this too).
+TEST(StreamSnapshotFuzzTest, MutatedSnapshotsAreStructuredOrStillValid) {
+  const std::string payload = V3StreamPayload(V3Knobs{});
+  StreamTempDir dir("dod-ckfuzz-stream-mut");
+  const StreamingConfig base = HostileRestoreConfig(dir.str());
+  const std::string key = StreamingDetector::JobKeyFor(base);
+  Rng rng(0xA40);
+  for (int i = 0; i < 80; ++i) {
+    std::string mutated = payload;
+    const int flips = 1 + static_cast<int>(rng.Below(4));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.Below(mutated.size())] =
+          static_cast<char>(rng.Next() & 0xFF);
+    }
+    CommitHostileSnapshot(dir.str(), key, mutated);
+    StreamingConfig config = base;
+    config.resume = true;
+    auto resumed = StreamingDetector::Create(config);
+    if (resumed.ok()) {
+      // Survivors must be coherent enough to keep serving.
+      (void)resumed.value()->buffered_blocks();
+      (void)resumed.value()->outliers();
+    } else {
+      EXPECT_NE(resumed.status().code(), StatusCode::kOk);
+    }
+  }
 }
 
 TEST(PayloadFuzzTest, ChecksumDistinguishesEveryMutation) {

@@ -17,11 +17,13 @@
 // With --require_streaming the run must have come from the streaming
 // service (dod_stream_cli): the trace must hold at least one
 // "stream"-category span — with summary_update/summary_recount spans
-// appearing in lockstep and carrying their numeric args — and the metrics
-// dump must carry the stream.* and stream.summary.* schemas
-// (round/delta/pair counters, dirty-fraction, round-latency and
-// recount-queue histograms, resident/saturated-point gauges) with at least
-// one completed round and the two path counters summing to stream.rounds.
+// appearing in lockstep and reorder_admit spans carrying their numeric
+// args — and the metrics dump must carry the stream.*, stream.summary.*
+// and stream.watermark.* schemas (round/delta/pair/late-drop counters,
+// dirty-fraction, round-latency and recount-queue histograms,
+// resident/saturated-point and buffered-block/source gauges) with at
+// least one completed round and the two path counters summing to
+// stream.rounds.
 // Streaming runs pass --min_task_spans 0 --min_partitions 0 — the
 // incremental path re-detects cells directly, without MapReduce tasks or
 // partition profiles.
@@ -76,6 +78,7 @@ int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans,
   long long stream_spans = 0;
   long long summary_update_spans = 0;
   long long summary_recount_spans = 0;
+  long long reorder_admit_spans = 0;
   for (size_t i = 0; i < events.size(); ++i) {
     const dod::JsonValue& event = events[i];
     const std::string where = "trace: event " + std::to_string(i);
@@ -102,7 +105,15 @@ int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans,
     if (event.Get("cat").string_value() == "stream") {
       ++stream_spans;
       const std::string& name = event.Get("name").string_value();
-      if (name == "summary_update") {
+      if (name == "reorder_admit") {
+        ++reorder_admit_spans;
+        for (const char* key : {"source", "arrival", "buffered"}) {
+          if (!event.Get("args").Get(key).is_number()) {
+            return Fail(where + ": reorder_admit span missing numeric arg \"" +
+                        key + "\"");
+          }
+        }
+      } else if (name == "summary_update") {
         ++summary_update_spans;
         for (const char* key : {"dirty_cells", "inc_pairs", "dec_pairs"}) {
           if (!event.Get("args").Get(key).is_number()) {
@@ -146,9 +157,10 @@ int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans,
   }
   std::printf(
       "trace ok: %zu events, %lld task spans, %lld durability spans, "
-      "%lld stream spans (%lld summary_update, %lld summary_recount)\n",
+      "%lld stream spans (%lld summary_update, %lld summary_recount, "
+      "%lld reorder_admit)\n",
       events.size(), task_spans, durability_spans, stream_spans,
-      summary_update_spans, summary_recount_spans);
+      summary_update_spans, summary_recount_spans, reorder_admit_spans);
   return EXIT_SUCCESS;
 }
 
@@ -207,18 +219,30 @@ int ValidateStreamingMetrics(const dod::JsonValue& metrics) {
         "stream.summary.rounds_bypassed", "stream.summary.insert_count_pairs",
         "stream.summary.expiry_count_pairs",
         "stream.summary.full_count_points",
-        "stream.summary.recount_points"}) {
+        "stream.summary.recount_points", "stream.late_dropped",
+        "stream.watermark.advances", "stream.watermark.reorder_admitted"}) {
     if (!counters.Get(name).is_number()) {
       return Fail(std::string("metrics: missing streaming counter \"") +
                   name + "\"");
     }
   }
   for (const char* name :
-       {"stream.resident_points", "stream.summary.saturated_points"}) {
+       {"stream.resident_points", "stream.summary.saturated_points",
+        "stream.watermark.buffered_blocks", "stream.watermark.sources"}) {
     const dod::JsonValue& gauge = metrics.Get("gauges").Get(name);
     if (!gauge.Get("count").is_number() || !gauge.Get("max").is_number()) {
       return Fail(std::string("metrics: missing gauge \"") + name + "\"");
     }
+  }
+  // A run that dropped late blocks must have been under a watermark policy
+  // — reorder admissions account for every admitted round there.
+  const double late_dropped =
+      counters.Get("stream.late_dropped").number_value();
+  const double reorder_admitted =
+      counters.Get("stream.watermark.reorder_admitted").number_value();
+  if (late_dropped > 0.0 && reorder_admitted <= 0.0) {
+    return Fail("metrics: stream.late_dropped > 0 without any "
+                "stream.watermark.reorder_admitted rounds");
   }
   for (const char* name :
        {"stream.dirty_cell_fraction", "stream.round_seconds",
@@ -249,9 +273,10 @@ int ValidateStreamingMetrics(const dod::JsonValue& metrics) {
   }
   std::printf(
       "streaming ok: %.0f rounds (%.0f summary, %.0f re-detect), %.0f cells "
-      "re-detected\n",
+      "re-detected, %.0f reorder-admitted, %.0f late-dropped\n",
       rounds, summary_rounds, bypassed,
-      counters.Get("stream.cells_redetected").number_value());
+      counters.Get("stream.cells_redetected").number_value(),
+      reorder_admitted, late_dropped);
   return EXIT_SUCCESS;
 }
 

@@ -10,15 +10,24 @@
 //      ~100k records, best-of-repeats, reported as records/sec per mode
 //      plus the columnar/sorted speedup.
 //
-//   2. End-to-end: the full pipeline under --shuffle sorted vs columnar on
+//   2. Spill regime: the same bucket written out as sorted runs and
+//      grouped straight off disk — the columnar two-pass histogram for the
+//      spill overhead ratio, the sorted loser-tree merge for merge
+//      throughput. Group structure is asserted identical to in-memory.
+//
+//   3. End-to-end: the full pipeline under --shuffle sorted vs columnar on
 //      a geo-like workload; the outlier set is asserted identical (speed
-//      must never buy a different answer).
+//      must never buy a different answer). The worker-group steal split
+//      (runtime.steal.local / remote) is reported alongside.
 //
 // Emits machine-readable BENCH_shuffle.json (records/sec per mode, the
-// speedup ratio, and process peak RSS) into the current directory.
+// speedup ratio, spill_overhead, merge_records_per_sec, the steal
+// local_ratio, and process peak RSS) into the current directory.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,6 +41,8 @@
 #include "common/timer.h"
 #include "data/geo_like.h"
 #include "mapreduce/shuffle.h"
+#include "mapreduce/spill.h"
+#include "observability/metrics.h"
 
 namespace {
 
@@ -116,6 +127,116 @@ GroupingPoint MeasureGrouping(const Bucket& pristine, ShuffleMode mode,
   return point;
 }
 
+struct SpillRegimePoint {
+  double spill_group_seconds = 0.0;   // write runs + columnar two-pass
+  double merge_records_per_sec = 0.0; // sorted loser-tree merge off runs
+  size_t runs = 0;
+  size_t groups = 0;
+  uint64_t checksum = 0;
+};
+
+uint64_t GroupChecksum(const GroupedView<uint32_t, uint32_t>& groups) {
+  uint64_t checksum = 0;
+  for (size_t g = 0; g < groups.num_groups(); ++g) {
+    checksum += static_cast<uint64_t>(groups.key(g)) * groups.size(g);
+    checksum ^= groups.value(g, 0);
+  }
+  return checksum;
+}
+
+// Best-of-`repeats` grouping through on-disk runs. Each repeat re-spills
+// the bucket in `slices` flushes (as a map task under a tiny threshold
+// would), so the write cost is inside the timed region — that is the
+// overhead being measured. The sorted merge is timed over the same runs.
+SpillRegimePoint MeasureSpillRegime(const Bucket& pristine, int repeats,
+                                    size_t slices) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "dod_bench_spill").string();
+  fs::create_directories(dir);
+  const std::string file = dod::internal::SpillFilePath(dir, "bench", 0);
+
+  SpillRegimePoint point;
+  double best_spill = 0.0;
+  double best_merge = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    dod::internal::SpillGc gc;
+    dod::StopWatch spill_watch;
+    dod::internal::TaskSpiller<uint32_t, uint32_t> spiller(file, &gc);
+    dod::internal::TaskSpiller<uint32_t, uint32_t>::Buckets one(1);
+    const size_t per_slice = (pristine.size() + slices - 1) / slices;
+    for (size_t start = 0; start < pristine.size(); start += per_slice) {
+      const size_t end = std::min(start + per_slice, pristine.size());
+      one[0].assign(pristine.begin() + start, pristine.begin() + end);
+      spiller.Spill(one);
+    }
+    if (!spiller.status().ok() || !spiller.Finish(one).ok()) {
+      std::fprintf(stderr, "FATAL: spill write failed\n");
+      std::exit(1);
+    }
+    const std::vector<dod::internal::SpillRunInfo> runs = spiller.TakeRuns();
+    std::vector<dod::internal::ShuffleSegment<uint32_t, uint32_t>> segments;
+    segments.reserve(runs.size());
+    for (const dod::internal::SpillRunInfo& run : runs) {
+      segments.push_back(
+          dod::internal::ShuffleSegment<uint32_t, uint32_t>{nullptr, &run});
+    }
+    GroupScratch<uint32_t, uint32_t> scratch;
+    GroupPath path;
+    dod::internal::FallbackReason reason;
+    auto grouped = dod::internal::GroupSegments(
+        segments, ShuffleMode::kColumnar, &scratch, &path, &reason,
+        /*budget=*/nullptr);
+    const double spill_seconds = spill_watch.ElapsedSeconds();
+    if (!grouped.ok() || path != GroupPath::kColumnarSpilled) {
+      std::fprintf(stderr, "FATAL: spilled columnar grouping failed\n");
+      std::exit(1);
+    }
+    const uint64_t checksum = GroupChecksum(grouped.value());
+    const size_t num_groups = grouped.value().num_groups();
+
+    // Sorted loser-tree merge over the same runs (run segments are
+    // read-only; only memory segments get sorted in place).
+    GroupScratch<uint32_t, uint32_t> merge_scratch;
+    GroupPath merge_path;
+    dod::internal::FallbackReason merge_reason;
+    dod::StopWatch merge_watch;
+    auto merged = dod::internal::GroupSegments(
+        segments, ShuffleMode::kSorted, &merge_scratch, &merge_path,
+        &merge_reason, /*budget=*/nullptr);
+    const double merge_seconds = merge_watch.ElapsedSeconds();
+    if (!merged.ok() || merge_path != GroupPath::kSortedSpilled ||
+        GroupChecksum(merged.value()) != checksum) {
+      std::fprintf(stderr, "FATAL: sorted merge off runs disagrees\n");
+      std::exit(1);
+    }
+
+    if (rep == 0 || spill_seconds < best_spill) {
+      best_spill = spill_seconds;
+      point.spill_group_seconds = spill_seconds;
+      point.runs = runs.size();
+      point.groups = num_groups;
+      point.checksum = checksum;
+    }
+    if (rep == 0 || merge_seconds < best_merge) {
+      best_merge = merge_seconds;
+      point.merge_records_per_sec =
+          static_cast<double>(pristine.size()) / merge_seconds;
+    }
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return point;
+}
+
+uint64_t MetricCount(const std::vector<dod::MetricSnapshot>& snapshots,
+                     const std::string& name) {
+  for (const dod::MetricSnapshot& m : snapshots) {
+    if (m.name == name) return m.count;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main() {
@@ -146,6 +267,25 @@ int main() {
   std::printf("%10s %16.0f %8.2fx\n", "columnar", columnar.records_per_sec,
               speedup);
 
+  // Spill regime: same bucket through on-disk runs. The overhead compares
+  // the full spilled pass (run writes + columnar two-pass off disk)
+  // against the in-memory sorted grouping — the path the engine would
+  // otherwise degrade to under the same budget pressure, so this ratio is
+  // the price of choosing the spill over the kSortedBudget fallback.
+  const SpillRegimePoint spill =
+      MeasureSpillRegime(bucket, /*repeats=*/7, /*slices=*/4);
+  if (spill.checksum != columnar.checksum || spill.groups != columnar.groups) {
+    std::fprintf(stderr, "FATAL: spilled grouping disagrees with in-memory\n");
+    return 1;
+  }
+  const double fallback_seconds =
+      static_cast<double>(records) / sorted.records_per_sec;
+  const double spill_overhead = spill.spill_group_seconds / fallback_seconds;
+  std::printf("\nspill regime (%zu runs):\n", spill.runs);
+  std::printf("%22s %8.2fx\n", "spill_overhead", spill_overhead);
+  std::printf("%22s %12.0f\n", "merge_records_per_sec",
+              spill.merge_records_per_sec);
+
   // End-to-end: same pipeline, both shuffle modes.
   const dod::DetectionParams params{5.0, 4};
   const dod::Dataset data = dod::GenerateHierarchical(
@@ -173,6 +313,23 @@ int main() {
               e2e_columnar.wall_seconds,
               e2e_sorted.wall_seconds / e2e_columnar.wall_seconds);
 
+  // Worker-group steal split from the e2e runs. With no steals at all
+  // (single worker, or hints that always land) locality is perfect.
+  const std::vector<dod::MetricSnapshot> runtime_metrics =
+      dod::MetricsRegistry::Global().Snapshot();
+  const uint64_t local_steals = MetricCount(runtime_metrics,
+                                            "runtime.steal.local");
+  const uint64_t remote_steals = MetricCount(runtime_metrics,
+                                             "runtime.steal.remote");
+  const double local_ratio =
+      local_steals + remote_steals > 0
+          ? static_cast<double>(local_steals) /
+                static_cast<double>(local_steals + remote_steals)
+          : 1.0;
+  std::printf("\nsteal locality: %llu local / %llu remote (local_ratio %.3f)\n",
+              static_cast<unsigned long long>(local_steals),
+              static_cast<unsigned long long>(remote_steals), local_ratio);
+
   const double peak_rss_mb = PeakRssMb();
   std::FILE* f = std::fopen("BENCH_shuffle.json", "w");
   if (f == nullptr) {
@@ -189,6 +346,15 @@ int main() {
                "  ],\n",
                sorted.records_per_sec, columnar.records_per_sec);
   std::fprintf(f, "  \"columnar_speedup\": %.3f,\n", speedup);
+  std::fprintf(f,
+               "  \"spill\": {\"runs\": %zu, \"spill_overhead\": %.3f, "
+               "\"merge_records_per_sec\": %.0f},\n",
+               spill.runs, spill_overhead, spill.merge_records_per_sec);
+  std::fprintf(f,
+               "  \"steal\": {\"local\": %llu, \"remote\": %llu, "
+               "\"local_ratio\": %.3f},\n",
+               static_cast<unsigned long long>(local_steals),
+               static_cast<unsigned long long>(remote_steals), local_ratio);
   std::fprintf(f,
                "  \"pipeline\": {\"points\": %zu, \"outliers\": %zu, "
                "\"sorted_wall_seconds\": %.6f, "

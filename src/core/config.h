@@ -102,6 +102,14 @@ struct DodConfig {
   // arena reservations that exceed the budget fail the run with
   // kResourceExhausted.
   uint64_t memory_budget_mb = 0;
+  // Spill-to-disk shuffle (see mapreduce/spill.h). When `spill_dir` is
+  // set, map tasks whose emitted bytes cross the threshold flush their
+  // buckets as sorted runs there, and reduce grouping merges the runs back
+  // — output stays byte-identical to the all-in-memory shuffle. Empty =
+  // never spill. `spill_threshold_mb` 0 derives the threshold from the
+  // memory budget (limit / 4) or 64 MiB without one.
+  std::string spill_dir;
+  uint64_t spill_threshold_mb = 0;
   // Cooperative cancellation; callers keep a copy and Cancel() from any
   // thread. A default-constructed token never fires.
   CancellationToken cancel_token;

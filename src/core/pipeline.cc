@@ -410,7 +410,9 @@ Status ReadProfile(PayloadReader& reader, PartitionProfile* profile) {
 // outputs goes in; num_threads deliberately stays out (resuming on a
 // different thread count is supported and byte-identical), and so does the
 // fault spec (the resumed run typically disables the crash that created
-// the checkpoints).
+// the checkpoints). The spill policy also stays out: spilled and
+// in-memory shuffles commit byte-identical outputs, so resuming with a
+// different --spill_dir/--spill_threshold_mb is supported.
 std::string ConfigFingerprint(const DodConfig& config, const Dataset& data) {
   PayloadWriter w;
   w.String(config.Label());
@@ -681,6 +683,8 @@ Result<DodResult> DodPipeline::Run(const Dataset& data,
   spec.faults = config.faults;
   spec.retry = config.retry;
   spec.shuffle = config.shuffle;
+  spec.spill.dir = config.spill_dir;
+  spec.spill.threshold_bytes = config.spill_threshold_mb * (uint64_t{1} << 20);
   spec.resume = config.resume;
   spec.control = control_ptr;
   spec.memory = &memory;

@@ -4,13 +4,16 @@
 
 namespace dod {
 
-uint64_t Fnv1a64(std::string_view bytes) {
-  uint64_t hash = 0xCBF29CE484222325ULL;
+uint64_t Fnv1a64Update(uint64_t hash, std::string_view bytes) {
   for (char c : bytes) {
     hash ^= static_cast<unsigned char>(c);
     hash *= 0x100000001B3ULL;
   }
   return hash;
+}
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  return Fnv1a64Update(Fnv1a64Seed(), bytes);
 }
 
 Status PayloadReader::Fixed(void* out, size_t size, const char* what) {

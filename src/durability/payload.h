@@ -32,6 +32,13 @@ namespace dod {
 // FNV-1a 64-bit hash; the manifest's payload checksum.
 uint64_t Fnv1a64(std::string_view bytes);
 
+// Incremental FNV-1a for streamed payloads (e.g. spill-run readers that
+// verify a checksum while consuming the run in fixed-size chunks):
+// Fnv1a64(bytes) == Fnv1a64Update(Fnv1a64Seed(), bytes), and folding a
+// byte stream chunk by chunk yields the same hash as one whole-view call.
+inline constexpr uint64_t Fnv1a64Seed() { return 0xCBF29CE484222325ULL; }
+uint64_t Fnv1a64Update(uint64_t hash, std::string_view bytes);
+
 // Appends fixed-width scalars and length-prefixed containers to a byte
 // buffer. Never fails; the result is taken with str().
 class PayloadWriter {

@@ -39,10 +39,13 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <iterator>
 #include <new>
+#include <optional>
 #include <string>
+#include <system_error>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -59,6 +62,7 @@
 #include "mapreduce/fault_injection.h"
 #include "mapreduce/job_stats.h"
 #include "mapreduce/shuffle.h"
+#include "mapreduce/spill.h"
 #include "mapreduce/task_runner.h"
 #include "observability/metrics.h"
 #include "observability/trace.h"
@@ -163,6 +167,19 @@ struct JobSpec {
   // Reduce-side grouping strategy (see mapreduce/shuffle.h). Both modes
   // commit byte-identical job output; kSorted is the escape hatch.
   ShuffleMode shuffle = ShuffleMode::kColumnar;
+  // Spill-to-disk shuffle (see mapreduce/spill.h). Orthogonal to the
+  // grouping mode: a map task whose emitted bytes cross the (budget-wired)
+  // threshold flushes its buckets as sorted runs, and reduce grouping
+  // merges runs and memory segments back together — job output stays
+  // byte-identical to the all-in-memory shuffle. Disabled when dir is
+  // empty. Requires trivially copyable K/V (enforced with a structured
+  // error, like checkpointing).
+  SpillPolicy spill;
+  // Worker locality groups of the task pool: <= 0 auto-detects (NUMA
+  // nodes, else cache-domain buckets — see ThreadPool::DetectWorkerGroups).
+  // Reduce tasks are hinted onto the group whose map tasks produced most
+  // of their input; placement never affects results.
+  int worker_groups = 0;
   // Fault injection (disabled by default) and the task attempt policy.
   FaultSpec faults;
   RetryPolicy retry;
@@ -229,14 +246,18 @@ class ShuffleEmitter : public Emitter<K, V> {
   ShuffleEmitter(Buckets& buckets, const std::function<int(const K&)>& part,
                  const std::vector<int>* dense_partition, size_t record_bytes,
                  const std::function<size_t(const K&, const V&)>& record_size,
-                 ShuffleAccounting& accounting, ShuffleFaultFilter* filter)
+                 ShuffleAccounting& accounting, ShuffleFaultFilter* filter,
+                 TaskSpiller<K, V>* spiller = nullptr,
+                 uint64_t spill_threshold = 0)
       : buckets_(buckets),
         part_(part),
         dense_partition_(dense_partition),
         record_bytes_(record_bytes),
         record_size_(record_size),
         accounting_(accounting),
-        filter_(filter) {}
+        filter_(filter),
+        spiller_(spiller),
+        spill_threshold_(spill_threshold) {}
 
   void Emit(const K& key, const V& value) override {
     if (filter_ != nullptr) {
@@ -252,6 +273,15 @@ class ShuffleEmitter : public Emitter<K, V> {
     ++accounting_.records;
     accounting_.bytes += record_size_ ? record_size_(key, value)
                                       : record_bytes_;
+    if (spiller_ != nullptr) {
+      // The spill trigger runs on resident pair bytes, not the charged
+      // wire size: what the threshold bounds is this task's memory.
+      bytes_since_spill_ += sizeof(std::pair<K, V>);
+      if (bytes_since_spill_ >= spill_threshold_) {
+        spiller_->Spill(buckets_);
+        bytes_since_spill_ = 0;
+      }
+    }
   }
 
  private:
@@ -273,6 +303,9 @@ class ShuffleEmitter : public Emitter<K, V> {
   const std::function<size_t(const K&, const V&)>& record_size_;
   ShuffleAccounting& accounting_;
   ShuffleFaultFilter* filter_;
+  TaskSpiller<K, V>* spiller_;
+  uint64_t spill_threshold_;
+  uint64_t bytes_since_spill_ = 0;
 };
 
 }  // namespace internal
@@ -319,13 +352,40 @@ Result<JobOutput<Out>> RunMapReduce(
           "key/value/output types");
     }
   }
+  // Spill runs store records as raw bytes — same soundness condition as
+  // checkpoint payloads, but only on the shuffled pair.
+  constexpr bool kSpillable =
+      std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>;
+  if constexpr (!kSpillable) {
+    if (spec.spill.enabled()) {
+      return Status::Unimplemented(
+          "RunMapReduce: shuffle spilling requires trivially copyable "
+          "key/value types");
+    }
+  }
+  const bool spilling = kSpillable && spec.spill.enabled();
+  const uint64_t spill_threshold = spec.spill.EffectiveThreshold(spec.memory);
+  internal::SpillGc spill_gc;
+  if (spilling) {
+    std::error_code ec;
+    std::filesystem::create_directories(spec.spill.dir, ec);
+    if (ec) {
+      return Status::IoError("RunMapReduce: cannot create spill directory " +
+                             spec.spill.dir + ": " + ec.message());
+    }
+    // A checkpointing job's durable records reference the run files, so a
+    // structured failure must leave them on disk for the resumed run —
+    // matching what a real crash (no destructors) does. Disarmed at the
+    // success exit below.
+    spill_gc.set_keep_files(spec.checkpoint != nullptr);
+  }
   JobOutput<Out> result;
   JobStats& stats = result.stats;
   StopWatch wall;
 
   const FaultInjector injector(spec.faults);
   TaskRunner runner(spec.retry, injector, spec.cluster, spec.control);
-  ParallelExecutor executor(spec.num_threads);
+  ParallelExecutor executor(spec.num_threads, spec.worker_groups);
   stats.threads_used = executor.num_threads();
 
   const size_t num_reduce = static_cast<size_t>(spec.num_reduce_tasks);
@@ -416,6 +476,14 @@ Result<JobOutput<Out>> RunMapReduce(
   struct MapTaskState {
     Buckets staging;
     Buckets committed;
+    // Spilled shuffle: the winning attempt's run descriptors, in flush
+    // order. A task spills everything or nothing (TaskSpiller::Finish), so
+    // non-empty runs imply empty committed buckets.
+    std::vector<internal::SpillRunInfo> runs;
+    // Worker group that executed the winning attempt (-1 when unknown,
+    // e.g. sequential runs or checkpoint restores): the group that
+    // first-touched this task's output, feeding the reduce placement hints.
+    int worker_group = -1;
     internal::ShuffleAccounting accounting;
     JobStats stats;
     std::vector<double> slot_costs;
@@ -445,25 +513,69 @@ Result<JobOutput<Out>> RunMapReduce(
               DOD_RETURN_IF_ERROR(
                   DeserializeJobStatsDelta(&reader, &task.stats));
               DOD_RETURN_IF_ERROR(reader.F64Vec(&task.slot_costs));
-              uint64_t num_buckets = 0;
-              DOD_RETURN_IF_ERROR(reader.U64(&num_buckets));
-              if (num_buckets != num_reduce) {
-                return Status::IoError(
-                    "map checkpoint bucket count mismatch");
+              uint8_t spilled_flag = 0;
+              DOD_RETURN_IF_ERROR(reader.U8(&spilled_flag));
+              if (spilled_flag > 1) {
+                return Status::IoError("map checkpoint has unknown layout");
               }
-              task.committed.assign(num_reduce,
-                                    typename Buckets::value_type());
-              for (auto& bucket : task.committed) {
-                uint64_t count = 0;
-                DOD_RETURN_IF_ERROR(reader.U64(&count));
-                if (count > reader.remaining() / sizeof(std::pair<K, V>)) {
-                  return Status::IoError(
-                      "map checkpoint bucket overruns payload");
+              if (spilled_flag == 1) {
+                // The task's shuffle output lives in spill runs, which a
+                // crash deliberately leaves on disk (SpillGc destructors
+                // never ran). Validate each run's backing file before
+                // trusting the descriptor; a vanished or shrunken file
+                // fails the restore and the task re-runs (self-healing).
+                uint64_t num_runs = 0;
+                DOD_RETURN_IF_ERROR(reader.U64(&num_runs));
+                task.runs.clear();
+                for (uint64_t i = 0; i < num_runs; ++i) {
+                  internal::SpillRunInfo run;
+                  DOD_RETURN_IF_ERROR(reader.String(&run.file));
+                  DOD_RETURN_IF_ERROR(reader.U32(&run.partition));
+                  DOD_RETURN_IF_ERROR(reader.U64(&run.records));
+                  DOD_RETURN_IF_ERROR(reader.U64(&run.offset));
+                  DOD_RETURN_IF_ERROR(reader.U64(&run.bytes));
+                  DOD_RETURN_IF_ERROR(reader.U64(&run.checksum));
+                  DOD_RETURN_IF_ERROR(reader.U64(&run.min_key));
+                  DOD_RETURN_IF_ERROR(reader.U64(&run.max_key));
+                  if (run.partition >= num_reduce) {
+                    return Status::IoError(
+                        "map checkpoint spill run has bad partition");
+                  }
+                  std::error_code ec;
+                  const uint64_t size =
+                      std::filesystem::file_size(run.file, ec);
+                  if (ec || size < run.offset + run.bytes) {
+                    return Status::IoError("map checkpoint spill run file " +
+                                           run.file + " missing or short");
+                  }
+                  task.runs.push_back(std::move(run));
                 }
-                bucket.resize(static_cast<size_t>(count));
-                DOD_RETURN_IF_ERROR(reader.Raw(
-                    bucket.data(),
-                    static_cast<size_t>(count) * sizeof(std::pair<K, V>)));
+                for (const internal::SpillRunInfo& run : task.runs) {
+                  spill_gc.Track(run.file);
+                }
+                task.committed.assign(num_reduce,
+                                      typename Buckets::value_type());
+              } else {
+                uint64_t num_buckets = 0;
+                DOD_RETURN_IF_ERROR(reader.U64(&num_buckets));
+                if (num_buckets != num_reduce) {
+                  return Status::IoError(
+                      "map checkpoint bucket count mismatch");
+                }
+                task.committed.assign(num_reduce,
+                                      typename Buckets::value_type());
+                for (auto& bucket : task.committed) {
+                  uint64_t count = 0;
+                  DOD_RETURN_IF_ERROR(reader.U64(&count));
+                  if (count > reader.remaining() / sizeof(std::pair<K, V>)) {
+                    return Status::IoError(
+                        "map checkpoint bucket overruns payload");
+                  }
+                  bucket.resize(static_cast<size_t>(count));
+                  DOD_RETURN_IF_ERROR(reader.Raw(
+                      bucket.data(),
+                      static_cast<size_t>(count) * sizeof(std::pair<K, V>)));
+                }
               }
               if (spec.restore_extra) {
                 DOD_RETURN_IF_ERROR(spec.restore_extra(
@@ -486,6 +598,7 @@ Result<JobOutput<Out>> RunMapReduce(
             task.stats = JobStats();
             task.slot_costs.clear();
             task.committed = Buckets();
+            task.runs.clear();
           }
         }
         task.staging.resize(num_reduce);
@@ -514,25 +627,45 @@ Result<JobOutput<Out>> RunMapReduce(
                 ? static_cast<double>(spec.split_input_bytes[split]) /
                       read_bytes_per_second
                 : 0.0;
+        // One spiller (and run file) per task, reset at each attempt:
+        // attempts are sequential and speculative duplicates are simulated
+        // only (task_runner.h), so truncating the file cannot race and a
+        // failed attempt leaves no orphan — its successor reuses the path.
+        std::optional<internal::TaskSpiller<K, V>> spiller;
+        if (spilling) {
+          spiller.emplace(internal::SpillFilePath(spec.spill.dir, "map",
+                                                  static_cast<int>(split)),
+                          &spill_gc);
+        }
         const Status run_status = runner.RunTask(
             TaskPhase::kMap, static_cast<int>(split), scan_seconds,
             [&](int attempt) -> Status {
               for (auto& bucket : task.staging) bucket.clear();
               task.accounting = internal::ShuffleAccounting{};
+              if (spiller.has_value()) spiller->Reset();
               ShuffleFaultFilter filter(injector, TaskPhase::kMap,
                                         static_cast<int>(split), attempt);
               internal::ShuffleEmitter<K, V> emitter(
                   task.staging, partition, dense_partition, record_bytes,
                   record_size, task.accounting,
-                  injector.enabled() ? &filter : nullptr);
+                  injector.enabled() ? &filter : nullptr,
+                  spiller.has_value() ? &*spiller : nullptr, spill_threshold);
               const Status map_status = mapper.TryMap(split, emitter);
               task.stats.shuffle_records_dropped += filter.dropped();
               task.stats.shuffle_records_corrupted += filter.corrupted();
               if (!map_status.ok()) return map_status;
+              if (spiller.has_value()) {
+                // Tasks that spilled flush their remainder so the task's
+                // records live entirely in runs; surface write errors as
+                // attempt failures (retried like any task error).
+                DOD_RETURN_IF_ERROR(spiller->Finish(task.staging));
+              }
+              task.worker_group = ThreadPool::CurrentWorkerGroup();
               return filter.AttemptStatus();
             },
             [&]() {
               task.committed = std::move(task.staging);
+              if (spiller.has_value()) task.runs = spiller->TakeRuns();
               task.stats.records_shuffled += task.accounting.records;
               task.stats.bytes_shuffled += task.accounting.bytes;
             },
@@ -543,11 +676,30 @@ Result<JobOutput<Out>> RunMapReduce(
             PayloadWriter payload;
             SerializeJobStatsDelta(task.stats, &payload);
             payload.F64Vec(task.slot_costs);
-            payload.U64(task.committed.size());
-            for (const auto& bucket : task.committed) {
-              payload.U64(bucket.size());
-              payload.Raw(bucket.data(),
-                          bucket.size() * sizeof(std::pair<K, V>));
+            if (!task.runs.empty()) {
+              // Spilled task: checkpoint the run descriptors, not the data
+              // — the runs themselves are already on disk and survive a
+              // crash (see the restore path's validation).
+              payload.U8(1);
+              payload.U64(task.runs.size());
+              for (const internal::SpillRunInfo& run : task.runs) {
+                payload.String(run.file);
+                payload.U32(run.partition);
+                payload.U64(run.records);
+                payload.U64(run.offset);
+                payload.U64(run.bytes);
+                payload.U64(run.checksum);
+                payload.U64(run.min_key);
+                payload.U64(run.max_key);
+              }
+            } else {
+              payload.U8(0);
+              payload.U64(task.committed.size());
+              for (const auto& bucket : task.committed) {
+                payload.U64(bucket.size());
+                payload.Raw(bucket.data(),
+                            bucket.size() * sizeof(std::pair<K, V>));
+              }
             }
             if (spec.checkpoint_extra) {
               spec.checkpoint_extra(TaskPhase::kMap, static_cast<int>(split),
@@ -574,26 +726,78 @@ Result<JobOutput<Out>> RunMapReduce(
   }
   stats.map_wall_seconds = map_wall.ElapsedSeconds();
 
-  // Deterministic shuffle merge: split order, then bucket order.
+  // Deterministic shuffle merge: split order, then bucket order. With no
+  // spilled map task the records are concatenated into per-reduce buckets
+  // exactly as before; when any task spilled, concatenation is deferred —
+  // each reduce task instead gets an ordered segment list (in-memory
+  // buckets of non-spilled tasks, disk runs of spilled ones, still in
+  // (split, flush) order) that the grouping layer merges back together.
+  bool any_spilled = false;
+  for (const MapTaskState& task : map_tasks) {
+    if (!task.runs.empty()) any_spilled = true;
+  }
   Buckets buckets(num_reduce);
+  // segments[r]: reduce task r's input pieces; empty unless any_spilled.
+  std::vector<std::vector<internal::ShuffleSegment<K, V>>> segments;
+  // group_records[r][g]: records of reduce task r produced by map tasks
+  // that ran on worker group g — the placement-hint scorecard.
+  const int exec_groups = executor.num_groups();
+  std::vector<std::vector<uint64_t>> group_records(
+      num_reduce, std::vector<uint64_t>(static_cast<size_t>(exec_groups), 0));
   {
     trace::Span shuffle_span("phase", "shuffle");
     stats.map_task_seconds.reserve(num_splits);
+    if (any_spilled) segments.resize(num_reduce);
     try {
       for (MapTaskState& task : map_tasks) {
         stats.MergeFrom(task.stats);
         stats.map_task_seconds.insert(stats.map_task_seconds.end(),
                                       task.slot_costs.begin(),
                                       task.slot_costs.end());
+        const bool count_group =
+            task.worker_group >= 0 && task.worker_group < exec_groups;
         for (size_t r = 0; r < task.committed.size(); ++r) {
-          auto& committed = buckets[r];
-          auto& staged = task.committed[r];
-          committed.insert(committed.end(),
-                           std::make_move_iterator(staged.begin()),
-                           std::make_move_iterator(staged.end()));
+          if (count_group) {
+            group_records[r][static_cast<size_t>(task.worker_group)] +=
+                task.committed[r].size();
+          }
         }
-        // Free the per-task buffers eagerly; the shuffle now owns the data.
-        task.committed = Buckets();
+        for (const internal::SpillRunInfo& run : task.runs) {
+          if (count_group) {
+            group_records[run.partition]
+                         [static_cast<size_t>(task.worker_group)] +=
+                run.records;
+          }
+        }
+        if (!any_spilled) {
+          for (size_t r = 0; r < task.committed.size(); ++r) {
+            auto& committed = buckets[r];
+            auto& staged = task.committed[r];
+            committed.insert(committed.end(),
+                             std::make_move_iterator(staged.begin()),
+                             std::make_move_iterator(staged.end()));
+          }
+          // Free the per-task buffers eagerly; the shuffle owns the data.
+          task.committed = Buckets();
+        } else {
+          // Segment mode: the per-task buckets stay alive (map_tasks
+          // outlives the reduce phase) and are referenced in place.
+          if (task.runs.empty()) {
+            for (size_t r = 0; r < task.committed.size(); ++r) {
+              if (task.committed[r].empty()) continue;
+              segments[r].push_back(internal::ShuffleSegment<K, V>{
+                  &task.committed[r], nullptr});
+            }
+          } else {
+            // Runs were flushed in time-slice order and each carries its
+            // partition; appending in recorded order preserves emission
+            // order per reduce task.
+            for (const internal::SpillRunInfo& run : task.runs) {
+              segments[run.partition].push_back(
+                  internal::ShuffleSegment<K, V>{nullptr, &run});
+            }
+          }
+        }
         task.staging = Buckets();
       }
     } catch (const std::bad_alloc&) {
@@ -603,6 +807,25 @@ Result<JobOutput<Out>> RunMapReduce(
     stats.records_mapped = stats.records_shuffled;
     shuffle_span.Arg("records", stats.records_shuffled)
         .Arg("bytes", stats.bytes_shuffled);
+  }
+
+  // Placement hints: schedule reduce task r onto the worker group whose
+  // map tasks produced the plurality of its input (ties to the lowest
+  // group; -1 = no preference). Hints steer scheduling only — results and
+  // error selection are placement-independent — and because retries run
+  // inside one submitted pool closure, a hint stays pinned through every
+  // attempt of its task, including speculative re-execution.
+  std::vector<int> reduce_hints(num_reduce, -1);
+  if (exec_groups > 1) {
+    for (size_t r = 0; r < num_reduce; ++r) {
+      uint64_t best = 0;
+      for (int g = 0; g < exec_groups; ++g) {
+        if (group_records[r][static_cast<size_t>(g)] > best) {
+          best = group_records[r][static_cast<size_t>(g)];
+          reduce_hints[r] = g;
+        }
+      }
+    }
   }
 
   // Stop-condition check at the phase boundary: don't start reducing work
@@ -619,6 +842,12 @@ Result<JobOutput<Out>> RunMapReduce(
     Counters counters;
     uint64_t groups = 0;
     internal::GroupPath group_path = internal::GroupPath::kSorted;
+    internal::FallbackReason fallback = internal::FallbackReason::kNone;
+    // Reduce-side spill degrade (see GroupBucketOrSpill): the bucket,
+    // sorted and written out as runs so the columnar histogram could run
+    // without it resident. Task-level so a retry regroups from the
+    // existing runs instead of re-spilling an already-freed bucket.
+    std::vector<internal::SpillRunInfo> spill_runs;
     double group_seconds = 0.0;
     JobStats stats;
     std::vector<double> slot_costs;
@@ -651,11 +880,19 @@ Result<JobOutput<Out>> RunMapReduce(
               uint8_t path = 0;
               DOD_RETURN_IF_ERROR(reader.U8(&path));
               if (path > static_cast<uint8_t>(
-                             internal::GroupPath::kSortedBudget)) {
+                             internal::GroupPath::kSortedSpilled)) {
                 return Status::IoError(
                     "reduce checkpoint has unknown group path");
               }
               task.group_path = static_cast<internal::GroupPath>(path);
+              uint8_t reason = 0;
+              DOD_RETURN_IF_ERROR(reader.U8(&reason));
+              if (reason > static_cast<uint8_t>(
+                               internal::FallbackReason::kSpill)) {
+                return Status::IoError(
+                    "reduce checkpoint has unknown fallback reason");
+              }
+              task.fallback = static_cast<internal::FallbackReason>(reason);
               DOD_RETURN_IF_ERROR(reader.F64(&task.group_seconds));
               uint64_t count = 0;
               DOD_RETURN_IF_ERROR(reader.U64(&count));
@@ -697,19 +934,46 @@ Result<JobOutput<Out>> RunMapReduce(
               task.groups = 0;
               // Grouping is part of the attempt's cost, like Hadoop's
               // reducer-side sort, and idempotent: the sorted path's
-              // in-place stable sort and the columnar path's scratch
-              // rebuild both re-run safely after a failure. Both paths
-              // yield identical groups (see mapreduce/shuffle.h), so job
-              // output does not depend on the mode.
+              // in-place stable sort, the columnar path's scratch rebuild,
+              // and the spilled paths' re-merge of immutable runs all
+              // re-run safely after a failure. Every path yields identical
+              // groups (see mapreduce/shuffle.h and mapreduce/spill.h), so
+              // job output depends on neither the mode nor the spilling.
               StopWatch group_watch;
               internal::GroupScratch<K, V> scratch;
-              const GroupedView<K, V> groups = internal::GroupBucket(
-                  bucket, spec.shuffle, &scratch, &task.group_path,
-                  spec.memory);
+              std::optional<GroupedView<K, V>> groups;
+              std::vector<internal::ShuffleSegment<K, V>> segment_scratch;
+              if (any_spilled) {
+                // Spilled shuffle: group the segment list (memory buckets
+                // of non-spilled map tasks + disk runs of spilled ones).
+                auto grouped = internal::GroupSegments(
+                    segments[index], spec.shuffle, &scratch,
+                    &task.group_path, &task.fallback, spec.memory);
+                if (!grouped.ok()) return grouped.status();
+                groups.emplace(std::move(grouped).value());
+              } else if (spilling) {
+                // In-memory bucket, spill directory available: the budget
+                // guard can degrade to spill-then-stream instead of the
+                // sorted-only fallback.
+                auto grouped = internal::GroupBucketOrSpill(
+                    bucket, spec.shuffle, &scratch, &task.group_path,
+                    &task.fallback, spec.memory, spec.spill,
+                    internal::SpillFilePath(spec.spill.dir, "reduce",
+                                            static_cast<int>(index)),
+                    &spill_gc, &task.spill_runs, &segment_scratch);
+                if (!grouped.ok()) return grouped.status();
+                groups.emplace(std::move(grouped).value());
+              } else {
+                groups.emplace(internal::GroupBucket(bucket, spec.shuffle,
+                                                     &scratch,
+                                                     &task.group_path,
+                                                     spec.memory));
+                task.fallback = internal::ReasonFromPath(task.group_path);
+              }
               task.group_seconds = group_watch.ElapsedSeconds();
-              DOD_RETURN_IF_ERROR(reducer.TryReduceTask(groups, task.staged,
+              DOD_RETURN_IF_ERROR(reducer.TryReduceTask(*groups, task.staged,
                                                         task.counters));
-              task.groups = groups.num_groups();
+              task.groups = groups->num_groups();
               return Status::Ok();
             },
             [&]() {
@@ -725,6 +989,7 @@ Result<JobOutput<Out>> RunMapReduce(
             SerializeJobStatsDelta(task.stats, &payload);
             payload.F64Vec(task.slot_costs);
             payload.U8(static_cast<uint8_t>(task.group_path));
+            payload.U8(static_cast<uint8_t>(task.fallback));
             payload.F64(task.group_seconds);
             payload.U64(task.committed.size());
             payload.Raw(task.committed.data(),
@@ -738,7 +1003,8 @@ Result<JobOutput<Out>> RunMapReduce(
           }
         }
         return maybe_crash(TaskPhase::kReduce, static_cast<int>(index));
-      });
+      },
+      [&](size_t index) { return reduce_hints[index]; });
   }
   if (!reduce_status.ok()) {
     stats.reduce_wall_seconds = reduce_wall.ElapsedSeconds();
@@ -810,8 +1076,40 @@ Result<JobOutput<Out>> RunMapReduce(
         metrics.Id("mr.shuffle.fallback_tasks", MetricKind::kCounter);
     static const uint32_t kShuffleBudgetFallback =
         metrics.Id("mr.shuffle.budget_fallback_tasks", MetricKind::kCounter);
+    static const uint32_t kShuffleColumnarSpilled = metrics.Id(
+        "mr.shuffle.columnar_spilled_tasks", MetricKind::kCounter);
+    static const uint32_t kShuffleSortedSpilled =
+        metrics.Id("mr.shuffle.sorted_spilled_tasks", MetricKind::kCounter);
+    // Reason-labeled fallback counters: which guard pushed a columnar-
+    // requested task off the counting-sort fast path (see FallbackReason).
+    static const uint32_t kFallbackDensity =
+        metrics.Id("mr.shuffle.fallback.density", MetricKind::kCounter);
+    static const uint32_t kFallbackBudget =
+        metrics.Id("mr.shuffle.fallback.budget", MetricKind::kCounter);
+    static const uint32_t kFallbackSpill =
+        metrics.Id("mr.shuffle.fallback.spill", MetricKind::kCounter);
     static const uint32_t kShuffleGroupSeconds =
         metrics.Id("mr.shuffle.group_seconds", MetricKind::kHistogram);
+    static const uint32_t kSpillMapTasks =
+        metrics.Id("mr.spill.map_tasks", MetricKind::kCounter);
+    static const uint32_t kSpillReduceTasks =
+        metrics.Id("mr.spill.reduce_tasks", MetricKind::kCounter);
+    static const uint32_t kSpillRunsWritten =
+        metrics.Id("mr.spill.runs_written", MetricKind::kCounter);
+    static const uint32_t kSpillBytesWritten =
+        metrics.Id("mr.spill.bytes_written", MetricKind::kCounter);
+    static const uint32_t kSpillRunsMerged =
+        metrics.Id("mr.spill.runs_merged", MetricKind::kCounter);
+    static const uint32_t kSpillBytesRead =
+        metrics.Id("mr.spill.bytes_read", MetricKind::kCounter);
+    static const uint32_t kSpillRunRecords =
+        metrics.Id("mr.spill.run_records", MetricKind::kHistogram);
+    static const uint32_t kWorkerGroups =
+        metrics.Id("runtime.worker_groups", MetricKind::kGauge);
+    static const uint32_t kStealLocal =
+        metrics.Id("runtime.steal.local", MetricKind::kCounter);
+    static const uint32_t kStealRemote =
+        metrics.Id("runtime.steal.remote", MetricKind::kCounter);
     static const uint32_t kThreads =
         metrics.Id("mr.threads_used", MetricKind::kGauge);
     static const uint32_t kMapSlot =
@@ -845,9 +1143,65 @@ Result<JobOutput<Out>> RunMapReduce(
           metrics.Increment(kShuffleBudgetFallback);
           metrics.Increment(kBudgetShuffleFallbacks);
           break;
+        case internal::GroupPath::kColumnarSpilled:
+          metrics.Increment(kShuffleColumnarSpilled);
+          break;
+        case internal::GroupPath::kSortedSpilled:
+          metrics.Increment(kShuffleSortedSpilled);
+          break;
+      }
+      switch (task.fallback) {
+        case internal::FallbackReason::kNone:
+          break;
+        case internal::FallbackReason::kDensity:
+          metrics.Increment(kFallbackDensity);
+          break;
+        case internal::FallbackReason::kBudget:
+          metrics.Increment(kFallbackBudget);
+          break;
+        case internal::FallbackReason::kSpill:
+          metrics.Increment(kFallbackSpill);
+          break;
       }
       metrics.Observe(kShuffleGroupSeconds, task.group_seconds);
     }
+    // Spill accounting, from the committed run descriptors — failed
+    // attempts' truncated files never show up here.
+    for (const MapTaskState& task : map_tasks) {
+      if (task.runs.empty()) continue;
+      metrics.Increment(kSpillMapTasks);
+      for (const internal::SpillRunInfo& run : task.runs) {
+        metrics.Increment(kSpillRunsWritten);
+        metrics.Increment(kSpillBytesWritten, run.bytes);
+        metrics.Observe(kSpillRunRecords,
+                        static_cast<double>(run.records));
+      }
+    }
+    for (const ReduceTaskState& task : reduce_tasks) {
+      if (task.spill_runs.empty()) continue;
+      metrics.Increment(kSpillReduceTasks);
+      for (const internal::SpillRunInfo& run : task.spill_runs) {
+        metrics.Increment(kSpillRunsWritten);
+        metrics.Increment(kSpillBytesWritten, run.bytes);
+        metrics.Observe(kSpillRunRecords,
+                        static_cast<double>(run.records));
+        metrics.Increment(kSpillRunsMerged);
+        metrics.Increment(kSpillBytesRead, run.bytes);
+      }
+    }
+    for (const auto& segment_list : segments) {
+      for (const internal::ShuffleSegment<K, V>& segment : segment_list) {
+        if (segment.run == nullptr) continue;
+        metrics.Increment(kSpillRunsMerged);
+        metrics.Increment(kSpillBytesRead, segment.run->bytes);
+      }
+    }
+    metrics.SetMax(kWorkerGroups, static_cast<double>(exec_groups));
+    // Steal-locality scorecard of this job's pool. Scheduling-dependent,
+    // hence exempt from the metric-determinism contract (observability
+    // tests treat the runtime.steal.* prefix like timing metrics).
+    metrics.Increment(kStealLocal, executor.local_steals());
+    metrics.Increment(kStealRemote, executor.remote_steals());
     metrics.SetMax(kThreads, static_cast<double>(stats.threads_used));
     for (double seconds : stats.map_task_seconds) {
       metrics.Observe(kMapSlot, seconds);
@@ -861,6 +1215,9 @@ Result<JobOutput<Out>> RunMapReduce(
                      static_cast<double>(spec.memory->peak_bytes()));
     }
   }
+  // The job committed: its spill runs are garbage now even when a
+  // checkpoint store references them (see set_keep_files above).
+  spill_gc.set_keep_files(false);
   return result;
 }
 

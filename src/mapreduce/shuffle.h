@@ -71,6 +71,9 @@ struct GroupScratch {
   std::vector<V> values;       // columnar only: value column, grouped
   std::vector<size_t> offsets; // group g spans [offsets[g], offsets[g+1])
   std::vector<size_t> histogram;  // columnar working space (reused)
+  // Spilled input only: the loser-tree merge of memory segments and disk
+  // runs materializes here, then backs a sorted-layout GroupedView.
+  std::vector<std::pair<K, V>> merged;
 };
 
 }  // namespace internal
@@ -213,6 +216,24 @@ bool CountingSortGroups(const std::vector<std::pair<K, V>>& bucket,
   return true;
 }
 
+// Reads group offsets off a key-sorted pair sequence (equal-key runs).
+template <typename K, typename V>
+void ComputeGroupOffsets(const std::vector<std::pair<K, V>>& pairs,
+                         std::vector<size_t>* offsets) {
+  offsets->clear();
+  size_t i = 0;
+  while (i < pairs.size()) {
+    offsets->push_back(i);
+    size_t j = i;
+    while (j < pairs.size() && !(pairs[i].first < pairs[j].first) &&
+           !(pairs[j].first < pairs[i].first)) {
+      ++j;
+    }
+    i = j;
+  }
+  offsets->push_back(pairs.size());
+}
+
 // Stable-sorts `bucket` by key in place and records group offsets. The
 // generic path: only requires operator< on K.
 template <typename K, typename V>
@@ -222,28 +243,46 @@ void SortGroups(std::vector<std::pair<K, V>>* bucket,
                    [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
                      return a.first < b.first;
                    });
-  scratch->offsets.clear();
-  size_t i = 0;
-  while (i < bucket->size()) {
-    scratch->offsets.push_back(i);
-    size_t j = i;
-    while (j < bucket->size() && !((*bucket)[i].first < (*bucket)[j].first) &&
-           !((*bucket)[j].first < (*bucket)[i].first)) {
-      ++j;
-    }
-    i = j;
-  }
-  scratch->offsets.push_back(bucket->size());
+  ComputeGroupOffsets(*bucket, &scratch->offsets);
 }
 
 // Grouping outcome, for the engine's shuffle accounting.
 enum class GroupPath {
-  kColumnar,        // counting sort
-  kSorted,          // stable sort, as requested
-  kSortedFallback,  // columnar requested but unavailable (key type/range)
-  kSortedBudget,    // columnar requested but its scratch exceeds the
-                    // memory budget — degraded to the sorted path
+  kColumnar,         // counting sort
+  kSorted,           // stable sort, as requested
+  kSortedFallback,   // columnar requested but unavailable (key type/range)
+  kSortedBudget,     // columnar requested but its scratch exceeds the
+                     // memory budget — degraded to the sorted path
+  kColumnarSpilled,  // counting-sort histogram computed over spilled runs
+                     // (two streaming passes; see mapreduce/spill.h)
+  kSortedSpilled,    // loser-tree k-way merge of spilled runs + memory
+                     // segments into a sorted backing
 };
+
+// Which guard pushed a columnar-requested task off the counting-sort path.
+// Orthogonal to GroupPath: a kColumnarSpilled task can carry kSpill (the
+// budget guard fired and spilling — not plain sorting — absorbed it), and
+// a kSortedSpilled task carries the guard that rejected the histogram over
+// its runs. Feeds the reason-labeled mr.shuffle.fallback.* counters.
+enum class FallbackReason : uint8_t {
+  kNone = 0,
+  kDensity,  // key range too sparse for a counting histogram
+  kBudget,   // histogram scratch exceeds the memory budget
+  kSpill,    // scratch + resident bucket exceed the budget; the bucket was
+             // spilled so the histogram could run with only scratch
+             // resident
+};
+
+inline FallbackReason ReasonFromPath(GroupPath path) {
+  switch (path) {
+    case GroupPath::kSortedFallback:
+      return FallbackReason::kDensity;
+    case GroupPath::kSortedBudget:
+      return FallbackReason::kBudget;
+    default:
+      return FallbackReason::kNone;
+  }
+}
 
 // Groups one reduce-task bucket under `mode`. The sorted path mutates the
 // bucket (in-place stable sort — idempotent, so attempt retries are safe);

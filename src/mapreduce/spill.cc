@@ -1,0 +1,43 @@
+// Copyright 2026 The DOD Authors.
+
+#include "mapreduce/spill.h"
+
+#include <filesystem>
+#include <system_error>
+
+namespace dod {
+
+uint64_t SpillPolicy::EffectiveThreshold(const MemoryBudget* budget) const {
+  if (threshold_bytes > 0) return threshold_bytes;
+  if (budget != nullptr && budget->limit_bytes() > 0) {
+    const uint64_t derived = budget->limit_bytes() / 4;
+    return derived > 0 ? derived : 1;
+  }
+  return uint64_t{64} << 20;  // 64 MiB without a budget to derive from
+}
+
+namespace internal {
+
+std::string SpillFilePath(const std::string& dir, const char* phase,
+                          int task_index) {
+  return dir + "/" + phase + "_" + std::to_string(task_index) + ".runs";
+}
+
+SpillGc::~SpillGc() {
+  if (keep_files_) return;
+  std::error_code ec;
+  for (const std::string& file : files_) {
+    std::filesystem::remove(file, ec);  // best-effort; ec ignored
+  }
+}
+
+void SpillGc::Track(const std::string& file) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::string& existing : files_) {
+    if (existing == file) return;
+  }
+  files_.push_back(file);
+}
+
+}  // namespace internal
+}  // namespace dod

@@ -7,18 +7,28 @@
 
 namespace dod {
 
-ParallelExecutor::ParallelExecutor(int num_threads)
+ParallelExecutor::ParallelExecutor(int num_threads, int num_groups)
     : num_threads_(num_threads <= 0 ? ThreadPool::DefaultThreadCount()
                                     : num_threads) {
-  if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_, num_groups);
+  }
 }
 
 ParallelExecutor::~ParallelExecutor() = default;
 
 Status ParallelExecutor::RunTasks(size_t n,
                                   const std::function<Status(size_t)>& fn) {
+  return RunTasks(n, fn, nullptr);
+}
+
+Status ParallelExecutor::RunTasks(size_t n,
+                                  const std::function<Status(size_t)>& fn,
+                                  const std::function<int(size_t)>& hint) {
   if (n == 0) return Status::Ok();
   if (pool_ == nullptr) {
+    // Sequential: index order, first failure wins; hints are moot with a
+    // single execution stream.
     for (size_t i = 0; i < n; ++i) {
       DOD_RETURN_IF_ERROR(fn(i));
     }
@@ -39,7 +49,7 @@ Status ParallelExecutor::RunTasks(size_t n,
   barrier.error_index = n;
 
   for (size_t i = 0; i < n; ++i) {
-    pool_->Submit([&barrier, &fn, i] {
+    auto task = [&barrier, &fn, i] {
       Status status = fn(i);
       std::lock_guard<std::mutex> lock(barrier.mutex);
       // Lowest failing index wins so the reported error does not depend
@@ -49,7 +59,12 @@ Status ParallelExecutor::RunTasks(size_t n,
         barrier.error = std::move(status);
       }
       if (--barrier.remaining == 0) barrier.done.notify_one();
-    });
+    };
+    if (hint != nullptr) {
+      pool_->Submit(std::move(task), hint(i));
+    } else {
+      pool_->Submit(std::move(task));
+    }
   }
 
   std::unique_lock<std::mutex> lock(barrier.mutex);

@@ -35,8 +35,9 @@ class ParallelExecutor {
  public:
   // num_threads <= 0 selects ThreadPool::DefaultThreadCount() (all
   // hardware threads); 1 is the sequential inline path; >= 2 spawns a
-  // work-stealing pool of that many workers.
-  explicit ParallelExecutor(int num_threads);
+  // work-stealing pool of that many workers, partitioned into num_groups
+  // locality groups (<= 0 auto-detects; see ThreadPool).
+  explicit ParallelExecutor(int num_threads, int num_groups = 0);
   ~ParallelExecutor();
 
   ParallelExecutor(const ParallelExecutor&) = delete;
@@ -45,6 +46,11 @@ class ParallelExecutor {
   // Worker threads executing tasks (>= 1; 1 means sequential).
   int num_threads() const { return num_threads_; }
   bool sequential() const { return pool_ == nullptr; }
+  // Locality groups of the underlying pool (1 when sequential).
+  int num_groups() const { return pool_ ? pool_->num_groups() : 1; }
+  // Steal-locality scorecard, forwarded from the pool (0 when sequential).
+  uint64_t local_steals() const { return pool_ ? pool_->local_steals() : 0; }
+  uint64_t remote_steals() const { return pool_ ? pool_->remote_steals() : 0; }
 
   // Runs fn(0) .. fn(n - 1) and waits for all of them (barrier).
   //
@@ -57,6 +63,13 @@ class ParallelExecutor {
   // side effects to per-index state. Not reentrant: do not call RunTasks
   // from inside a task.
   Status RunTasks(size_t n, const std::function<Status(size_t)>& fn);
+
+  // Like RunTasks, with a per-task placement hint: hint(i) names the
+  // worker group task i should start on (-1 / out of range: anywhere).
+  // Hints steer scheduling only — which group's caches run a task — and
+  // never its result or the error selection, so determinism is untouched.
+  Status RunTasks(size_t n, const std::function<Status(size_t)>& fn,
+                  const std::function<int(size_t)>& hint);
 
  private:
   int num_threads_;

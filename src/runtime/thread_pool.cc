@@ -2,7 +2,9 @@
 
 #include "runtime/thread_pool.h"
 
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <utility>
 
 #include "common/logging.h"
@@ -10,16 +12,64 @@
 
 namespace dod {
 
+namespace {
+
+// Worker group of the current thread; -1 everywhere except inside a pool
+// worker (set once at worker startup, before any task runs).
+thread_local int t_worker_group = -1;
+
+// NUMA nodes the kernel exposes: node0, node1, ... directories. Returns 0
+// when sysfs is unavailable (non-Linux, sandboxes) — the caller falls back
+// to cache-domain bucketing.
+int CountSysfsNumaNodes() {
+  std::error_code ec;
+  int nodes = 0;
+  while (std::filesystem::is_directory(
+      "/sys/devices/system/node/node" + std::to_string(nodes), ec)) {
+    ++nodes;
+  }
+  return nodes;
+}
+
+}  // namespace
+
 int ThreadPool::DefaultThreadCount() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw >= 1 ? static_cast<int>(hw) : 1;
 }
 
-ThreadPool::ThreadPool(int num_threads) {
+int ThreadPool::CurrentWorkerGroup() { return t_worker_group; }
+
+int ThreadPool::DetectWorkerGroups(int num_threads) {
+  if (num_threads <= 1) return 1;
+  const int nodes = CountSysfsNumaNodes();
+  if (nodes > 1) return nodes < num_threads ? nodes : num_threads;
+  // Single NUMA node (or no sysfs): bucket cores by shared-cache domain
+  // size — up to 8 workers per group.
+  return (num_threads + 7) / 8;
+}
+
+ThreadPool::ThreadPool(int num_threads, int num_groups) {
   DOD_CHECK_MSG(num_threads >= 1, "ThreadPool: need at least one thread");
+  if (num_groups <= 0) num_groups = DetectWorkerGroups(num_threads);
+  if (num_groups > num_threads) num_groups = num_threads;
+  num_groups_ = num_groups;
   queues_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     queues_.push_back(std::make_unique<WorkQueue>());
+  }
+  group_cursors_ =
+      std::make_unique<std::atomic<size_t>[]>(static_cast<size_t>(num_groups));
+  for (int g = 0; g < num_groups; ++g) {
+    group_cursors_[g].store(0, std::memory_order_relaxed);
+  }
+  // group_begin_[g] is the first worker whose GroupOf is g; the striping
+  // w * G / n is monotone, so groups are the contiguous ranges
+  // [group_begin_[g], group_begin_[g + 1]).
+  group_begin_.assign(static_cast<size_t>(num_groups) + 1,
+                      static_cast<size_t>(num_threads));
+  for (size_t w = queues_.size(); w-- > 0;) {
+    group_begin_[GroupOf(w)] = w;
   }
   threads_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
@@ -53,6 +103,27 @@ void ThreadPool::Submit(std::function<void()> task) {
   wake_cv_.notify_one();
 }
 
+void ThreadPool::Submit(std::function<void()> task, int group) {
+  if (group < 0 || group >= num_groups_) {
+    Submit(std::move(task));
+    return;
+  }
+  const size_t begin = group_begin_[static_cast<size_t>(group)];
+  const size_t size = group_begin_[static_cast<size_t>(group) + 1] - begin;
+  const size_t index =
+      begin + group_cursors_[group].fetch_add(1, std::memory_order_relaxed) %
+                  size;
+  {
+    std::lock_guard<std::mutex> lock(queues_[index]->mutex);
+    queues_[index]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_cv_.notify_all();
+}
+
 std::function<void()> ThreadPool::TakeTask(size_t worker_index) {
   const size_t n = queues_.size();
   // Own deque first, newest task (back) — the cache-warm end.
@@ -66,15 +137,24 @@ std::function<void()> ThreadPool::TakeTask(size_t worker_index) {
       return task;
     }
   }
-  // Steal a sibling's oldest task (front).
-  for (size_t offset = 1; offset < n; ++offset) {
-    WorkQueue& victim = *queues_[(worker_index + offset) % n];
-    std::lock_guard<std::mutex> lock(victim.mutex);
-    if (!victim.tasks.empty()) {
-      std::function<void()> task = std::move(victim.tasks.front());
-      victim.tasks.pop_front();
-      pending_.fetch_sub(1, std::memory_order_relaxed);
-      return task;
+  // Steal a sibling's oldest task (front): same-group victims in the
+  // first pass, remote groups only after the whole local group is dry.
+  const size_t own_group = GroupOf(worker_index);
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool local_pass = pass == 0;
+    for (size_t offset = 1; offset < n; ++offset) {
+      const size_t victim_index = (worker_index + offset) % n;
+      if ((GroupOf(victim_index) == own_group) != local_pass) continue;
+      WorkQueue& victim = *queues_[victim_index];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        std::function<void()> task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        (local_pass ? local_steals_ : remote_steals_)
+            .fetch_add(1, std::memory_order_relaxed);
+        return task;
+      }
     }
   }
   return {};
@@ -82,6 +162,7 @@ std::function<void()> ThreadPool::TakeTask(size_t worker_index) {
 
 void ThreadPool::WorkerMain(size_t worker_index) {
   SetThreadLogTag("w" + std::to_string(worker_index));
+  t_worker_group = static_cast<int>(GroupOf(worker_index));
   for (;;) {
     std::function<void()> task = TakeTask(worker_index);
     if (task) {

@@ -11,6 +11,17 @@
 // negligible at this granularity and the implementation stays trivially
 // ThreadSanitizer-clean.
 //
+// Memory locality: workers are partitioned into contiguous *groups* —
+// NUMA nodes when the kernel exposes more than one, cache-domain buckets
+// of cores otherwise. A task submitted with a group hint lands on that
+// group's workers (round-robin within the group), and an idle worker
+// steals from same-group victims before crossing groups, so a task chain
+// that first-touched an arena tends to stay on the cores whose caches
+// (and, on real NUMA hardware, whose local memory) hold it. Groups are a
+// scheduling preference, not an exclusivity guarantee: a fully idle
+// remote group will still steal hinted work rather than sit idle, which
+// the runtime.steal.{local,remote} counters make visible.
+//
 // The pool makes no ordering or exclusivity guarantees — determinism is
 // the caller's job (see runtime/parallel_executor.h for the barrier +
 // deterministic-commit pattern the MapReduce engine uses).
@@ -21,6 +32,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -32,9 +44,12 @@ namespace dod {
 
 class ThreadPool {
  public:
-  // Spawns exactly `num_threads` workers (must be >= 1). The calling
-  // thread never executes tasks; it only submits and (elsewhere) waits.
-  explicit ThreadPool(int num_threads);
+  // Spawns exactly `num_threads` workers (must be >= 1), partitioned into
+  // `num_groups` contiguous worker groups. num_groups <= 0 selects
+  // DetectWorkerGroups(num_threads); a request for more groups than
+  // workers is clamped. The calling thread never executes tasks; it only
+  // submits and (elsewhere) waits.
+  explicit ThreadPool(int num_threads, int num_groups = 0);
 
   // Drains nothing: the caller must have waited for its tasks before
   // destroying the pool. Joins all workers.
@@ -44,14 +59,45 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
+  int num_groups() const { return num_groups_; }
 
   // Enqueues one task. Thread-safe; may be called from worker threads,
   // though the MapReduce engine only submits from the job thread.
   void Submit(std::function<void()> task);
 
+  // Enqueues one task with a placement hint: the task is queued on a
+  // worker of `group` (round-robin within the group). An out-of-range or
+  // negative group means "anywhere" and behaves like the plain Submit.
+  // A hint steers where the task starts, never whether it runs — idle
+  // remote workers still steal it, so hints cannot deadlock or starve.
+  void Submit(std::function<void()> task, int group);
+
+  // Worker group of the calling thread: the value recorded for the worker
+  // executing the current task, or -1 off the pool's worker threads. Map
+  // tasks use it to remember which group first-touched their output.
+  static int CurrentWorkerGroup();
+
+  // Group topology for `num_threads` workers: the number of NUMA nodes
+  // the kernel exposes under /sys/devices/system/node when that is more
+  // than one (clamped to num_threads), else cache-domain buckets of up to
+  // 8 cores. Single-node machines with few cores get 1 group — the
+  // grouping machinery degenerates to the classic flat pool.
+  static int DetectWorkerGroups(int num_threads);
+
   // Tasks submitted over the pool's lifetime (diagnostic).
   uint64_t tasks_executed() const {
     return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+  // Steals from a victim in the thief's own group / in a remote group.
+  // Taking from the worker's own deque is not a steal. The split is the
+  // pool's locality scorecard (runtime.steal.{local,remote}); values are
+  // scheduling-dependent and therefore not deterministic across runs.
+  uint64_t local_steals() const {
+    return local_steals_.load(std::memory_order_relaxed);
+  }
+  uint64_t remote_steals() const {
+    return remote_steals_.load(std::memory_order_relaxed);
   }
 
   // std::thread::hardware_concurrency with a floor of 1 (the standard
@@ -67,19 +113,31 @@ class ThreadPool {
   };
 
   void WorkerMain(size_t worker_index);
-  // Pops the worker's own newest task or steals a sibling's oldest one.
-  // Returns an empty function when every deque is empty.
+  // Pops the worker's own newest task, steals a same-group sibling's
+  // oldest one, then a remote group's. Returns an empty function when
+  // every deque is empty.
   std::function<void()> TakeTask(size_t worker_index);
 
+  // Contiguous striping: worker w belongs to group w * G / n.
+  size_t GroupOf(size_t worker_index) const {
+    return worker_index * static_cast<size_t>(num_groups_) / queues_.size();
+  }
+
+  int num_groups_ = 1;
   std::vector<std::unique_ptr<WorkQueue>> queues_;
   std::vector<std::thread> threads_;
-  // Round-robin submission cursor.
+  // Round-robin submission cursors: one global, one per group.
   std::atomic<size_t> next_queue_{0};
+  std::unique_ptr<std::atomic<size_t>[]> group_cursors_;
+  // First worker index of each group, plus a num_threads sentinel.
+  std::vector<size_t> group_begin_;
   // Tasks enqueued but not yet taken; the wake predicate. Modified with
   // wake_mutex_ held conceptually paired (see Submit) so sleepers never
   // miss a wakeup.
   std::atomic<int> pending_{0};
   std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> local_steals_{0};
+  std::atomic<uint64_t> remote_steals_{0};
   std::atomic<bool> stop_{false};
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;

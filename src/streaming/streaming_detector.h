@@ -116,6 +116,7 @@
 #include "detection/cell_key.h"
 #include "detection/detector.h"
 #include "durability/checkpoint.h"
+#include "mapreduce/spill.h"
 #include "runtime/parallel_executor.h"
 
 namespace dod {
@@ -190,6 +191,15 @@ struct StreamingConfig {
   // contents or cell identities would shift between rounds. A
   // default-constructed (dims-0) point means the all-zero origin.
   Point grid_origin;
+
+  // Spill policy for batch engine work done on this window's behalf —
+  // the oracle cross-check pipelines dod_stream_cli runs per round, and
+  // any long-window batch re-detection a caller derives from this config.
+  // The streaming fast path keeps its per-round state resident and never
+  // spills itself; carrying the policy here means a memory-capped service
+  // and its verifying batch runs degrade the same way, with verdicts and
+  // deltas byte-identical either way (spilling never changes results).
+  SpillPolicy spill;
 
   // Durability: empty = no checkpointing. With a dir set, the window state
   // commits every `checkpoint_every` rounds (0 = only on Checkpoint()).

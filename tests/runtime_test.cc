@@ -142,6 +142,118 @@ TEST(ThreadPoolTest, TasksMaySubmitMoreTasks) {
 }
 
 // ---------------------------------------------------------------------------
+// Worker groups: the memory-locality partitioning of the pool.
+
+TEST(ThreadPoolTest, DetectWorkerGroupsStaysWithinBounds) {
+  EXPECT_EQ(ThreadPool::DetectWorkerGroups(1), 1);
+  for (int threads : {2, 8, 16, 64}) {
+    const int groups = ThreadPool::DetectWorkerGroups(threads);
+    EXPECT_GE(groups, 1) << threads << " threads";
+    EXPECT_LE(groups, threads) << threads << " threads";
+  }
+}
+
+TEST(ThreadPoolTest, GroupCountClampsToWorkerCount) {
+  ThreadPool wide(2, 8);
+  EXPECT_EQ(wide.num_groups(), 2);
+  ThreadPool two(4, 2);
+  EXPECT_EQ(two.num_groups(), 2);
+  ThreadPool detected(4, 0);
+  EXPECT_GE(detected.num_groups(), 1);
+  EXPECT_LE(detected.num_groups(), 4);
+}
+
+TEST(ThreadPoolTest, CurrentWorkerGroupVisibleOnWorkersAndOffPool) {
+  EXPECT_EQ(ThreadPool::CurrentWorkerGroup(), -1);  // not a pool thread
+  ThreadPool pool(4, 2);
+  std::mutex mutex;
+  std::vector<int> seen;
+  Latch latch(32);
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&] {
+      const int group = ThreadPool::CurrentWorkerGroup();
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        seen.push_back(group);
+      }
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+  for (int group : seen) {
+    EXPECT_GE(group, 0);
+    EXPECT_LT(group, 2);
+  }
+}
+
+TEST(ThreadPoolTest, HintedSubmitRunsEveryTaskOnceEvenWithBadHints) {
+  constexpr int kTasks = 200;
+  ThreadPool pool(4, 2);
+  std::vector<std::atomic<int>> runs(kTasks);
+  for (auto& r : runs) r.store(0);
+  Latch latch(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    // Cycles through hint values -1 (anywhere), 0, 1 (valid) and 2
+    // (out of range, treated as anywhere).
+    pool.Submit(
+        [&, i] {
+          runs[i].fetch_add(1);
+          latch.CountDown();
+        },
+        /*group=*/(i % 4) - 1);
+  }
+  latch.Wait();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleGroupPoolClassifiesEveryStealAsLocal) {
+  // The hostage pattern from WorkersStealFromSiblings forces steals: the
+  // blocked worker's queued tasks can only finish by being stolen. With
+  // one group every victim is a same-group sibling.
+  constexpr int kTasks = 64;
+  ThreadPool pool(8, 1);
+  Latch others(kTasks - 1);
+  Latch all(kTasks);
+  pool.Submit([&] {
+    others.Wait();
+    all.CountDown();
+  });
+  for (int i = 1; i < kTasks; ++i) {
+    pool.Submit([&] {
+      others.CountDown();
+      all.CountDown();
+    });
+  }
+  all.Wait();
+  EXPECT_GE(pool.local_steals(), 1u);
+  EXPECT_EQ(pool.remote_steals(), 0u);
+}
+
+TEST(ThreadPoolTest, CrossGroupExecutionIsAccountedAsRemoteSteal) {
+  // Two workers, one per group. Every task is hinted to group 0, so it is
+  // queued on group 0's worker; any execution observed on group 1 can only
+  // have happened via a cross-group steal. Which tasks group 1 wins is
+  // scheduling noise, but the counter must cover every such win.
+  constexpr int kTasks = 64;
+  ThreadPool pool(2, 2);
+  std::atomic<int> ran_remote{0};
+  Latch latch(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit(
+        [&] {
+          if (ThreadPool::CurrentWorkerGroup() == 1) ran_remote.fetch_add(1);
+          latch.CountDown();
+        },
+        /*group=*/0);
+  }
+  latch.Wait();
+  EXPECT_GE(pool.remote_steals(),
+            static_cast<uint64_t>(ran_remote.load()));
+}
+
+// ---------------------------------------------------------------------------
 // ParallelExecutor
 
 TEST(ParallelExecutorTest, NonPositiveThreadCountSelectsHardwareDefault) {
@@ -228,6 +340,46 @@ TEST(ParallelExecutorTest, ExecutorIsReusableAcrossBatches) {
                               })
                     .ok());
     EXPECT_EQ(ran.load(), 50);
+  }
+}
+
+TEST(ParallelExecutorTest, GroupTopologyIsExposedAndSequentialIsFlat) {
+  ParallelExecutor grouped(4, 2);
+  EXPECT_EQ(grouped.num_groups(), 2);
+  ParallelExecutor sequential(1, 4);
+  EXPECT_TRUE(sequential.sequential());
+  EXPECT_EQ(sequential.num_groups(), 1);
+  EXPECT_EQ(sequential.local_steals(), 0u);
+  EXPECT_EQ(sequential.remote_steals(), 0u);
+}
+
+TEST(ParallelExecutorTest, PlacementHintsDoNotChangeResultsOrErrors) {
+  for (int threads : {1, 4}) {
+    ParallelExecutor executor(threads, 2);
+    constexpr size_t kTasks = 100;
+    std::vector<std::atomic<int>> runs(kTasks);
+    for (auto& r : runs) r.store(0);
+    const Status ok_status = executor.RunTasks(
+        kTasks,
+        [&](size_t i) {
+          runs[i].fetch_add(1);
+          return Status::Ok();
+        },
+        [](size_t i) { return static_cast<int>(i % 3) - 1; });
+    EXPECT_TRUE(ok_status.ok()) << threads << " threads";
+    for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(runs[i].load(), 1);
+
+    // Error selection stays lowest-failing-index under hints.
+    const Status failed = executor.RunTasks(
+        16,
+        [&](size_t i) {
+          return i == 5 || i == 12
+                     ? Status::Internal("task " + std::to_string(i))
+                     : Status::Ok();
+        },
+        [](size_t) { return 1; });
+    EXPECT_EQ(failed.code(), StatusCode::kInternal) << threads << " threads";
+    EXPECT_EQ(failed.message(), "task 5") << threads << " threads";
   }
 }
 

@@ -8,8 +8,12 @@
 
 #include "mapreduce/shuffle.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -25,7 +29,10 @@
 #include "detection/cell_based.h"
 #include "detection/nested_loop.h"
 #include "detection/partition_view.h"
+#include "durability/checkpoint.h"
+#include "durability/memory_budget.h"
 #include "mapreduce/job.h"
+#include "mapreduce/spill.h"
 #include "observability/metrics.h"
 
 namespace dod {
@@ -245,6 +252,37 @@ JobOutput<GroupDigest> RunDigestJob(const JobSpec& spec,
              /*record_bytes=*/sizeof(int) + sizeof(int),
              /*record_bytes_fn=*/{}, dense)
       .ValueOrDie();
+}
+
+// Checkpointing stores outputs as raw bytes, so the crash-resume spill
+// test needs a trivially copyable output type — GroupDigest's vector
+// disqualifies it.
+struct SpillKeySum {
+  int key = 0;
+  int64_t sum = 0;
+  bool operator==(const SpillKeySum& other) const {
+    return key == other.key && sum == other.sum;
+  }
+};
+
+class SpillSumReducer : public Reducer<int, int, SpillKeySum> {
+ public:
+  void Reduce(const int& key, std::vector<int>& values,
+              std::vector<SpillKeySum>& out, Counters& counters) override {
+    int64_t sum = 0;
+    for (int v : values) sum += v;
+    out.push_back(SpillKeySum{key, sum});
+    counters.Increment("groups_seen");
+  }
+};
+
+Result<JobOutput<SpillKeySum>> RunSumJob(const JobSpec& spec) {
+  SpreadMapper mapper;
+  SpillSumReducer reducer;
+  return RunMapReduce<int, int, SpillKeySum>(
+      /*num_splits=*/7, mapper, reducer,
+      [](const int& key) { return key % 4; }, spec,
+      /*record_bytes=*/sizeof(int) + sizeof(int));
 }
 
 JobSpec DigestSpec(ShuffleMode mode, int threads, const FaultSpec& faults) {
@@ -654,6 +692,422 @@ uint64_t MetricCount(const std::vector<MetricSnapshot>& snapshots,
     if (m.name == name) return m.count;
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Spill-to-disk shuffle runs: byte-identical to the in-memory paths across
+// modes × threads × faults, garbage-collected run files, reason-labeled
+// fallbacks, and exact crash-resume with spilled checkpoints.
+
+std::string FreshSpillDir(const char* tag) {
+  const std::string dir = testing::TempDir() + "/dod_spill_" + tag + "_" +
+                          std::to_string(::getpid());
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+size_t SpillFilesIn(const std::string& dir) {
+  std::error_code ec;
+  size_t count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".runs") ++count;
+  }
+  return count;
+}
+
+TEST(ShuffleSpillTest, TaskSpillerRoundTripsSortedRunsWithChecksums) {
+  const std::string dir = FreshSpillDir("roundtrip");
+  std::filesystem::create_directories(dir);
+  const std::string file = internal::SpillFilePath(dir, "map", 0);
+  internal::SpillGc gc;
+  internal::TaskSpiller<uint32_t, int> spiller(file, &gc);
+
+  // Two flushes (time slices), each stably sorted on write. Partition 1
+  // stays empty throughout and must produce no run.
+  internal::TaskSpiller<uint32_t, int>::Buckets buckets(3);
+  buckets[0] = SequencedBucket<uint32_t>({5, 1, 5, 3});
+  buckets[2] = SequencedBucket<uint32_t>({9, 9});
+  spiller.Spill(buckets);
+  ASSERT_TRUE(spiller.status().ok());
+  EXPECT_TRUE(buckets[0].empty());  // flushed buckets are cleared
+  buckets[0] = SequencedBucket<uint32_t>({2, 1});
+  ASSERT_TRUE(spiller.Finish(buckets).ok());
+
+  std::vector<internal::SpillRunInfo> runs = spiller.TakeRuns();
+  ASSERT_EQ(runs.size(), 3u);  // {p0, p2} then {p0}
+  EXPECT_EQ(runs[0].partition, 0u);
+  EXPECT_EQ(runs[0].records, 4u);
+  EXPECT_EQ(runs[0].min_key, 1u);
+  EXPECT_EQ(runs[0].max_key, 5u);
+  EXPECT_EQ(runs[1].partition, 2u);
+  EXPECT_EQ(runs[2].partition, 0u);
+  EXPECT_EQ(runs[2].records, 2u);
+
+  // Flush 1 of partition 0, sorted stably: (1,1) (3,3) (5,0) (5,2).
+  internal::SpillRunCursor<uint32_t, int> cursor;
+  ASSERT_TRUE(cursor.Open(runs[0]).ok());
+  const std::vector<std::pair<uint32_t, int>> expected = {
+      {1, 1}, {3, 3}, {5, 0}, {5, 2}};
+  for (const auto& record : expected) {
+    ASSERT_FALSE(cursor.AtEnd());
+    EXPECT_EQ(cursor.Head(), record);
+    ASSERT_TRUE(cursor.Advance().ok());
+  }
+  EXPECT_TRUE(cursor.AtEnd());
+
+  // Flip one payload byte: the cursor must fail the checksum, not hand the
+  // reducer silently corrupted groups.
+  {
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(runs[0].offset));
+    char byte;
+    f.seekg(static_cast<std::streamoff>(runs[0].offset));
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    f.seekp(static_cast<std::streamoff>(runs[0].offset));
+    f.write(&byte, 1);
+  }
+  internal::SpillRunCursor<uint32_t, int> corrupted;
+  Status status = corrupted.Open(runs[0]);
+  while (status.ok() && !corrupted.AtEnd()) status = corrupted.Advance();
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("checksum"), std::string::npos);
+}
+
+TEST(ShuffleSpillTest, GroupSegmentsMatchesGroupBucketOfConcatenation) {
+  const std::string dir = FreshSpillDir("segments");
+  std::filesystem::create_directories(dir);
+  Rng rng(4097);
+  for (ShuffleMode mode : {ShuffleMode::kSorted, ShuffleMode::kColumnar}) {
+    // Three map tasks' worth of records; task 1 spills in two flushes, the
+    // others stay in memory. The reference is the in-memory grouping of
+    // the concatenation in (task, flush) order.
+    std::vector<std::vector<std::pair<uint32_t, int>>> slices(4);
+    std::vector<std::pair<uint32_t, int>> all;
+    int seq = 0;
+    for (auto& slice : slices) {
+      for (int i = 0; i < 120; ++i) {
+        slice.emplace_back(static_cast<uint32_t>(rng.NextBounded(40)), seq++);
+      }
+      all.insert(all.end(), slice.begin(), slice.end());
+    }
+    internal::GroupScratch<uint32_t, int> reference_scratch;
+    internal::GroupPath reference_path;
+    const GroupedView<uint32_t, int> reference = internal::GroupBucket(
+        all, mode, &reference_scratch, &reference_path);
+
+    internal::SpillGc gc;
+    internal::TaskSpiller<uint32_t, int> spiller(
+        internal::SpillFilePath(dir, "map", 1), &gc);
+    internal::TaskSpiller<uint32_t, int>::Buckets flush(1);
+    flush[0] = slices[1];
+    spiller.Spill(flush);
+    flush[0] = slices[2];
+    ASSERT_TRUE(spiller.Finish(flush).ok());
+    std::vector<internal::SpillRunInfo> runs = spiller.TakeRuns();
+    ASSERT_EQ(runs.size(), 2u);
+
+    std::vector<internal::ShuffleSegment<uint32_t, int>> segments;
+    segments.push_back({&slices[0], nullptr});
+    segments.push_back({nullptr, &runs[0]});
+    segments.push_back({nullptr, &runs[1]});
+    segments.push_back({&slices[3], nullptr});
+    internal::GroupScratch<uint32_t, int> scratch;
+    internal::GroupPath path;
+    internal::FallbackReason reason;
+    auto grouped = internal::GroupSegments(segments, mode, &scratch, &path,
+                                           &reason, nullptr);
+    ASSERT_TRUE(grouped.ok()) << ShuffleModeName(mode);
+    EXPECT_EQ(path, mode == ShuffleMode::kColumnar
+                        ? internal::GroupPath::kColumnarSpilled
+                        : internal::GroupPath::kSortedSpilled);
+    EXPECT_EQ(reason, internal::FallbackReason::kNone);
+    ExpectSameGroups(grouped.value(), reference);
+  }
+}
+
+TEST(ShuffleSpillTest, BudgetPressureDegradesToSpilledColumnarRun) {
+  const std::string dir = FreshSpillDir("degrade");
+  std::filesystem::create_directories(dir);
+
+  std::vector<uint32_t> keys(500);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<uint32_t>((i * 7) % 50);
+  }
+  std::vector<std::pair<uint32_t, int>> reference_bucket =
+      SequencedBucket(keys);
+  internal::GroupScratch<uint32_t, int> reference_scratch;
+  internal::GroupPath reference_path;
+  const GroupedView<uint32_t, int> reference =
+      internal::GroupBucket(reference_bucket, ShuffleMode::kColumnar,
+                            &reference_scratch, &reference_path);
+  ASSERT_EQ(reference_path, internal::GroupPath::kColumnar);
+
+  // Budget window where the histogram scratch fits alone but not next to
+  // the resident bucket: the regime only spilling can serve, by freeing
+  // the bucket before the histogram pass.
+  const uint64_t scratch_bytes = internal::ColumnarScratchBytes(
+      keys.size(), /*range=*/50, sizeof(uint32_t), sizeof(int));
+  MemoryBudget budget(scratch_bytes + 64);
+  ASSERT_FALSE(budget.FitsAlone(
+      scratch_bytes + keys.size() * sizeof(std::pair<uint32_t, int>)));
+
+  SpillPolicy spill;
+  spill.dir = dir;
+  spill.threshold_bytes = uint64_t{1} << 30;  // map side never triggers
+  internal::SpillGc gc;
+  std::vector<std::pair<uint32_t, int>> bucket = SequencedBucket(keys);
+  internal::GroupScratch<uint32_t, int> scratch;
+  std::vector<internal::ShuffleSegment<uint32_t, int>> segment_scratch;
+  std::vector<internal::SpillRunInfo> spilled_runs;
+  internal::GroupPath path;
+  internal::FallbackReason reason;
+  auto grouped = internal::GroupBucketOrSpill(
+      bucket, ShuffleMode::kColumnar, &scratch, &path, &reason, &budget,
+      spill, internal::SpillFilePath(dir, "reduce", 0), &gc, &spilled_runs,
+      &segment_scratch);
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(path, internal::GroupPath::kColumnarSpilled);
+  EXPECT_EQ(reason, internal::FallbackReason::kSpill);
+  EXPECT_TRUE(bucket.empty());  // resident bucket freed for real
+  ASSERT_EQ(spilled_runs.size(), 1u);
+  ExpectSameGroups(grouped.value(), reference);
+
+  // Attempt retry: the bucket is already empty and the spilled state lives
+  // in spilled_runs — regrouping must reuse the run, not re-spill nothing.
+  internal::GroupScratch<uint32_t, int> retry_scratch;
+  internal::GroupPath retry_path;
+  internal::FallbackReason retry_reason;
+  auto regrouped = internal::GroupBucketOrSpill(
+      bucket, ShuffleMode::kColumnar, &retry_scratch, &retry_path,
+      &retry_reason, &budget, spill,
+      internal::SpillFilePath(dir, "reduce", 0), &gc, &spilled_runs,
+      &segment_scratch);
+  ASSERT_TRUE(regrouped.ok());
+  EXPECT_EQ(retry_path, internal::GroupPath::kColumnarSpilled);
+  EXPECT_EQ(retry_reason, internal::FallbackReason::kSpill);
+  ExpectSameGroups(regrouped.value(), reference);
+
+  // Without a spill dir there is no degrade that frees the bucket, so the
+  // comparable pressure is a budget the histogram scratch itself cannot
+  // fit: GroupBucket falls back to the sorted path and labels it
+  // budget-driven.
+  MemoryBudget tight(scratch_bytes / 2);
+  std::vector<std::pair<uint32_t, int>> unspillable = SequencedBucket(keys);
+  internal::GroupScratch<uint32_t, int> sorted_scratch;
+  std::vector<internal::ShuffleSegment<uint32_t, int>> sorted_segments;
+  std::vector<internal::SpillRunInfo> no_runs;
+  internal::GroupPath sorted_path;
+  internal::FallbackReason sorted_reason;
+  auto sorted = internal::GroupBucketOrSpill(
+      unspillable, ShuffleMode::kColumnar, &sorted_scratch, &sorted_path,
+      &sorted_reason, &tight, SpillPolicy{},
+      internal::SpillFilePath(dir, "reduce", 1), &gc, &no_runs,
+      &sorted_segments);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted_path, internal::GroupPath::kSortedBudget);
+  EXPECT_EQ(sorted_reason, internal::FallbackReason::kBudget);
+  ExpectSameGroups(sorted.value(), reference);
+}
+
+JobSpec SpilledDigestSpec(ShuffleMode mode, int threads,
+                          const FaultSpec& faults, const std::string& dir,
+                          uint64_t threshold_bytes) {
+  JobSpec spec = DigestSpec(mode, threads, faults);
+  spec.spill.dir = dir;
+  spec.spill.threshold_bytes = threshold_bytes;
+  return spec;
+}
+
+TEST(ShuffleSpillTest, SpilledRunsMatchInMemoryAcrossModesThreadsAndFaults) {
+  // Each map task emits 60 8-byte pairs (480 bytes); a 128-byte threshold
+  // forces several mid-task flushes plus the Finish remainder.
+  const std::string dir = FreshSpillDir("matrix");
+  const JobOutput<GroupDigest> baseline =
+      RunDigestJob(DigestSpec(ShuffleMode::kSorted, 1, FaultSpec{}));
+
+  for (ShuffleMode mode : {ShuffleMode::kSorted, ShuffleMode::kColumnar}) {
+    for (int threads : {1, 4, 8}) {
+      for (const FaultSpec& faults : AllFaultKinds()) {
+        const std::string label =
+            std::string(ShuffleModeName(mode)) +
+            " threads=" + std::to_string(threads) +
+            " faults=" + std::to_string(faults.enabled) +
+            " crash=" + std::to_string(faults.task_failure_prob);
+        const JobOutput<GroupDigest> in_memory =
+            RunDigestJob(DigestSpec(mode, threads, faults));
+        const JobOutput<GroupDigest> spilled = RunDigestJob(
+            SpilledDigestSpec(mode, threads, faults, dir, /*threshold=*/128));
+
+        EXPECT_EQ(spilled.output, in_memory.output) << label;
+        EXPECT_EQ(spilled.output, baseline.output) << label;
+        EXPECT_EQ(spilled.stats.counters.values(),
+                  in_memory.stats.counters.values())
+            << label;
+        EXPECT_EQ(spilled.stats.records_shuffled,
+                  in_memory.stats.records_shuffled)
+            << label;
+        EXPECT_EQ(spilled.stats.bytes_shuffled, in_memory.stats.bytes_shuffled)
+            << label;
+        EXPECT_EQ(spilled.stats.groups_reduced, in_memory.stats.groups_reduced)
+            << label;
+        // Run files are job-scoped garbage: none survive the job, even
+        // under retries and speculative schedules.
+        EXPECT_EQ(SpillFilesIn(dir), 0u) << label;
+      }
+    }
+  }
+}
+
+TEST(ShuffleSpillTest, SpillMetricsAndPathsAreRecorded) {
+  const std::string dir = FreshSpillDir("metrics");
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+
+  metrics.Reset();
+  FaultSpec crash = AllFaultKinds()[1];  // every task fails once, retries
+  RunDigestJob(
+      SpilledDigestSpec(ShuffleMode::kColumnar, 4, crash, dir, 128));
+  const std::vector<MetricSnapshot> columnar = metrics.Snapshot();
+  EXPECT_EQ(MetricCount(columnar, "mr.spill.map_tasks"), 7u);
+  EXPECT_GT(MetricCount(columnar, "mr.spill.runs_written"), 0u);
+  EXPECT_GT(MetricCount(columnar, "mr.spill.bytes_written"), 0u);
+  EXPECT_GT(MetricCount(columnar, "mr.spill.runs_merged"), 0u);
+  EXPECT_GT(MetricCount(columnar, "mr.spill.bytes_read"), 0u);
+  EXPECT_EQ(MetricCount(columnar, "mr.shuffle.columnar_spilled_tasks"), 4u);
+  EXPECT_EQ(MetricCount(columnar, "mr.shuffle.sorted_spilled_tasks"), 0u);
+  // Dense keys, no budget: the spill came from the threshold, not from a
+  // guard, so no fallback reason is charged.
+  EXPECT_EQ(MetricCount(columnar, "mr.shuffle.fallback.density"), 0u);
+  EXPECT_EQ(MetricCount(columnar, "mr.shuffle.fallback.budget"), 0u);
+  EXPECT_EQ(MetricCount(columnar, "mr.shuffle.fallback.spill"), 0u);
+
+  metrics.Reset();
+  RunDigestJob(
+      SpilledDigestSpec(ShuffleMode::kSorted, 4, FaultSpec{}, dir, 128));
+  const std::vector<MetricSnapshot> sorted = metrics.Snapshot();
+  EXPECT_EQ(MetricCount(sorted, "mr.shuffle.sorted_spilled_tasks"), 4u);
+  EXPECT_EQ(MetricCount(sorted, "mr.shuffle.columnar_spilled_tasks"), 0u);
+  EXPECT_GT(MetricCount(sorted, "mr.spill.runs_merged"), 0u);
+}
+
+// A sparse-key mapper: the density guard, not the budget or the spill
+// threshold, is what pushes these tasks off the counting-sort path.
+class SparseKeyMapper : public Mapper<int, int> {
+ public:
+  void Map(size_t split_index, Emitter<int, int>& out) override {
+    const int base = static_cast<int>(split_index) * 10;
+    for (int v = base; v < base + 10; ++v) out.Emit(v * 1000000, v);
+  }
+};
+
+TEST(ShuffleSpillTest, FallbackReasonCountersLabelEachGuard) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+
+  // Density: sparse keys in columnar mode.
+  metrics.Reset();
+  {
+    SparseKeyMapper mapper;
+    DigestReducer reducer;
+    JobSpec spec = DigestSpec(ShuffleMode::kColumnar, 1, FaultSpec{});
+    RunMapReduce<int, int, GroupDigest>(
+        /*num_splits=*/3, mapper, reducer,
+        [](const int& key) { return (key / 1000000) % 4; }, spec)
+        .ValueOrDie();
+  }
+  const std::vector<MetricSnapshot> density = metrics.Snapshot();
+  EXPECT_GT(MetricCount(density, "mr.shuffle.fallback.density"), 0u);
+  EXPECT_EQ(MetricCount(density, "mr.shuffle.fallback.budget"), 0u);
+  EXPECT_EQ(MetricCount(density, "mr.shuffle.fallback.spill"), 0u);
+
+  // Budget: a budget too small for any histogram scratch, no spill dir.
+  metrics.Reset();
+  {
+    MemoryBudget tiny(16);
+    JobSpec spec = DigestSpec(ShuffleMode::kColumnar, 1, FaultSpec{});
+    spec.memory = &tiny;
+    RunDigestJob(spec);
+  }
+  const std::vector<MetricSnapshot> budget = metrics.Snapshot();
+  EXPECT_GT(MetricCount(budget, "mr.shuffle.fallback.budget"), 0u);
+  EXPECT_EQ(MetricCount(budget, "mr.shuffle.fallback.density"), 0u);
+  EXPECT_EQ(MetricCount(budget, "mr.shuffle.fallback.spill"), 0u);
+
+  // Spill: the same budget window as BudgetPressureDegradesToSpilledColumnar
+  // but through the engine, with a spill dir available. Reduce task 0's
+  // bucket holds 123 records over key range [0, 16].
+  metrics.Reset();
+  const std::string dir = FreshSpillDir("reason");
+  {
+    const uint64_t scratch_bytes = internal::ColumnarScratchBytes(
+        /*records=*/123, /*range=*/17, sizeof(int), sizeof(int));
+    MemoryBudget window(scratch_bytes + 64);
+    JobSpec spec = SpilledDigestSpec(ShuffleMode::kColumnar, 1, FaultSpec{},
+                                     dir, uint64_t{1} << 30);
+    spec.memory = &window;
+    const JobOutput<GroupDigest> degraded = RunDigestJob(spec);
+    const JobOutput<GroupDigest> reference =
+        RunDigestJob(DigestSpec(ShuffleMode::kColumnar, 1, FaultSpec{}));
+    EXPECT_EQ(degraded.output, reference.output);
+  }
+  const std::vector<MetricSnapshot> spill = metrics.Snapshot();
+  EXPECT_GT(MetricCount(spill, "mr.shuffle.fallback.spill"), 0u);
+  EXPECT_GT(MetricCount(spill, "mr.shuffle.columnar_spilled_tasks"), 0u);
+  EXPECT_GT(MetricCount(spill, "mr.spill.reduce_tasks"), 0u);
+  EXPECT_EQ(SpillFilesIn(dir), 0u);
+}
+
+TEST(ShuffleSpillTest, CrashResumeRestoresSpilledCheckpointsExactly) {
+  const JobOutput<SpillKeySum> baseline =
+      RunSumJob(DigestSpec(ShuffleMode::kColumnar, 1, FaultSpec{}))
+          .ValueOrDie();
+
+  for (ShuffleMode mode : {ShuffleMode::kSorted, ShuffleMode::kColumnar}) {
+    const std::string tag = ShuffleModeName(mode);
+    const std::string dir = FreshSpillDir(("resume_" + tag).c_str());
+    const std::string ckpt = dir + "_ckpt";
+    std::error_code ec;
+    std::filesystem::remove_all(ckpt, ec);
+
+    MetricsRegistry& metrics = MetricsRegistry::Global();
+    metrics.Reset();
+    {
+      auto store = CheckpointStore::Open(ckpt, "sum", /*resume=*/false)
+                       .ValueOrDie();
+      JobSpec crashing =
+          SpilledDigestSpec(mode, 1, FaultSpec{}, dir, /*threshold=*/128);
+      crashing.checkpoint = store.get();
+      crashing.faults.crash_at_task = 1;
+      crashing.faults.crash_phase = TaskPhase::kReduce;
+      const auto crashed = RunSumJob(crashing);
+      ASSERT_FALSE(crashed.ok()) << tag;
+      ASSERT_EQ(crashed.status().code(), StatusCode::kUnavailable) << tag;
+    }
+    // The failed checkpointing job must leave its runs for the resume —
+    // the durable map records reference them.
+    EXPECT_GT(SpillFilesIn(dir), 0u) << tag;
+
+    {
+      auto store = CheckpointStore::Open(ckpt, "sum", /*resume=*/true)
+                       .ValueOrDie();
+      JobSpec resuming =
+          SpilledDigestSpec(mode, 1, FaultSpec{}, dir, /*threshold=*/128);
+      resuming.checkpoint = store.get();
+      resuming.resume = true;
+      const JobOutput<SpillKeySum> resumed =
+          RunSumJob(resuming).ValueOrDie();
+      EXPECT_EQ(resumed.output, baseline.output) << tag;
+    }
+    // Every restored run descriptor validated against its file: resuming
+    // with intact spill files must not burn a single load failure, and the
+    // successful resume garbage-collects the runs.
+    const std::vector<MetricSnapshot> after = metrics.Snapshot();
+    EXPECT_EQ(MetricCount(after, "durability.checkpoint.load_failures"), 0u)
+        << tag;
+    EXPECT_GT(MetricCount(after, "durability.checkpoint.tasks_resumed"), 0u)
+        << tag;
+    EXPECT_EQ(SpillFilesIn(dir), 0u) << tag;
+  }
 }
 
 TEST(PipelineShuffleEquivalence, MetricsRecordGroupPathAndArenaReuse) {

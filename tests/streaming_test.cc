@@ -363,6 +363,52 @@ TEST(StreamingPropertyTest, MatchesBatchPipelineAcrossConfigs) {
   }
 }
 
+TEST(StreamingPropertyTest, SpilledOracleBatchYieldsIdenticalVerdicts) {
+  // The spill policy a streaming service carries is forwarded to the batch
+  // pipelines run on its behalf (dod_stream_cli's per-round oracle). A
+  // spilling oracle must agree with the streaming detector verdict for
+  // verdict, round by round — spilling is invisible in batch output.
+  StreamSchedule schedule;
+  schedule.data = GenerateUniform(600, DomainForDensity(600, 2.0), 41);
+  schedule.block_size = 100;
+  schedule.window_blocks = 3;
+
+  StreamingConfig config = BaseConfig(1.5, 4);
+  config.window_blocks = schedule.window_blocks;
+  config.num_threads = 4;
+  const std::string spill_dir = testing::TempDir() + "/dod_stream_spill_" +
+                                std::to_string(::getpid());
+  std::error_code ec;
+  fs::remove_all(spill_dir, ec);
+  config.spill.dir = spill_dir;
+  config.spill.threshold_bytes = 256;
+
+  DodConfig oracle = DodConfig::Dmt(config.params);
+  oracle.num_threads = config.num_threads;
+  oracle.seed = config.params.seed;
+  oracle.spill_dir = config.spill.dir;
+  oracle.spill_threshold_mb = 1;
+  DodConfig in_memory_oracle = oracle;
+  in_memory_oracle.spill_dir.clear();
+
+  auto created = StreamingDetector::Create(config);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  StreamingDetector& detector = *created.value();
+  for (size_t b = 0; b < schedule.num_blocks(); ++b) {
+    StreamBlock block(schedule.data.dims());
+    for (size_t i = schedule.begin(b); i < schedule.end(b); ++i) {
+      block.Add(static_cast<PointId>(i),
+                schedule.data[static_cast<PointId>(i)]);
+    }
+    ASSERT_TRUE(detector.Feed(block).ok());
+    EXPECT_EQ(detector.outliers(), BatchOracle(schedule, b + 1, oracle))
+        << "round " << (b + 1);
+    EXPECT_EQ(BatchOracle(schedule, b + 1, oracle),
+              BatchOracle(schedule, b + 1, in_memory_oracle))
+        << "round " << (b + 1);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Summary maintenance vs re-detection: the two paths must emit identical
 // per-round deltas on randomized schedules — across seeds, expiry patterns

@@ -97,6 +97,11 @@ Durable execution:
                          shuffle degrades to the sorted path when its
                          scratch alone would not fit (results identical),
                          genuine overcommit aborts with ResourceExhausted
+  --spill_dir DIR        spill shuffle runs to DIR when a map task's
+                         emitted bytes cross the spill threshold; output
+                         stays byte-identical to the in-memory shuffle
+  --spill_threshold_mb N per-map-task bytes before spilling (default 0 =
+                         memory budget / 4, or 64 MiB without a budget)
 
 Output:
   --out PATH             write outlier coordinates (.csv or .bin)
@@ -353,6 +358,17 @@ dod::Result<dod::DodConfig> BuildConfig(const dod::FlagParser& flags,
     return dod::Status::InvalidArgument("--memory_budget_mb must be >= 0");
   }
   config.memory_budget_mb = static_cast<uint64_t>(budget_mb.value());
+  config.spill_dir = flags.GetStringOr("spill_dir", "");
+  auto spill_mb = flags.GetInt("spill_threshold_mb", 0);
+  if (!spill_mb.ok()) return spill_mb.status();
+  if (spill_mb.value() < 0) {
+    return dod::Status::InvalidArgument("--spill_threshold_mb must be >= 0");
+  }
+  if (spill_mb.value() > 0 && config.spill_dir.empty()) {
+    return dod::Status::InvalidArgument(
+        "--spill_threshold_mb requires --spill_dir");
+  }
+  config.spill_threshold_mb = static_cast<uint64_t>(spill_mb.value());
   return config;
 }
 

@@ -103,6 +103,11 @@ Verification and output:
                          empty — the verdict set cannot have changed
                          (default off: every round cross-checks)
   --shuffle MODE         columnar | sorted (oracle pipeline only)
+  --spill_dir DIR        spill policy inherited by the oracle pipeline's
+                         shuffle (runs spill to DIR past the threshold;
+                         verdicts stay byte-identical)
+  --spill_threshold_mb N per-map-task bytes before the oracle shuffle
+                         spills (default 0 = budget-derived / 64 MiB)
   --delta_out PATH       deterministic per-round delta log (append mode
                          under --resume, else truncate)
   --trace_out PATH       Chrome trace (stream.round spans)
@@ -312,6 +317,21 @@ int main(int argc, char** argv) {
   if (!dod::ParseShuffleMode(shuffle, &oracle_config.shuffle)) {
     return Fail("--shuffle must be sorted or columnar");
   }
+  // Spill policy: carried on the streaming config and inherited by every
+  // batch engine invocation made on the window's behalf (here, the oracle
+  // pipelines). Spilling never changes verdicts, so the oracle comparison
+  // is as strict as ever.
+  config.spill.dir = flags.GetStringOr("spill_dir", "");
+  auto spill_mb = flags.GetInt("spill_threshold_mb", 0);
+  if (!spill_mb.ok()) return Fail(spill_mb.status().ToString());
+  if (spill_mb.value() < 0) return Fail("--spill_threshold_mb must be >= 0");
+  if (spill_mb.value() > 0 && config.spill.dir.empty()) {
+    return Fail("--spill_threshold_mb requires --spill_dir");
+  }
+  config.spill.threshold_bytes =
+      static_cast<uint64_t>(spill_mb.value()) * (uint64_t{1} << 20);
+  oracle_config.spill_dir = config.spill.dir;
+  oracle_config.spill_threshold_mb = static_cast<uint64_t>(spill_mb.value());
 
   const bool oracle = flags.GetBoolOr("oracle", false);
   const bool oracle_skip_empty = flags.GetBoolOr("oracle_skip_empty", false);

@@ -8,11 +8,19 @@
 //   validate_trace --trace trace.json --metrics metrics.json
 //                  [--min_task_spans N] [--min_partitions N]
 //                  [--require_durability] [--require_streaming]
+//                  [--require_spill]
 //
 // With --require_durability the run must have been checkpointed: the trace
 // must hold at least one "durability"-category span and the metrics dump
 // must carry the full durability.* schema (checkpoint counters + write
 // histogram + memory gauge) with at least one task written or resumed.
+//
+// With --require_spill the run's shuffle must actually have spilled: the
+// trace must hold at least one shuffle_spill span carrying its
+// records/bytes args, and the metrics dump must carry the full mr.spill.*
+// schema (run counters + run-records histogram) with runs both written
+// and merged, plus the runtime.worker_groups gauge and
+// runtime.steal.{local,remote} counters of the locality-aware pool.
 //
 // With --require_streaming the run must have come from the streaming
 // service (dod_stream_cli): the trace must hold at least one
@@ -65,7 +73,8 @@ dod::Result<dod::JsonValue> LoadJson(const std::string& path) {
 // Chrome trace event format: every complete ("ph":"X") event must carry
 // name/cat/ts/dur/pid/tid. https://chromium.org trace_event format doc.
 int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans,
-                  bool require_durability, bool require_streaming) {
+                  bool require_durability, bool require_streaming,
+                  bool require_spill) {
   if (!doc.is_object()) return Fail("trace: top level is not an object");
   if (!doc.Has("traceEvents") || !doc.Get("traceEvents").is_array()) {
     return Fail("trace: missing traceEvents array");
@@ -75,6 +84,8 @@ int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans,
 
   long long task_spans = 0;
   long long durability_spans = 0;
+  long long spill_spans = 0;
+  long long merge_spans = 0;
   long long stream_spans = 0;
   long long summary_update_spans = 0;
   long long summary_recount_spans = 0;
@@ -102,6 +113,20 @@ int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans,
     }
     if (event.Get("cat").string_value() == "task") ++task_spans;
     if (event.Get("cat").string_value() == "durability") ++durability_spans;
+    if (event.Get("cat").string_value() == "shuffle") {
+      const std::string& name = event.Get("name").string_value();
+      if (name == "shuffle_spill") {
+        ++spill_spans;
+        for (const char* key : {"records", "bytes"}) {
+          if (!event.Get("args").Get(key).is_number()) {
+            return Fail(where + ": shuffle_spill span missing numeric arg \"" +
+                        key + "\"");
+          }
+        }
+      } else if (name == "merge") {
+        ++merge_spans;
+      }
+    }
     if (event.Get("cat").string_value() == "stream") {
       ++stream_spans;
       const std::string& name = event.Get("name").string_value();
@@ -145,6 +170,10 @@ int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans,
     return Fail("trace: no stream spans (stream.round) in a run that "
                 "required them");
   }
+  if (require_spill && spill_spans == 0) {
+    return Fail("trace: no shuffle_spill spans in a run that required "
+                "spilling");
+  }
   // Summary rounds emit the update and re-count spans in lockstep; a run
   // with one but not the other dropped half the fast path's telemetry.
   // (A summaries-off run legitimately has neither.)
@@ -157,10 +186,12 @@ int ValidateTrace(const dod::JsonValue& doc, long long min_task_spans,
   }
   std::printf(
       "trace ok: %zu events, %lld task spans, %lld durability spans, "
+      "%lld spill spans, %lld merge spans, "
       "%lld stream spans (%lld summary_update, %lld summary_recount, "
       "%lld reorder_admit)\n",
-      events.size(), task_spans, durability_spans, stream_spans,
-      summary_update_spans, summary_recount_spans, reorder_admit_spans);
+      events.size(), task_spans, durability_spans, spill_spans, merge_spans,
+      stream_spans, summary_update_spans, summary_recount_spans,
+      reorder_admit_spans);
   return EXIT_SUCCESS;
 }
 
@@ -205,6 +236,51 @@ int ValidateDurabilityMetrics(const dod::JsonValue& metrics) {
   }
   std::printf("durability ok: %.0f tasks written, %.0f resumed\n", written,
               resumed);
+  return EXIT_SUCCESS;
+}
+
+// The mr.spill.* names the engine folds in after every job; a metrics dump
+// from a spilled run must carry the whole family, show actual run traffic
+// (runs written AND merged back), and expose the locality-aware pool's
+// worker-group gauge and steal counters.
+int ValidateSpillMetrics(const dod::JsonValue& metrics) {
+  const dod::JsonValue& counters = metrics.Get("counters");
+  for (const char* name :
+       {"mr.spill.map_tasks", "mr.spill.reduce_tasks", "mr.spill.runs_written",
+        "mr.spill.bytes_written", "mr.spill.runs_merged",
+        "mr.spill.bytes_read", "mr.shuffle.fallback.density",
+        "mr.shuffle.fallback.budget", "mr.shuffle.fallback.spill",
+        "runtime.steal.local", "runtime.steal.remote"}) {
+    if (!counters.Get(name).is_number()) {
+      return Fail(std::string("metrics: missing spill counter \"") + name +
+                  "\"");
+    }
+  }
+  const dod::JsonValue& groups =
+      metrics.Get("gauges").Get("runtime.worker_groups");
+  if (!groups.Get("count").is_number() || !groups.Get("max").is_number()) {
+    return Fail("metrics: missing gauge \"runtime.worker_groups\"");
+  }
+  const dod::JsonValue& run_records =
+      metrics.Get("histograms").Get("mr.spill.run_records");
+  if (!run_records.Get("count").is_number() ||
+      !run_records.Get("sum").is_number() ||
+      !run_records.Get("buckets").is_array()) {
+    return Fail("metrics: histogram \"mr.spill.run_records\" malformed");
+  }
+  const double written = counters.Get("mr.spill.runs_written").number_value();
+  const double merged = counters.Get("mr.spill.runs_merged").number_value();
+  if (written <= 0.0) {
+    return Fail("metrics: mr.spill.runs_written == 0 in a run that required "
+                "spilling");
+  }
+  if (merged <= 0.0) {
+    return Fail("metrics: mr.spill.runs_merged == 0 — runs were written but "
+                "never merged back");
+  }
+  std::printf("spill ok: %.0f runs written, %.0f merged, %.0f bytes\n",
+              written, merged,
+              counters.Get("mr.spill.bytes_written").number_value());
   return EXIT_SUCCESS;
 }
 
@@ -281,7 +357,8 @@ int ValidateStreamingMetrics(const dod::JsonValue& metrics) {
 }
 
 int ValidateMetrics(const dod::JsonValue& doc, long long min_partitions,
-                    bool require_durability, bool require_streaming) {
+                    bool require_durability, bool require_streaming,
+                    bool require_spill) {
   if (!doc.is_object()) return Fail("metrics: top level is not an object");
   const dod::JsonValue& metrics = doc.Get("metrics");
   if (!metrics.is_object()) return Fail("metrics: missing metrics object");
@@ -338,6 +415,9 @@ int ValidateMetrics(const dod::JsonValue& doc, long long min_partitions,
       ValidateDurabilityMetrics(metrics) != EXIT_SUCCESS) {
     return EXIT_FAILURE;
   }
+  if (require_spill && ValidateSpillMetrics(metrics) != EXIT_SUCCESS) {
+    return EXIT_FAILURE;
+  }
   if (require_streaming &&
       ValidateStreamingMetrics(metrics) != EXIT_SUCCESS) {
     return EXIT_FAILURE;
@@ -365,6 +445,7 @@ int main(int argc, char** argv) {
   const bool require_durability =
       flags.GetBoolOr("require_durability", false);
   const bool require_streaming = flags.GetBoolOr("require_streaming", false);
+  const bool require_spill = flags.GetBoolOr("require_spill", false);
   if (trace_path.empty() && metrics_path.empty()) {
     return Fail("nothing to do: pass --trace and/or --metrics");
   }
@@ -375,7 +456,7 @@ int main(int argc, char** argv) {
     const dod::Result<dod::JsonValue> doc = LoadJson(trace_path);
     if (!doc.ok()) return Fail(doc.status().ToString());
     if (ValidateTrace(doc.value(), min_task_spans, require_durability,
-                      require_streaming) != EXIT_SUCCESS) {
+                      require_streaming, require_spill) != EXIT_SUCCESS) {
       return EXIT_FAILURE;
     }
   }
@@ -383,7 +464,7 @@ int main(int argc, char** argv) {
     const dod::Result<dod::JsonValue> doc = LoadJson(metrics_path);
     if (!doc.ok()) return Fail(doc.status().ToString());
     if (ValidateMetrics(doc.value(), min_partitions, require_durability,
-                        require_streaming) != EXIT_SUCCESS) {
+                        require_streaming, require_spill) != EXIT_SUCCESS) {
       return EXIT_FAILURE;
     }
   }

@@ -8,7 +8,7 @@
 //   MANIFEST.json — snapshot written once when the store opens fresh:
 //
 //     {
-//       "format_version": 1,
+//       "format_version": 2,
 //       "job_key": "<caller fingerprint of config + input>",
 //       "tasks": [
 //         {"phase": "map", "index": 3, "file": "DATA.log",
@@ -83,7 +83,11 @@ struct CheckpointManifest {
 
 class CheckpointStore {
  public:
-  static constexpr int kFormatVersion = 1;
+  // Version 2: spill-aware task payloads — map payloads lead with a
+  // spilled flag, reduce payloads carry a fallback-reason byte. Version-1
+  // stores parse differently at those offsets, so they must be rejected
+  // at the manifest check rather than misread.
+  static constexpr int kFormatVersion = 2;
 
   // Opens (creating if needed) the store at `dir` for the job identified
   // by `job_key`. With `resume` false any prior manifest and payloads are
@@ -120,6 +124,7 @@ class CheckpointStore {
                     const std::string& payload);
 
   const std::string& dir() const { return dir_; }
+  const std::string& job_key() const { return job_key_; }
 
  private:
   CheckpointStore(std::string dir, std::string job_key)

@@ -366,13 +366,24 @@ Result<JobOutput<Out>> RunMapReduce(
   const bool spilling = kSpillable && spec.spill.enabled();
   const uint64_t spill_threshold = spec.spill.EffectiveThreshold(spec.memory);
   internal::SpillGc spill_gc;
+  std::string spill_dir;
   if (spilling) {
+    // Run files live in a per-job subdirectory so jobs sharing a spill
+    // dir cannot truncate each other's files. Keyed by the checkpoint
+    // store's identity when checkpointing — a resumed run must land in
+    // the same namespace its crashed predecessor spilled into.
+    spill_dir = internal::SpillJobDir(
+        spec.spill.dir,
+        spec.checkpoint != nullptr
+            ? spec.checkpoint->dir() + "\n" + spec.checkpoint->job_key()
+            : std::string());
     std::error_code ec;
-    std::filesystem::create_directories(spec.spill.dir, ec);
+    std::filesystem::create_directories(spill_dir, ec);
     if (ec) {
       return Status::IoError("RunMapReduce: cannot create spill directory " +
-                             spec.spill.dir + ": " + ec.message());
+                             spill_dir + ": " + ec.message());
     }
+    spill_gc.TrackDir(spill_dir);
     // A checkpointing job's durable records reference the run files, so a
     // structured failure must leave them on disk for the resumed run —
     // matching what a real crash (no destructors) does. Disarmed at the
@@ -633,7 +644,7 @@ Result<JobOutput<Out>> RunMapReduce(
         // failed attempt leaves no orphan — its successor reuses the path.
         std::optional<internal::TaskSpiller<K, V>> spiller;
         if (spilling) {
-          spiller.emplace(internal::SpillFilePath(spec.spill.dir, "map",
+          spiller.emplace(internal::SpillFilePath(spill_dir, "map",
                                                   static_cast<int>(split)),
                           &spill_gc);
         }
@@ -958,7 +969,7 @@ Result<JobOutput<Out>> RunMapReduce(
                 auto grouped = internal::GroupBucketOrSpill(
                     bucket, spec.shuffle, &scratch, &task.group_path,
                     &task.fallback, spec.memory, spec.spill,
-                    internal::SpillFilePath(spec.spill.dir, "reduce",
+                    internal::SpillFilePath(spill_dir, "reduce",
                                             static_cast<int>(index)),
                     &spill_gc, &task.spill_runs, &segment_scratch);
                 if (!grouped.ok()) return grouped.status();

@@ -2,6 +2,10 @@
 
 #include "mapreduce/spill.h"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
 #include <filesystem>
 #include <system_error>
 
@@ -23,11 +27,29 @@ std::string SpillFilePath(const std::string& dir, const char* phase,
   return dir + "/" + phase + "_" + std::to_string(task_index) + ".runs";
 }
 
+std::string SpillJobDir(const std::string& dir, const std::string& job_scope) {
+  char name[64];
+  if (!job_scope.empty()) {
+    std::snprintf(name, sizeof(name), "/job_%016llx",
+                  static_cast<unsigned long long>(Fnv1a64(job_scope)));
+  } else {
+    static std::atomic<uint64_t> next_job{0};
+    std::snprintf(name, sizeof(name), "/pid%ld_%llu",
+                  static_cast<long>(::getpid()),
+                  static_cast<unsigned long long>(
+                      next_job.fetch_add(1, std::memory_order_relaxed)));
+  }
+  return dir + name;
+}
+
 SpillGc::~SpillGc() {
   if (keep_files_) return;
   std::error_code ec;
   for (const std::string& file : files_) {
     std::filesystem::remove(file, ec);  // best-effort; ec ignored
+  }
+  if (!dir_.empty()) {
+    std::filesystem::remove_all(dir_, ec);  // sweeps predecessors' orphans
   }
 }
 

@@ -88,8 +88,12 @@ inline constexpr size_t kSpillRunHeaderBytes = 2 * 4 + 5 * 8;
 inline constexpr size_t kSpillReadChunkBytes = size_t{1} << 16;
 
 // One sorted run on disk: `bytes` of raw records at `offset` in `file`.
-// min/max key are unsigned-domain casts (integral keys only; 0 otherwise)
-// feeding the columnar density guard without touching the payload.
+// min/max key are the unsigned bit-casts of the run's smallest/largest
+// key in the *signed* K domain (the run is sorted by signed <; integral
+// keys only, 0 otherwise). Decode with
+// static_cast<K>(static_cast<make_unsigned_t<K>>(value)) before
+// comparing — for mixed-sign runs the raw u64 values do not order, and
+// max_key can sit below min_key.
 struct SpillRunInfo {
   std::string file;
   uint32_t partition = 0;
@@ -105,12 +109,25 @@ struct SpillRunInfo {
 std::string SpillFilePath(const std::string& dir, const char* phase,
                           int task_index);
 
-// Job-scoped registry of spill files, removed best-effort on destruction.
-// A hard crash skips destructors, deliberately leaving the files for the
-// resumed run (which re-tracks them via the checkpoint restore path). A
-// checkpointing job arms keep_files until it succeeds, so a structured
-// failure preserves the runs its durable checkpoint records reference —
-// the same contract as the real crash, just with destructors running.
+// Per-job namespace under the configured spill directory, so jobs that
+// share a spill dir never truncate each other's live run files. A
+// non-empty `job_scope` (the checkpoint store's dir + job key) hashes to
+// a stable subdirectory — a resumed run lands where its crashed
+// predecessor spilled, can re-register those files, and finally sweeps
+// them; with an empty scope the name is unique per process and
+// invocation (non-checkpointing jobs never resume).
+std::string SpillJobDir(const std::string& dir, const std::string& job_scope);
+
+// Job-scoped registry of spill files, removed best-effort on destruction
+// along with the job's private spill subdirectory (the recursive sweep is
+// what reclaims orphans a crashed predecessor with the same scope left —
+// e.g. reduce-side runs whose tasks were restored from checkpoints and
+// therefore never re-tracked). A hard crash skips destructors,
+// deliberately leaving the files for the resumed run (which re-tracks
+// map runs via the checkpoint restore path). A checkpointing job arms
+// keep_files until it succeeds, so a structured failure preserves the
+// runs its durable checkpoint records reference — the same contract as
+// the real crash, just with destructors running.
 class SpillGc {
  public:
   SpillGc() = default;
@@ -121,6 +138,10 @@ class SpillGc {
   // Thread-safe (map tasks spill concurrently); duplicates are fine.
   void Track(const std::string& file);
 
+  // The job's private spill subdirectory, removed recursively at
+  // destruction (unless keep_files is armed). Job-thread only.
+  void TrackDir(const std::string& dir) { dir_ = dir; }
+
   // When true, destruction leaves the tracked files on disk. Job-thread
   // only: set before tasks run, cleared at the job's single success exit.
   void set_keep_files(bool keep) { keep_files_ = keep; }
@@ -128,6 +149,7 @@ class SpillGc {
  private:
   std::mutex mutex_;
   std::vector<std::string> files_;
+  std::string dir_;
   bool keep_files_ = false;
 };
 
@@ -418,23 +440,12 @@ Result<GroupedView<K, V>> GroupSegments(
   *reason = FallbackReason::kNone;
   uint64_t records = 0;
   bool any_runs = false;
-  uint64_t min_key = std::numeric_limits<uint64_t>::max();
-  uint64_t max_key = 0;
   for (const ShuffleSegment<K, V>& segment : segments) {
     if (segment.run != nullptr) {
       any_runs = true;
       records += segment.run->records;
-      min_key = std::min(min_key, segment.run->min_key);
-      max_key = std::max(max_key, segment.run->max_key);
     } else {
       records += segment.memory->size();
-      if constexpr (std::is_integral_v<K>) {
-        for (const std::pair<K, V>& record : *segment.memory) {
-          const uint64_t key = SpillKeyCast(record.first);
-          min_key = std::min(min_key, key);
-          max_key = std::max(max_key, key);
-        }
-      }
     }
   }
   if (records == 0) {
@@ -447,9 +458,37 @@ Result<GroupedView<K, V>> GroupSegments(
 
   if (mode == ShuffleMode::kColumnar) {
     if constexpr (std::is_integral_v<K>) {
-      // Unsigned-domain subtraction: the same wraparound arithmetic as
-      // CountingSortGroups, so negative keys land identically.
-      const uint64_t range = max_key - min_key + 1;
+      using U = std::make_unsigned_t<K>;
+      // Min/max live in the signed K domain — CountingSortGroups'
+      // convention — so mixed-sign key spaces guard and group exactly like
+      // the in-memory paths. Run metadata holds the bit-casts of each
+      // run's signed extremes; decode through U before comparing (the raw
+      // u64 values do not order across signs).
+      bool have_keys = false;
+      K min_key{};
+      K max_key{};
+      const auto fold = [&](K key) {
+        min_key = have_keys ? std::min(min_key, key) : key;
+        max_key = have_keys ? std::max(max_key, key) : key;
+        have_keys = true;
+      };
+      for (const ShuffleSegment<K, V>& segment : segments) {
+        if (segment.run != nullptr) {
+          if (segment.run->records == 0) continue;
+          fold(static_cast<K>(static_cast<U>(segment.run->min_key)));
+          fold(static_cast<K>(static_cast<U>(segment.run->max_key)));
+        } else {
+          for (const std::pair<K, V>& record : *segment.memory) {
+            fold(record.first);
+          }
+        }
+      }
+      // Unsigned-domain subtraction: the exact expression
+      // CountingSortGroups uses, so the guard admits and rejects the same
+      // key spaces as the in-memory columnar path.
+      const uint64_t range =
+          static_cast<uint64_t>(static_cast<U>(max_key) -
+                                static_cast<U>(min_key)) + 1;
       if (range >
           kDenseRangeSlack + kDenseRangePerRecord * records) {
         *reason = FallbackReason::kDensity;
@@ -458,21 +497,23 @@ Result<GroupedView<K, V>> GroupSegments(
                      records, range, sizeof(K), sizeof(V)))) {
         *reason = FallbackReason::kBudget;
       } else {
-        // Pass 1: histogram the keys across every segment.
+        // Pass 1: histogram the keys across every segment. Slots subtract
+        // in the U domain (two's-complement wraparound), mirroring
+        // CountingSortGroups, so negative keys land identically.
         std::vector<size_t>& cursor = scratch->histogram;
         cursor.assign(static_cast<size_t>(range), 0);
         for (ShuffleSegment<K, V>& segment : segments) {
           if (segment.run == nullptr) {
             for (const std::pair<K, V>& record : *segment.memory) {
-              ++cursor[static_cast<size_t>(SpillKeyCast(record.first) -
-                                           min_key)];
+              ++cursor[static_cast<size_t>(static_cast<U>(record.first) -
+                                           static_cast<U>(min_key))];
             }
           } else {
             SpillRunCursor<K, V> run;
             DOD_RETURN_IF_ERROR(run.Open(*segment.run));
             while (!run.AtEnd()) {
-              ++cursor[static_cast<size_t>(SpillKeyCast(run.Head().first) -
-                                           min_key)];
+              ++cursor[static_cast<size_t>(static_cast<U>(run.Head().first) -
+                                           static_cast<U>(min_key))];
               DOD_RETURN_IF_ERROR(run.Advance());
             }
           }
@@ -480,7 +521,6 @@ Result<GroupedView<K, V>> GroupSegments(
         scratch->keys.clear();
         scratch->offsets.clear();
         size_t total = 0;
-        using U = std::make_unsigned_t<K>;
         for (size_t slot = 0; slot < cursor.size(); ++slot) {
           const size_t count = cursor[slot];
           if (count == 0) continue;
@@ -499,7 +539,7 @@ Result<GroupedView<K, V>> GroupSegments(
           if (segment.run == nullptr) {
             for (const std::pair<K, V>& record : *segment.memory) {
               const size_t slot = static_cast<size_t>(
-                  SpillKeyCast(record.first) - min_key);
+                  static_cast<U>(record.first) - static_cast<U>(min_key));
               scratch->values[cursor[slot]++] = record.second;
             }
           } else {
@@ -507,7 +547,7 @@ Result<GroupedView<K, V>> GroupSegments(
             DOD_RETURN_IF_ERROR(run.Open(*segment.run));
             while (!run.AtEnd()) {
               const size_t slot = static_cast<size_t>(
-                  SpillKeyCast(run.Head().first) - min_key);
+                  static_cast<U>(run.Head().first) - static_cast<U>(min_key));
               scratch->values[cursor[slot]++] = run.Head().second;
               DOD_RETURN_IF_ERROR(run.Advance());
             }

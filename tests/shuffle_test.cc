@@ -708,9 +708,12 @@ std::string FreshSpillDir(const char* tag) {
 }
 
 size_t SpillFilesIn(const std::string& dir) {
+  // Recursive: the engine namespaces run files per job under the
+  // configured spill dir.
   std::error_code ec;
   size_t count = 0;
-  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir, ec)) {
     if (entry.path().extension() == ".runs") ++count;
   }
   return count;
@@ -823,6 +826,112 @@ TEST(ShuffleSpillTest, GroupSegmentsMatchesGroupBucketOfConcatenation) {
                         ? internal::GroupPath::kColumnarSpilled
                         : internal::GroupPath::kSortedSpilled);
     EXPECT_EQ(reason, internal::FallbackReason::kNone);
+    ExpectSameGroups(grouped.value(), reference);
+  }
+}
+
+TEST(ShuffleSpillTest, GroupSegmentsOrdersMixedSignKeysLikeInMemory) {
+  const std::string dir = FreshSpillDir("mixed_sign");
+  std::filesystem::create_directories(dir);
+
+  // int keys spanning zero with a small signed range: the density guard
+  // admits them (the unsigned subtraction wraps back to the true span),
+  // and the spilled histogram must emit groups in signed ascending order
+  // — negative keys first — exactly like the in-memory columnar path.
+  {
+    Rng rng(777);
+    std::vector<int> keys(300);
+    for (int& key : keys) {
+      key = static_cast<int>(rng.NextBounded(100)) - 50;  // [-50, 49]
+    }
+    std::vector<std::pair<int, int>> memory_slice = SequencedBucket(keys);
+    std::vector<std::pair<int, int>> run_slice;
+    int seq = static_cast<int>(keys.size());
+    run_slice.emplace_back(-50, seq++);  // both signs guaranteed in the run
+    run_slice.emplace_back(49, seq++);
+    for (int i = 0; i < 200; ++i) {
+      run_slice.emplace_back(static_cast<int>(rng.NextBounded(100)) - 50,
+                             seq++);
+    }
+    std::vector<std::pair<int, int>> all = memory_slice;
+    all.insert(all.end(), run_slice.begin(), run_slice.end());
+    internal::GroupScratch<int, int> reference_scratch;
+    internal::GroupPath reference_path;
+    const GroupedView<int, int> reference = internal::GroupBucket(
+        all, ShuffleMode::kColumnar, &reference_scratch, &reference_path);
+    ASSERT_EQ(reference_path, internal::GroupPath::kColumnar);
+
+    internal::SpillGc gc;
+    internal::TaskSpiller<int, int> spiller(
+        internal::SpillFilePath(dir, "map", 0), &gc);
+    internal::TaskSpiller<int, int>::Buckets flush(1);
+    flush[0] = run_slice;
+    spiller.Spill(flush);
+    ASSERT_TRUE(spiller.status().ok());
+    std::vector<internal::SpillRunInfo> runs = spiller.TakeRuns();
+    ASSERT_EQ(runs.size(), 1u);
+    // Run metadata stores the bit-casts of the signed extremes, so a
+    // mixed-sign run's raw u64 max sits below its raw min.
+    EXPECT_LT(runs[0].max_key, runs[0].min_key);
+
+    std::vector<internal::ShuffleSegment<int, int>> segments;
+    segments.push_back({&memory_slice, nullptr});
+    segments.push_back({nullptr, &runs[0]});
+    internal::GroupScratch<int, int> scratch;
+    internal::GroupPath path;
+    internal::FallbackReason reason;
+    auto grouped = internal::GroupSegments(segments, ShuffleMode::kColumnar,
+                                           &scratch, &path, &reason, nullptr);
+    ASSERT_TRUE(grouped.ok());
+    EXPECT_EQ(path, internal::GroupPath::kColumnarSpilled);
+    EXPECT_EQ(reason, internal::FallbackReason::kNone);
+    ExpectSameGroups(grouped.value(), reference);
+  }
+
+  // Narrow keys (int8): the unsigned subtraction promotes to int and goes
+  // negative for a mixed-sign span, so the density guard rejects — the
+  // same verdict CountingSortGroups reaches in memory. Both sides must
+  // take the sorted path and agree.
+  {
+    std::vector<int8_t> keys(200);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      keys[i] = static_cast<int8_t>(static_cast<int>(i) % 201 - 100);
+    }
+    std::vector<std::pair<int8_t, int>> memory_slice = SequencedBucket(keys);
+    std::vector<std::pair<int8_t, int>> run_slice;
+    int seq = static_cast<int>(keys.size());
+    for (int i = 0; i < 100; ++i) {
+      run_slice.emplace_back(static_cast<int8_t>(i % 101 - 50), seq++);
+    }
+    std::vector<std::pair<int8_t, int>> all = memory_slice;
+    all.insert(all.end(), run_slice.begin(), run_slice.end());
+    internal::GroupScratch<int8_t, int> reference_scratch;
+    internal::GroupPath reference_path;
+    const GroupedView<int8_t, int> reference = internal::GroupBucket(
+        all, ShuffleMode::kColumnar, &reference_scratch, &reference_path);
+    ASSERT_EQ(reference_path, internal::GroupPath::kSortedFallback);
+
+    internal::SpillGc gc;
+    internal::TaskSpiller<int8_t, int> spiller(
+        internal::SpillFilePath(dir, "map", 1), &gc);
+    internal::TaskSpiller<int8_t, int>::Buckets flush(1);
+    flush[0] = run_slice;
+    spiller.Spill(flush);
+    ASSERT_TRUE(spiller.status().ok());
+    std::vector<internal::SpillRunInfo> runs = spiller.TakeRuns();
+    ASSERT_EQ(runs.size(), 1u);
+
+    std::vector<internal::ShuffleSegment<int8_t, int>> segments;
+    segments.push_back({&memory_slice, nullptr});
+    segments.push_back({nullptr, &runs[0]});
+    internal::GroupScratch<int8_t, int> scratch;
+    internal::GroupPath path;
+    internal::FallbackReason reason;
+    auto grouped = internal::GroupSegments(segments, ShuffleMode::kColumnar,
+                                           &scratch, &path, &reason, nullptr);
+    ASSERT_TRUE(grouped.ok());
+    EXPECT_EQ(path, internal::GroupPath::kSortedSpilled);
+    EXPECT_EQ(reason, internal::FallbackReason::kDensity);
     ExpectSameGroups(grouped.value(), reference);
   }
 }
@@ -1108,6 +1217,57 @@ TEST(ShuffleSpillTest, CrashResumeRestoresSpilledCheckpointsExactly) {
         << tag;
     EXPECT_EQ(SpillFilesIn(dir), 0u) << tag;
   }
+}
+
+TEST(ShuffleSpillTest, ResumeSweepsOrphanedReduceRuns) {
+  // A reduce task that degrades to spill-then-stream, checkpoints, and is
+  // then restored on resume never regroups — nothing re-tracks its run
+  // file. The success-exit sweep of the job's spill namespace must
+  // reclaim it anyway.
+  const JobOutput<SpillKeySum> baseline =
+      RunSumJob(DigestSpec(ShuffleMode::kColumnar, 1, FaultSpec{}))
+          .ValueOrDie();
+  const std::string dir = FreshSpillDir("orphan");
+  const std::string ckpt = dir + "_ckpt";
+  std::error_code ec;
+  std::filesystem::remove_all(ckpt, ec);
+
+  // Reduce task 0's bucket: 123 records over key range [0, 16]. The
+  // window fits the histogram scratch alone but not next to the resident
+  // bucket, so the task spills; the map side (1 GiB threshold) never does.
+  const uint64_t scratch_bytes = internal::ColumnarScratchBytes(
+      /*records=*/123, /*range=*/17, sizeof(int), sizeof(int));
+  {
+    auto store =
+        CheckpointStore::Open(ckpt, "sum", /*resume=*/false).ValueOrDie();
+    MemoryBudget window(scratch_bytes + 64);
+    JobSpec crashing = SpilledDigestSpec(ShuffleMode::kColumnar, 1,
+                                         FaultSpec{}, dir, uint64_t{1} << 30);
+    crashing.memory = &window;
+    crashing.checkpoint = store.get();
+    crashing.faults.crash_at_task = 1;
+    crashing.faults.crash_phase = TaskPhase::kReduce;
+    const auto crashed = RunSumJob(crashing);
+    ASSERT_FALSE(crashed.ok());
+    ASSERT_EQ(crashed.status().code(), StatusCode::kUnavailable);
+  }
+  // Reduce task 0 committed after spilling: its run survives the failure.
+  EXPECT_GT(SpillFilesIn(dir), 0u);
+
+  {
+    auto store =
+        CheckpointStore::Open(ckpt, "sum", /*resume=*/true).ValueOrDie();
+    MemoryBudget window(scratch_bytes + 64);
+    JobSpec resuming = SpilledDigestSpec(ShuffleMode::kColumnar, 1,
+                                         FaultSpec{}, dir, uint64_t{1} << 30);
+    resuming.memory = &window;
+    resuming.checkpoint = store.get();
+    resuming.resume = true;
+    const JobOutput<SpillKeySum> resumed = RunSumJob(resuming).ValueOrDie();
+    EXPECT_EQ(resumed.output, baseline.output);
+  }
+  // The restored task's orphaned run file is gone with the namespace.
+  EXPECT_EQ(SpillFilesIn(dir), 0u);
 }
 
 TEST(PipelineShuffleEquivalence, MetricsRecordGroupPathAndArenaReuse) {
